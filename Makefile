@@ -1,0 +1,23 @@
+# Convenience targets for the CAP reproduction.
+
+PYTHON ?= python3
+
+.PHONY: install test bench figures examples clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+figures:
+	$(PYTHON) -m repro export all --out figures
+
+examples:
+	@for f in examples/*.py; do echo "== $$f =="; $(PYTHON) $$f; done
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache figures

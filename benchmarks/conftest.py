@@ -1,0 +1,15 @@
+"""Benchmark-harness configuration.
+
+Each benchmark regenerates one of the paper's tables/figures and prints
+the same rows/series the paper plots (run with ``-s`` to see them, or
+read the captured output on failure).  pytest-benchmark times the
+regeneration itself.
+"""
+
+from __future__ import annotations
+
+
+def pytest_configure(config):
+    # Benchmarks live outside the default testpaths; make sure
+    # pytest-benchmark is active even under `pytest benchmarks/`.
+    config.addinivalue_line("markers", "figure(name): links a benchmark to a paper figure")

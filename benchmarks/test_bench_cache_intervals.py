@@ -1,0 +1,33 @@
+"""Beyond the paper: interval-level adaptivity for the cache boundary.
+
+Section 6 studies intra-application diversity only for the queue; the
+movable-boundary cache supports the same treatment, and this bench runs
+it end to end on a workload alternating between a small hot working set
+and a tiled 32 KB one.
+"""
+
+import pytest
+
+from repro.experiments.interval_study import cache_interval_study, predictor_study
+from repro.experiments.reporting import format_table
+from repro.ooo.intervals import best_window_sequence
+
+
+@pytest.mark.figure("ext-cache-intervals")
+def test_bench_cache_interval_adaptivity(benchmark):
+    study = benchmark.pedantic(cache_interval_study, rounds=1, iterations=1)
+    ps = predictor_study(study, confidence_threshold=0.7)
+
+    seq = best_window_sequence(study.series)
+    print("\nInterval-level cache adaptivity (boundaries 2 = 16KB, 6 = 48KB)")
+    print(f"best-boundary sequence: {list(map(int, seq))}")
+    rows = [
+        [f"static {8 * k}KB L1", outcome.tpi_ns, outcome.n_switches]
+        for k, outcome in ps.static.items()
+    ]
+    rows.append(["predictor+confidence", ps.adaptive.tpi_ns, ps.adaptive.n_switches])
+    rows.append(["oracle", ps.oracle.tpi_ns, ps.oracle.n_switches])
+    print(format_table(["policy", "TPI (ns)", "switches"], rows))
+    print(f"gain over best static: {ps.adaptive_gain_percent:.1f}%")
+
+    assert ps.adaptive.tpi_ns < ps.best_static_tpi_ns

@@ -1,0 +1,22 @@
+"""Figure 1: cache wire delay vs. subarray count and feature size."""
+
+import pytest
+
+from repro.experiments.reporting import format_series
+from repro.experiments.wire_delay import figure1
+
+
+@pytest.mark.figure("1a")
+def test_bench_figure1a(benchmark):
+    series = benchmark(figure1, subarray_kb=2)
+    print("\nFigure 1(a): cache wire delay, 2KB subarrays (ns)")
+    print(format_series(series.x_label, series.x_values, series.as_series_dict()))
+    assert series.crossover(0.18) is not None
+
+
+@pytest.mark.figure("1b")
+def test_bench_figure1b(benchmark):
+    series = benchmark(figure1, subarray_kb=4)
+    print("\nFigure 1(b): cache wire delay, 4KB subarrays (ns)")
+    print(format_series(series.x_label, series.x_values, series.as_series_dict()))
+    assert series.crossover(0.18) is not None

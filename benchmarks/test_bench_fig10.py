@@ -1,0 +1,31 @@
+"""Figure 10: average TPI vs. instruction queue size, fixed size."""
+
+import pytest
+
+from repro.experiments.queue_study import figure10
+from repro.experiments.reporting import format_series
+
+
+def _print_panel(title, panel):
+    apps = sorted(panel)
+    sizes = sorted(next(iter(panel.values())))
+    series = {app: [panel[app][s] for s in sizes] for app in apps}
+    print(f"\n{title}")
+    print(format_series("entries", sizes, series))
+
+
+@pytest.mark.figure("10")
+def test_bench_figure10(benchmark):
+    panels = benchmark.pedantic(figure10, rounds=1, iterations=1)
+    _print_panel("Figure 10(a): Avg TPI (ns) vs queue size - integer", panels["integer"])
+    _print_panel("Figure 10(b): Avg TPI (ns) vs queue size - floating point",
+                 panels["floating"])
+
+    best = {
+        app: min(curve, key=curve.get)
+        for panel in panels.values()
+        for app, curve in panel.items()
+    }
+    assert best["compress"] == 128
+    for app in ("radar", "fpppp", "appcg"):
+        assert best[app] == 16

@@ -1,0 +1,49 @@
+"""Figure 11: best conventional vs. process-level adaptive queue."""
+
+import pytest
+
+from repro.experiments.queue_study import figure11
+from repro.experiments.reporting import format_table
+
+
+@pytest.mark.figure("11")
+def test_bench_figure11(benchmark):
+    study = benchmark.pedantic(figure11, rounds=1, iterations=1)
+
+    rows = []
+    reductions = study.tpi.per_app_reduction_percent()
+    for app in study.tpi.applications:
+        rows.append(
+            [
+                app,
+                study.best_sizes[app],
+                study.tpi.conventional[app],
+                study.tpi.adaptive[app],
+                f"{reductions[app]:.1f}%",
+            ]
+        )
+    rows.append(
+        [
+            "average",
+            "-",
+            study.tpi.average_conventional(),
+            study.tpi.average_adaptive(),
+            f"{study.tpi.average_reduction_percent():.1f}%",
+        ]
+    )
+    print(
+        f"\nFigure 11: conventional = {study.conventional_size}-entry queue "
+        f"(suite-best fixed size)"
+    )
+    print(
+        format_table(
+            ["app", "adaptive entries", "TPI conv", "TPI adapt", "reduction"], rows
+        )
+    )
+    print(
+        f"average TPI reduction: {study.tpi.average_reduction_percent():.1f}% (paper: 7%)"
+    )
+
+    assert study.conventional_size == 64
+    assert 4.0 < study.tpi.average_reduction_percent() < 12.0
+    assert study.tpi.never_worse()

@@ -1,0 +1,58 @@
+"""Figures 12 and 13: intra-application diversity snapshots."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.interval_study import figure12, figure13
+from repro.experiments.reporting import format_table
+
+
+def _print_snapshot(title, result, head=12):
+    windows = result.windows
+    rows = []
+    for i in range(min(head, len(result.series[windows[0]]))):
+        rows.append(
+            [i] + [float(result.series[w].tpi_ns[i]) for w in windows]
+        )
+    print(f"\n{title} (first {head} intervals of {len(result.series[windows[0]])})")
+    print(format_table(["interval"] + [f"{w} entries" for w in windows], rows))
+
+
+@pytest.mark.figure("12")
+def test_bench_figure12(benchmark):
+    result = benchmark.pedantic(figure12, rounds=1, iterations=1)
+    _print_snapshot("Figure 12: turb3d, 64 vs 128 entries", result)
+    half = len(result.series[64]) // 2
+    a64 = result.series[64].tpi_ns[:half].mean()
+    a128 = result.series[128].tpi_ns[:half].mean()
+    b64 = result.series[64].tpi_ns[half:].mean()
+    b128 = result.series[128].tpi_ns[half:].mean()
+    print(f"phase (a): 64={a64:.3f} 128={a128:.3f}  -> 64-entry better by "
+          f"{(a128 - a64) / a128 * 100:.0f}% (paper: ~10%)")
+    print(f"phase (b): 64={b64:.3f} 128={b128:.3f}  -> 128-entry better by "
+          f"{(b64 - b128) / b64 * 100:.0f}% (paper: ~20%)")
+    assert a64 < a128 and b128 < b64
+
+
+@pytest.mark.figure("13a")
+def test_bench_figure13a(benchmark):
+    result = benchmark.pedantic(figure13, args=(True,), rounds=1, iterations=1)
+    _print_snapshot("Figure 13(a): vortex (regular), 16 vs 64 entries", result)
+    runs = result.stability_runs()
+    long_runs = [length for _w, length in runs if length >= 5]
+    print(f"best-config run lengths: {[l for _w, l in runs]} "
+          f"(paper: alternation roughly every 15 intervals)")
+    assert long_runs and 10 <= float(np.median(long_runs)) <= 20
+
+
+@pytest.mark.figure("13b")
+def test_bench_figure13b(benchmark):
+    result = benchmark.pedantic(figure13, args=(False,), rounds=1, iterations=1)
+    _print_snapshot("Figure 13(b): vortex (irregular), 16 vs 64 entries", result)
+    m16 = result.series[16].mean_tpi_ns()
+    m64 = result.series[64].mean_tpi_ns()
+    seq = result.best_sequence()
+    flips = int((seq[1:] != seq[:-1]).sum())
+    print(f"means: 16={m16:.3f} 64={m64:.3f}; best-config flips: {flips}/{len(seq)} "
+          f"(paper: near-random, equal averages)")
+    assert abs(m16 - m64) / max(m16, m64) < 0.10

@@ -1,0 +1,14 @@
+"""Figure 2: integer queue wire delay vs. entries and feature size."""
+
+import pytest
+
+from repro.experiments.reporting import format_series
+from repro.experiments.wire_delay import figure2
+
+
+@pytest.mark.figure("2")
+def test_bench_figure2(benchmark):
+    series = benchmark(figure2)
+    print("\nFigure 2: integer queue wire delay (ns)")
+    print(format_series(series.x_label, series.x_values, series.as_series_dict()))
+    assert series.crossover(0.12) is not None and series.crossover(0.12) <= 32

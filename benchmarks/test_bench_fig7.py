@@ -1,0 +1,30 @@
+"""Figure 7: average TPI vs. L1 D-cache size, fixed boundary."""
+
+import pytest
+
+from repro.experiments.cache_study import figure7
+from repro.experiments.reporting import format_series
+
+
+def _print_panel(title, panel):
+    apps = sorted(panel)
+    sizes = sorted(next(iter(panel.values())))
+    series = {app: [panel[app][s] for s in sizes] for app in apps}
+    print(f"\n{title}")
+    print(format_series("L1 KB", sizes, series))
+
+
+@pytest.mark.figure("7")
+def test_bench_figure7(benchmark):
+    panels = benchmark.pedantic(figure7, rounds=1, iterations=1)
+    _print_panel("Figure 7(a): Avg TPI (ns) vs L1 size - integer", panels["integer"])
+    _print_panel("Figure 7(b): Avg TPI (ns) vs L1 size - floating point", panels["floating"])
+
+    # headline shape: the vast majority of applications favour 8-16 KB
+    best = {
+        app: min(curve, key=curve.get)
+        for panel in panels.values()
+        for app, curve in panel.items()
+    }
+    small = sum(1 for b in best.values() if b <= 16)
+    assert small / len(best) > 0.5

@@ -1,0 +1,62 @@
+"""Figures 8 and 9: best conventional vs. process-level adaptive cache.
+
+Figure 8 reports TPImiss, Figure 9 total TPI, per application plus the
+suite average — the cache study's headline comparison.
+"""
+
+import pytest
+
+from repro.experiments.cache_study import figure8_9
+from repro.experiments.reporting import format_table
+
+
+@pytest.mark.figure("8+9")
+def test_bench_figure8_and_9(benchmark):
+    study = benchmark.pedantic(figure8_9, rounds=1, iterations=1)
+
+    rows = []
+    for app in study.tpi.applications:
+        rows.append(
+            [
+                app,
+                f"{8 * study.best_boundaries[app]}K",
+                study.tpi_miss.conventional[app],
+                study.tpi_miss.adaptive[app],
+                study.tpi.conventional[app],
+                study.tpi.adaptive[app],
+            ]
+        )
+    rows.append(
+        [
+            "average",
+            "-",
+            study.tpi_miss.average_conventional(),
+            study.tpi_miss.average_adaptive(),
+            study.tpi.average_conventional(),
+            study.tpi.average_adaptive(),
+        ]
+    )
+    print(
+        f"\nFigures 8/9: conventional = {study.conventional_l1_kb:.0f}KB "
+        f"{2 * study.conventional_boundary}-way L1 (suite-best fixed boundary)"
+    )
+    print(
+        format_table(
+            ["app", "adaptive L1", "TPImiss conv", "TPImiss adapt",
+             "TPI conv", "TPI adapt"],
+            rows,
+        )
+    )
+    print(
+        f"average TPImiss reduction: {study.tpi_miss.average_reduction_percent():.1f}% "
+        f"(paper: 26%)"
+    )
+    print(
+        f"average TPI    reduction: {study.tpi.average_reduction_percent():.1f}% "
+        f"(paper: 9%)"
+    )
+
+    assert study.conventional_boundary == 2  # the paper's 16 KB 4-way
+    assert study.tpi.average_reduction_percent() > 5.0
+    assert study.tpi_miss.average_reduction_percent() > study.tpi.average_reduction_percent()
+    assert study.tpi.never_worse()

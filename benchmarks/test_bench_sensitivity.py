@@ -1,0 +1,42 @@
+"""Robustness bench: headline results vs trace length.
+
+Backs the calibration claim that the shortened traces do not drive the
+conclusions: the suite-best configuration and every per-application
+winner must be identical at half and double the default lengths, and
+the average reductions must move only slightly.
+"""
+
+import pytest
+
+from repro.experiments.reporting import format_table
+from repro.experiments.sensitivity import (
+    cache_length_robustness,
+    queue_length_robustness,
+)
+
+
+@pytest.mark.figure("robustness")
+def test_bench_trace_length_robustness(benchmark):
+    def both():
+        return cache_length_robustness(), queue_length_robustness()
+
+    cache, queue = benchmark.pedantic(both, rounds=1, iterations=1)
+    rows = []
+    for result in (cache, queue):
+        for p in result.points:
+            rows.append(
+                [result.study, p.length, p.conventional,
+                 f"{p.average_reduction_percent:.1f}%"]
+            )
+    print("\nHeadline results vs trace length")
+    print(format_table(["study", "events", "conventional", "avg reduction"], rows))
+    print(
+        f"cache: winners stable for {cache.winner_agreement():.0%} of apps, "
+        f"reduction spread {cache.reduction_spread_percent:.1f} points\n"
+        f"queue: winners stable for {queue.winner_agreement():.0%} of apps, "
+        f"reduction spread {queue.reduction_spread_percent:.1f} points"
+    )
+    for result in (cache, queue):
+        assert result.conventional_stable
+        assert result.winner_agreement() >= 0.9
+        assert result.reduction_spread_percent < 4.0

@@ -1,0 +1,50 @@
+"""Validation bench: blocking analytic composition vs integrated OOO+cache."""
+
+import pytest
+
+from repro.experiments.reporting import format_table
+from repro.experiments.validation import validation_sweep
+
+
+@pytest.mark.figure("ext-validation")
+def test_bench_integrated_vs_analytic(benchmark):
+    sweep = benchmark.pedantic(
+        validation_sweep,
+        kwargs=dict(
+            apps=("perl", "gcc", "stereo", "swim", "applu"),
+            boundaries=(1, 2, 4, 6, 8),
+            n_instructions=30_000,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for app, points in sweep.items():
+        best_a = min(points, key=lambda p: p.analytic_tpi_ns)
+        best_i = min(points, key=lambda p: p.integrated_tpi_ns)
+        rows.append(
+            [
+                app,
+                f"{8 * best_a.l1_increments}K",
+                best_a.analytic_tpi_ns,
+                f"{8 * best_i.l1_increments}K",
+                best_i.integrated_tpi_ns,
+                f"{best_i.overlap_recovery_percent:.0f}%",
+            ]
+        )
+    print("\nBlocking analytic model vs integrated OOO+cache simulation")
+    print(
+        format_table(
+            ["app", "analytic best L1", "TPI", "integrated best L1", "TPI",
+             "overlap recovery"],
+            rows,
+        )
+    )
+    print(
+        "The analytic (paper-methodology) model is conservative everywhere; "
+        "for capacity-hungry apps the 64-entry window hides enough L2 "
+        "latency to shift the optimal boundary toward the faster clock."
+    )
+    for points in sweep.values():
+        for p in points:
+            assert p.integrated_tpi_ns <= p.analytic_tpi_ns + 1e-9

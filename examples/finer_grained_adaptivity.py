@@ -1,0 +1,60 @@
+"""Finer-grained adaptivity: the Section 6 mechanism in action.
+
+Process-level adaptivity leaves intra-application diversity on the
+table.  This example reproduces the paper's observation on the
+Figure 13 workloads and then runs the mechanism the paper proposes: a
+pattern predictor over per-interval best-configuration labels, gated by
+a confidence estimate so that irregular stretches (Figure 13b) don't
+degenerate into reconfiguration thrash.
+
+Run:  python examples/finer_grained_adaptivity.py
+"""
+
+from repro.experiments.interval_study import figure12, figure13, predictor_study
+
+
+def report(name: str, study) -> None:
+    print(f"\n--- {name} ---")
+    for window, outcome in study.static.items():
+        print(f"  static {window:>3d} entries: TPI={outcome.tpi_ns:.3f} ns")
+    print(
+        f"  predictor+confidence: TPI={study.adaptive.tpi_ns:.3f} ns "
+        f"({study.adaptive.n_switches} switches, "
+        f"{study.adaptive.switch_overhead_ns:.0f} ns switching overhead)"
+    )
+    print(
+        f"  predictor ungated:    TPI={study.adaptive_ungated.tpi_ns:.3f} ns "
+        f"({study.adaptive_ungated.n_switches} switches)"
+    )
+    print(f"  switching oracle:     TPI={study.oracle.tpi_ns:.3f} ns")
+    print(f"  gain over best static: {study.adaptive_gain_percent:.1f}%")
+
+
+def main() -> None:
+    print("Interval-level best configuration, 2000-instruction intervals")
+
+    turb3d = figure12(intervals_per_phase=50)
+    runs = turb3d.stability_runs()
+    print(f"\nturb3d best-config runs: {[(w, n) for w, n in runs]}")
+    report("turb3d: two long stable phases (Figure 12)", predictor_study(turb3d))
+
+    regular = figure13(regular=True)
+    print(f"\nvortex(regular) best-config runs: {regular.stability_runs()}")
+    report("vortex: regular ~15-interval alternation (Figure 13a)",
+           predictor_study(regular))
+
+    irregular = figure13(regular=False)
+    seq = irregular.best_sequence()
+    flips = int((seq[1:] != seq[:-1]).sum())
+    print(f"\nvortex(irregular): best config flips {flips}x over {len(seq)} intervals")
+    report("vortex: near-random variation (Figure 13b)", predictor_study(irregular))
+
+    print(
+        "\nTakeaway: the predictor wins where patterns exist and the "
+        "confidence gate keeps it from losing where they don't — exactly "
+        "the design point Section 6 argues for."
+    )
+
+
+if __name__ == "__main__":
+    main()

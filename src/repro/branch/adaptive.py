@@ -1,0 +1,59 @@
+"""The branch predictor table as a complexity-adaptive structure.
+
+The configuration is the enabled table size.  Shrinking disables the
+upper banks (one index bit at a time); counters in the surviving banks
+keep their training, but predictions that previously mapped to disabled
+banks retrain — modelled as a modest cleanup cost (the counters are
+2-bit, so retraining takes a couple of occurrences per branch, not a
+pipeline drain).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.branch.timing import BranchTimingModel
+from repro.core.structure import ComplexityAdaptiveStructure, ReconfigurationCost
+
+#: Nominal cleanup charged for the retraining transient, in cycles.
+RETRAIN_CLEANUP_CYCLES: int = 16
+
+
+class AdaptiveBranchPredictor(ComplexityAdaptiveStructure[int]):
+    """Complexity-adaptive predictor (configuration = table entries)."""
+
+    name = "bpred"
+
+    def __init__(
+        self,
+        timing: BranchTimingModel | None = None,
+        initial_entries: int | None = None,
+    ) -> None:
+        self.timing = timing if timing is not None else BranchTimingModel()
+        sizes = tuple(sorted(self.timing.sizes))
+        self._current = initial_entries if initial_entries is not None else sizes[-1]
+        self.validate(self._current)
+
+    def configurations(self) -> Sequence[int]:
+        """Enabled sizes, smallest (fastest) first."""
+        return tuple(sorted(self.timing.sizes))
+
+    def delay_ns(self, config: int) -> float:
+        """Critical path: the table read."""
+        self.validate(config)
+        return self.timing.lookup_time_ns(config)
+
+    @property
+    def configuration(self) -> int:
+        """Currently enabled entries."""
+        return self._current
+
+    def reconfigure(self, config: int) -> ReconfigurationCost:
+        """Resize the table, charging the retraining transient."""
+        self.validate(config)
+        changed = config != self._current
+        self._current = config
+        return ReconfigurationCost(
+            cleanup_cycles=RETRAIN_CLEANUP_CYCLES if changed else 0,
+            requires_clock_switch=changed,
+        )

@@ -1,0 +1,123 @@
+"""Two-bit-counter branch predictors: bimodal and gshare.
+
+Both index a table of 2-bit saturating counters; gshare additionally
+XORs a global-history register into the index, which captures
+pattern-correlated branches but increases destructive aliasing when the
+table is too small — the effect that makes table size matter.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+
+
+class PredictorKind(enum.Enum):
+    """Supported predictor organisations."""
+
+    BIMODAL = "bimodal"
+    GSHARE = "gshare"
+
+
+class _CounterTable:
+    """A table of 2-bit saturating counters (initialised weakly taken)."""
+
+    def __init__(self, n_entries: int) -> None:
+        if n_entries < 2 or n_entries & (n_entries - 1):
+            raise ConfigurationError(
+                f"table entries must be a power of two >= 2, got {n_entries}"
+            )
+        self.n_entries = n_entries
+        self._counters = np.full(n_entries, 2, dtype=np.int8)
+
+    def predict(self, index: int) -> bool:
+        return bool(self._counters[index] >= 2)
+
+    def update(self, index: int, taken: bool) -> None:
+        c = self._counters[index]
+        if taken:
+            if c < 3:
+                self._counters[index] = c + 1
+        elif c > 0:
+            self._counters[index] = c - 1
+
+
+class BimodalPredictor:
+    """PC-indexed 2-bit counter table."""
+
+    def __init__(self, n_entries: int) -> None:
+        self._table = _CounterTable(n_entries)
+        self._mask = n_entries - 1
+
+    @property
+    def n_entries(self) -> int:
+        """Table capacity."""
+        return self._table.n_entries
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        """Predict the branch at ``pc``; train on the outcome.
+
+        Returns whether the prediction was correct.
+        """
+        index = pc & self._mask
+        prediction = self._table.predict(index)
+        self._table.update(index, taken)
+        return prediction == taken
+
+    def run(self, pcs: np.ndarray, outcomes: np.ndarray) -> float:
+        """Misprediction rate over a whole branch stream."""
+        return _run_stream(self, pcs, outcomes)
+
+
+class GsharePredictor:
+    """Global-history-XOR-PC indexed 2-bit counter table."""
+
+    def __init__(self, n_entries: int, history_bits: int | None = None) -> None:
+        self._table = _CounterTable(n_entries)
+        self._mask = n_entries - 1
+        index_bits = n_entries.bit_length() - 1
+        self.history_bits = history_bits if history_bits is not None else index_bits
+        if self.history_bits < 1:
+            raise ConfigurationError("gshare needs at least one history bit")
+        self._history = 0
+        self._history_mask = (1 << self.history_bits) - 1
+
+    @property
+    def n_entries(self) -> int:
+        """Table capacity."""
+        return self._table.n_entries
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        """Predict, train, and shift the global history register."""
+        index = (pc ^ self._history) & self._mask
+        prediction = self._table.predict(index)
+        self._table.update(index, taken)
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask
+        return prediction == taken
+
+    def run(self, pcs: np.ndarray, outcomes: np.ndarray) -> float:
+        """Misprediction rate over a whole branch stream."""
+        return _run_stream(self, pcs, outcomes)
+
+
+def _run_stream(predictor, pcs: np.ndarray, outcomes: np.ndarray) -> float:
+    if len(pcs) != len(outcomes):
+        raise SimulationError("pc and outcome streams must have equal length")
+    if len(pcs) == 0:
+        raise SimulationError("empty branch stream")
+    wrong = 0
+    predict_and_update = predictor.predict_and_update
+    for pc, taken in zip(pcs.tolist(), outcomes.tolist()):
+        if not predict_and_update(pc, bool(taken)):
+            wrong += 1
+    return wrong / len(pcs)
+
+
+def make_predictor(kind: PredictorKind, n_entries: int):
+    """Factory used by the adaptive wrapper."""
+    if kind is PredictorKind.BIMODAL:
+        return BimodalPredictor(n_entries)
+    return GsharePredictor(n_entries)

@@ -1,0 +1,59 @@
+"""Branch predictor table timing.
+
+A pattern-history table of ``n`` two-bit counters is a RAM array read
+every fetch; its global word/bit lines follow the same square-root-area
+layout rule and repeater methodology as every other structure here.
+Halving the enabled table drops one index bit and shortens the matched
+bus — the enable/disable granularity is therefore a factor of two, not
+a fixed increment, which is why predictor sizes are powers of two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.tech.cacti import best_bus_delay_ns, structure_height_mm
+from repro.tech.parameters import TechnologyParameters, technology
+from repro.units import ps
+
+#: Enabled table sizes studied (entries of 2-bit counters).
+PREDICTOR_TABLE_SIZES: tuple[int, ...] = (1024, 2048, 4096, 8192, 16384)
+
+#: Decode + counter read + hysteresis mux, ps at 0.25 um.
+_READ_BASE_PS: float = 300.0
+
+#: The table is built from stacked 512-entry (128 B) banks, one
+#: repeater-isolated group per bank — the configuration increment.
+_BANK_ENTRIES: int = 512
+_BANK_BYTES: int = _BANK_ENTRIES // 4
+
+
+@dataclass(frozen=True)
+class BranchTimingModel:
+    """Lookup delay per enabled table size."""
+
+    tech: TechnologyParameters = field(default_factory=lambda: technology(0.18))
+    sizes: tuple[int, ...] = PREDICTOR_TABLE_SIZES
+
+    def __post_init__(self) -> None:
+        bad = [s for s in self.sizes if s < 2 or s & (s - 1)]
+        if bad:
+            raise ConfigurationError(f"table sizes must be powers of two: {bad}")
+
+    def lookup_time_ns(self, n_entries: int) -> float:
+        """Table read delay for ``n_entries`` 2-bit counters."""
+        if n_entries not in self.sizes:
+            raise ConfigurationError(
+                f"size {n_entries} not in configured sizes {self.sizes}"
+            )
+        n_banks = max(1, n_entries // _BANK_ENTRIES)
+        bus_mm = n_banks * structure_height_mm(_BANK_BYTES)
+        return (
+            ps(_READ_BASE_PS * self.tech.gate_delay_scale())
+            + best_bus_delay_ns(bus_mm, self.tech)
+        )
+
+    def cycle_table(self) -> dict[int, float]:
+        """Lookup delay for every configured size."""
+        return {s: self.lookup_time_ns(s) for s in self.sizes}

@@ -1,0 +1,105 @@
+"""The movable-boundary cache hierarchy as a complexity-adaptive structure.
+
+Wraps the direct simulator and timing model behind the
+:class:`~repro.core.structure.ComplexityAdaptiveStructure` interface so
+the Configuration Manager and dynamic clock can drive it.  A
+configuration is simply the number of L1 increments.
+
+Because caching is exclusive and the index/tag mapping is constant,
+moving the boundary needs **no cleanup**: increments change designation
+without invalidating or transferring data (paper Section 5.2).  Only the
+clock changes, so the reconfiguration cost is exactly one clock switch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.cache.config import (
+    CacheGeometry,
+    HierarchyConfig,
+    PAPER_GEOMETRY,
+    PAPER_MAX_L1_INCREMENTS,
+)
+from repro.cache.hierarchy import TwoLevelExclusiveCache
+from repro.cache.timing import CacheTimingModel
+from repro.core.structure import ComplexityAdaptiveStructure, ReconfigurationCost
+
+
+class AdaptiveCacheHierarchy(ComplexityAdaptiveStructure[int]):
+    """Complexity-adaptive two-level D-cache (configuration = L1 increments)."""
+
+    name = "dcache"
+
+    def __init__(
+        self,
+        geometry: CacheGeometry = PAPER_GEOMETRY,
+        timing: CacheTimingModel | None = None,
+        max_l1_increments: int = PAPER_MAX_L1_INCREMENTS,
+        initial_l1_increments: int = 2,
+    ) -> None:
+        self.geometry = geometry
+        self.timing = timing if timing is not None else CacheTimingModel(geometry=geometry)
+        self._boundaries = geometry.boundary_positions(max_l1_increments)
+        self._cache = TwoLevelExclusiveCache(
+            HierarchyConfig(geometry=geometry, l1_increments=initial_l1_increments)
+        )
+
+    # -- ComplexityAdaptiveStructure interface ---------------------------
+
+    def configurations(self) -> Sequence[int]:
+        """Boundary positions, smallest (fastest) L1 first."""
+        return self._boundaries
+
+    def delay_ns(self, config: int) -> float:
+        """Critical-path delay = slowest enabled L1 increment access."""
+        self.validate(config)
+        return self.timing.l1_access_time_ns(config)
+
+    @property
+    def configuration(self) -> int:
+        """Current number of L1 increments."""
+        return self._cache.config.l1_increments
+
+    def reconfigure(self, config: int) -> ReconfigurationCost:
+        """Move the boundary; data stays put, only the clock may change."""
+        self.validate(config)
+        changed = config != self.configuration
+        self._cache.move_boundary(
+            HierarchyConfig(geometry=self.geometry, l1_increments=config)
+        )
+        return ReconfigurationCost(cleanup_cycles=0, requires_clock_switch=changed)
+
+    # -- simulation passthrough ------------------------------------------
+
+    @property
+    def hierarchy(self) -> TwoLevelExclusiveCache:
+        """The underlying direct simulator."""
+        return self._cache
+
+    def run(self, addresses: np.ndarray) -> np.ndarray:
+        """Simulate a trace under the current boundary."""
+        return self._cache.run(addresses)
+
+
+@dataclass(frozen=True)
+class CacheConfigurationSpace:
+    """Convenience bundle describing the paper's evaluated design space."""
+
+    geometry: CacheGeometry = PAPER_GEOMETRY
+    max_l1_increments: int = PAPER_MAX_L1_INCREMENTS
+    timing: CacheTimingModel = field(default_factory=CacheTimingModel)
+
+    @property
+    def boundaries(self) -> tuple[int, ...]:
+        """Evaluated boundary positions (L1 of 8-64 KB)."""
+        return self.geometry.boundary_positions(self.max_l1_increments)
+
+    def l1_sizes_kb(self) -> tuple[float, ...]:
+        """The x-axis of the paper's Figure 7."""
+        return tuple(
+            HierarchyConfig(self.geometry, k).l1_kb for k in self.boundaries
+        )

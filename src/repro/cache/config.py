@@ -1,0 +1,142 @@
+"""Cache geometry and hierarchy configuration.
+
+The paper's mapping rule (Section 5.2) is what makes the movable
+boundary cheap: *"as an increment is added to (subtracted from) the L1
+cache, its size and associativity are increased (decreased) by the
+increment size and associativity, and the L2 cache size and
+associativity are changed accordingly."*  Holding the number of sets
+constant keeps the index and tag bits identical for every boundary
+position, and exclusion guarantees a block lives in exactly one
+increment, so reconfiguration needs no invalidations or copies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.tech.cacti import CacheIncrementTiming
+from repro.units import to_kb
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Physical geometry of the complexity-adaptive cache structure.
+
+    The default values reproduce the paper's design: a 128 KB structure
+    of sixteen 8 KB increments, each two-way set associative and two-way
+    banked (two side-by-side 4 KB direct-mapped banks, one way each),
+    with 32-byte blocks.  The derived set count (128) is the same for
+    every boundary position — the invariant the mapping rule depends on.
+    """
+
+    n_increments: int = 16
+    ways_per_increment: int = 2
+    block_bytes: int = 32
+    increment_bytes: int = 8192
+    #: Timing model of one increment; the bus-height is set by one
+    #: internal bank (half the increment, one way of all sets).
+    increment_timing: CacheIncrementTiming = field(
+        default_factory=lambda: CacheIncrementTiming(
+            bank_bytes=4096, n_banks=2, associativity=1, block_bytes=32
+        )
+    )
+
+    def __post_init__(self) -> None:
+        if self.n_increments < 2:
+            raise ConfigurationError("need at least two increments (one L1, one L2)")
+        if self.increment_bytes % (self.ways_per_increment * self.block_bytes) != 0:
+            raise ConfigurationError(
+                "increment capacity must be divisible by ways * block size"
+            )
+        if self.increment_timing.increment_bytes != self.increment_bytes:
+            raise ConfigurationError(
+                "increment timing model capacity "
+                f"({self.increment_timing.increment_bytes} B) disagrees with "
+                f"geometry ({self.increment_bytes} B)"
+            )
+
+    @property
+    def n_sets(self) -> int:
+        """Number of sets, identical for every boundary position."""
+        return self.increment_bytes // (self.ways_per_increment * self.block_bytes)
+
+    @property
+    def total_ways(self) -> int:
+        """Total associativity of the whole structure."""
+        return self.n_increments * self.ways_per_increment
+
+    @property
+    def total_bytes(self) -> int:
+        """Total capacity of the structure."""
+        return self.n_increments * self.increment_bytes
+
+    def boundary_positions(self, max_l1_increments: int | None = None) -> tuple[int, ...]:
+        """Legal L1/L2 boundary positions (number of L1 increments).
+
+        At least one increment must remain on each side.  The paper
+        limits its investigation to L1 caches up to 64 KB, which callers
+        express through ``max_l1_increments``.
+        """
+        top = self.n_increments - 1
+        if max_l1_increments is not None:
+            top = min(top, max_l1_increments)
+        return tuple(range(1, top + 1))
+
+
+#: The geometry evaluated in the paper.
+PAPER_GEOMETRY = CacheGeometry()
+
+#: The paper restricts the study to L1 sizes of 8-64 KB (1-8 increments).
+PAPER_MAX_L1_INCREMENTS: int = 8
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """One placement of the movable L1/L2 boundary.
+
+    ``l1_increments`` increments (counted from the near end of the bus)
+    form the L1 D-cache; the remainder form the exclusive L2.
+    """
+
+    geometry: CacheGeometry
+    l1_increments: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.l1_increments <= self.geometry.n_increments - 1:
+            raise ConfigurationError(
+                f"boundary must leave at least one increment on each side; "
+                f"got {self.l1_increments} of {self.geometry.n_increments}"
+            )
+
+    @property
+    def l1_ways(self) -> int:
+        """L1 associativity (grows with the boundary, per the mapping rule)."""
+        return self.l1_increments * self.geometry.ways_per_increment
+
+    @property
+    def l2_ways(self) -> int:
+        """L2 associativity."""
+        return self.geometry.total_ways - self.l1_ways
+
+    @property
+    def l1_bytes(self) -> int:
+        """L1 capacity in bytes."""
+        return self.l1_increments * self.geometry.increment_bytes
+
+    @property
+    def l2_bytes(self) -> int:
+        """L2 capacity in bytes."""
+        return self.geometry.total_bytes - self.l1_bytes
+
+    @property
+    def l1_kb(self) -> float:
+        """L1 capacity in KB (the x-axis of the paper's Figure 7)."""
+        return to_kb(self.l1_bytes)
+
+    def describe(self) -> str:
+        """Human-readable summary, e.g. ``'L1 16KB 4-way / L2 112KB 28-way'``."""
+        return (
+            f"L1 {self.l1_kb:.0f}KB {self.l1_ways}-way / "
+            f"L2 {to_kb(self.l2_bytes):.0f}KB {self.l2_ways}-way"
+        )

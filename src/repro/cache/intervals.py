@@ -1,0 +1,72 @@
+"""Per-interval TPI for the adaptive cache hierarchy.
+
+The paper's Section 6 explores intra-application diversity only for the
+instruction queue; the movable-boundary cache supports the same
+interval-level treatment, and this module provides it.  One
+stack-distance pass is chopped into fixed-reference intervals; each
+interval's depth histogram yields its TPI at *every* boundary position,
+so the per-configuration series needed by the interval policies come
+from a single simulation, exactly as in the queue study.
+
+Series reuse the :class:`repro.ooo.intervals.IntervalSeries` container
+(its ``window`` field holds the boundary position here) so the policy
+replay harness in :mod:`repro.core.policies` works unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cache.config import CacheGeometry, PAPER_GEOMETRY
+from repro.cache.stackdist import DepthHistogram, StackDistanceEngine
+from repro.cache.tpi import CacheTpiModel
+from repro.errors import SimulationError
+from repro.ooo.intervals import IntervalSeries
+
+#: Interval length in D-cache references; at a ~0.3 load/store density
+#: this matches the order of the paper's 2000-instruction intervals.
+DEFAULT_INTERVAL_REFS: int = 600
+
+
+def cache_interval_tpi_series(
+    addresses: np.ndarray,
+    load_store_fraction: float,
+    boundaries: tuple[int, ...],
+    interval_refs: int = DEFAULT_INTERVAL_REFS,
+    geometry: CacheGeometry = PAPER_GEOMETRY,
+    tpi_model: CacheTpiModel | None = None,
+) -> dict[int, IntervalSeries]:
+    """Per-interval TPI of every boundary position over one trace.
+
+    Only whole intervals are reported.  The engine state carries across
+    intervals (the cache is not flushed between them).
+    """
+    if interval_refs < 1:
+        raise SimulationError("interval length must be positive")
+    n_intervals = len(addresses) // interval_refs
+    if n_intervals == 0:
+        raise SimulationError(
+            f"trace of {len(addresses)} refs is shorter than one interval"
+        )
+    model = tpi_model if tpi_model is not None else CacheTpiModel()
+    engine = StackDistanceEngine(geometry)
+    depths = engine.process(np.asarray(addresses[: n_intervals * interval_refs]))
+
+    instr_per_interval = int(round(interval_refs / load_store_fraction))
+    per_boundary: dict[int, list[float]] = {k: [] for k in boundaries}
+    for i in range(n_intervals):
+        chunk = depths[i * interval_refs : (i + 1) * interval_refs]
+        hist = DepthHistogram.from_depths(geometry, chunk)
+        for k in boundaries:
+            per_boundary[k].append(
+                model.evaluate(hist, load_store_fraction, k).tpi_ns
+            )
+    return {
+        k: IntervalSeries(
+            window=k,
+            cycle_time_ns=model.timing.cycle_time_ns(k),
+            interval_instructions=instr_per_interval,
+            tpi_ns=np.array(values),
+        )
+        for k, values in per_boundary.items()
+    }

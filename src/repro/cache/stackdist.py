@@ -1,0 +1,152 @@
+"""Per-set LRU stack-distance engine — the fast path of the cache study.
+
+The key observation (Section 5 of DESIGN.md): because the mapping rule
+keeps the set index constant for every boundary position, and because
+exclusion plus LRU make L1 and L2 jointly hold, in recency order, the 32
+most recently used blocks of each set, the whole hierarchy behaves per
+set as a single 32-way LRU stack partitioned at depth ``2k`` (``k`` = L1
+increments).  A reference therefore:
+
+* hits L1 at boundary ``k``  iff its stack depth is ``< 2k``,
+* hits L2                    iff its stack depth is in ``[2k, 32)``,
+* misses both                otherwise (including cold misses).
+
+One simulation pass recording each reference's stack depth evaluates
+*every* boundary position at once — Figure 7's eight curves, and the
+adaptive argmin of Figures 8/9, all come from a single histogram.
+:mod:`repro.cache.hierarchy` is the direct reference simulator; property
+tests assert the two agree access-by-access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cache.config import CacheGeometry
+from repro.errors import SimulationError
+
+#: Depth recorded for a reference whose block was not resident at any
+#: depth the structure can hold (capacity miss beyond the total ways, or
+#: cold miss).  Chosen to fit in uint8 with room above ``total_ways``.
+COLD_DEPTH: int = 255
+
+
+class StackDistanceEngine:
+    """Streams block addresses and records per-reference stack depths.
+
+    Depths are counted in *ways within the set* (0 = most recently
+    used).  Anything at or beyond the structure's total associativity is
+    folded into :data:`COLD_DEPTH` — those references miss the whole
+    structure regardless of the boundary, so their exact depth is
+    irrelevant and the per-set stacks can be truncated, keeping every
+    list scan bounded by 32 entries.
+    """
+
+    def __init__(self, geometry: CacheGeometry) -> None:
+        self.geometry = geometry
+        self._n_sets = geometry.n_sets
+        self._max_depth = geometry.total_ways
+        self._block_shift = geometry.block_bytes.bit_length() - 1
+        if 1 << self._block_shift != geometry.block_bytes:
+            raise SimulationError("block size must be a power of two")
+        self._stacks: list[list[int]] = [[] for _ in range(self._n_sets)]
+
+    def reset(self) -> None:
+        """Forget all cached blocks (equivalent to a cold structure)."""
+        self._stacks = [[] for _ in range(self._n_sets)]
+
+    def process(self, addresses: np.ndarray) -> np.ndarray:
+        """Return the stack depth of every byte address in ``addresses``.
+
+        The returned array is ``uint8``; entries are either a depth in
+        ``[0, total_ways)`` or :data:`COLD_DEPTH`.
+        """
+        n_sets = self._n_sets
+        max_depth = self._max_depth
+        stacks = self._stacks
+        blocks = np.asarray(addresses, dtype=np.uint64) >> np.uint64(self._block_shift)
+        set_idx = (blocks % np.uint64(n_sets)).astype(np.int64)
+        depths = np.empty(len(blocks), dtype=np.uint8)
+        block_list = blocks.tolist()
+        set_list = set_idx.tolist()
+        for i, (block, s) in enumerate(zip(block_list, set_list)):
+            stack = stacks[s]
+            try:
+                depth = stack.index(block)
+            except ValueError:
+                depths[i] = COLD_DEPTH
+                stack.insert(0, block)
+                if len(stack) > max_depth:
+                    stack.pop()
+                continue
+            depths[i] = depth
+            if depth:
+                del stack[depth]
+                stack.insert(0, block)
+        return depths
+
+
+@dataclass(frozen=True)
+class DepthHistogram:
+    """Histogram of stack depths for one trace against one geometry.
+
+    ``counts[d]`` is the number of references whose block was found at
+    depth ``d``; ``cold`` counts references that missed the entire
+    structure.  All boundary-dependent hit counts derive from this.
+    """
+
+    geometry: CacheGeometry
+    counts: np.ndarray
+    cold: int
+
+    @classmethod
+    def from_depths(cls, geometry: CacheGeometry, depths: np.ndarray) -> "DepthHistogram":
+        """Aggregate the output of :meth:`StackDistanceEngine.process`."""
+        raw = np.bincount(depths, minlength=COLD_DEPTH + 1)
+        counts = raw[: geometry.total_ways].astype(np.int64)
+        cold = int(raw[COLD_DEPTH])
+        covered = int(counts.sum()) + cold
+        if covered != len(depths):
+            raise SimulationError(
+                f"depth histogram lost references: {covered} != {len(depths)}"
+            )
+        return cls(geometry=geometry, counts=counts, cold=cold)
+
+    @property
+    def n_references(self) -> int:
+        """Total references in the trace."""
+        return int(self.counts.sum()) + self.cold
+
+    def l1_hits(self, l1_increments: int) -> int:
+        """References hitting L1 with the boundary at ``l1_increments``."""
+        ways = l1_increments * self.geometry.ways_per_increment
+        return int(self.counts[:ways].sum())
+
+    def l2_hits(self, l1_increments: int) -> int:
+        """References missing L1 but hitting the exclusive L2."""
+        ways = l1_increments * self.geometry.ways_per_increment
+        return int(self.counts[ways:].sum())
+
+    def misses(self, l1_increments: int) -> int:
+        """References missing the whole structure (boundary independent)."""
+        del l1_increments  # misses do not depend on the boundary
+        return self.cold
+
+    def l1_miss_ratio(self, l1_increments: int) -> float:
+        """L1 miss ratio at the given boundary."""
+        n = self.n_references
+        if n == 0:
+            raise SimulationError("empty trace has no miss ratio")
+        return 1.0 - self.l1_hits(l1_increments) / n
+
+    def merged(self, other: "DepthHistogram") -> "DepthHistogram":
+        """Combine two histograms of the same geometry (trace concatenation)."""
+        if other.geometry != self.geometry:
+            raise SimulationError("cannot merge histograms of different geometries")
+        return DepthHistogram(
+            geometry=self.geometry,
+            counts=self.counts + other.counts,
+            cold=self.cold + other.cold,
+        )

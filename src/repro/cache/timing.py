@@ -1,0 +1,108 @@
+"""Cycle time and latency model of the adaptive cache hierarchy.
+
+Timing rules, following Section 5.1/5.2 of the paper:
+
+* The L1 D-cache access determines the processor cycle time, which is
+  therefore the access time of the *slowest enabled L1 increment* —
+  bank access plus the (repeated) global bus out to the boundary.
+* The L1 latency is a constant **3 cycles** for every configuration, to
+  keep instruction scheduling and load forwarding simple; what varies
+  with the boundary is the cycle time itself.
+* L2 hit latency is ``ceil(L2 access time / cycle time)`` cycles.
+* The average L2 *miss* latency is a flat **30 ns** (an estimate of the
+  average latency with a large board-level cache), i.e. 2-3x the L2 hit
+  latency.
+
+Section 3.1 of the paper sketches an alternative for structures where
+single-cycle access is not critical: hold the clock at the fastest
+configuration's rate and stretch the structure's *latency in cycles*
+instead.  :class:`LatencyMode` implements both options so the tradeoff
+can be studied (see the ablation benchmarks).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+from repro.cache.config import CacheGeometry, PAPER_GEOMETRY
+from repro.errors import ConfigurationError
+from repro.tech.cacti import best_bus_delay_ns
+from repro.tech.parameters import TechnologyParameters, technology
+
+#: L1 hit latency in cycles, constant across configurations (paper Sec 5.1).
+L1_LATENCY_CYCLES: int = 3
+
+#: Average L2 miss latency in ns (board-level cache estimate, paper Sec 5.1).
+L2_MISS_LATENCY_NS: float = 30.0
+
+#: L2 access serialization factor: the L2 performs a tag access and a
+#: data access in sequence over the full-length global bus and then
+#: streams the block over the data bus.  Calibrated so the 30 ns miss
+#: latency is 2-3x the L2 hit latency, as the paper states.
+L2_SERIALIZATION_FACTOR: float = 5.5
+
+
+class LatencyMode(enum.Enum):
+    """How a larger L1 pays for its longer access path (paper Sec 3.1)."""
+
+    #: Slow the processor clock so L1 stays at 3 cycles (the paper's
+    #: evaluated design).
+    CLOCK = "clock"
+    #: Keep the clock at the fastest configuration's rate and stretch
+    #: the L1 latency in cycles instead; only loads/stores are affected.
+    LATENCY = "latency"
+
+
+@dataclass(frozen=True)
+class CacheTimingModel:
+    """Derives cycle times and latencies for every boundary position."""
+
+    geometry: CacheGeometry = PAPER_GEOMETRY
+    tech: TechnologyParameters = field(default_factory=lambda: technology(0.18))
+    mode: LatencyMode = LatencyMode.CLOCK
+
+    def l1_access_time_ns(self, l1_increments: int) -> float:
+        """Access time of the slowest enabled L1 increment."""
+        if not 1 <= l1_increments <= self.geometry.n_increments - 1:
+            raise ConfigurationError(
+                f"l1_increments must be in [1, {self.geometry.n_increments - 1}], "
+                f"got {l1_increments}"
+            )
+        inc = self.geometry.increment_timing
+        bus_mm = l1_increments * inc.height_mm
+        return inc.bank_access_ns(self.tech) + best_bus_delay_ns(bus_mm, self.tech)
+
+    def cycle_time_ns(self, l1_increments: int) -> float:
+        """Processor cycle time with the boundary at ``l1_increments``."""
+        if self.mode is LatencyMode.LATENCY:
+            # Clock pinned to the fastest (one-increment) configuration.
+            return self.l1_access_time_ns(1)
+        return self.l1_access_time_ns(l1_increments)
+
+    def l1_latency_cycles(self, l1_increments: int) -> int:
+        """L1 hit latency in cycles."""
+        if self.mode is LatencyMode.LATENCY:
+            stretch = self.l1_access_time_ns(l1_increments) / self.l1_access_time_ns(1)
+            return math.ceil(L1_LATENCY_CYCLES * stretch)
+        return L1_LATENCY_CYCLES
+
+    def l2_access_time_ns(self) -> float:
+        """L2 access time: full-bus tag + data access, serialized.
+
+        The farthest increment is always the last physical one, so the
+        L2 access time does not depend on the boundary position.
+        """
+        inc = self.geometry.increment_timing
+        span_mm = self.geometry.n_increments * inc.height_mm
+        one_pass = inc.bank_access_ns(self.tech) + best_bus_delay_ns(span_mm, self.tech)
+        return L2_SERIALIZATION_FACTOR * one_pass
+
+    def l2_hit_latency_cycles(self, l1_increments: int) -> int:
+        """L2 hit latency in cycles: ceil(L2 access time / cycle time)."""
+        return math.ceil(self.l2_access_time_ns() / self.cycle_time_ns(l1_increments))
+
+    def miss_latency_ns(self) -> float:
+        """Average latency of an access that misses the whole structure."""
+        return L2_MISS_LATENCY_NS

@@ -1,0 +1,372 @@
+"""Command-line interface: regenerate any paper figure from a shell.
+
+Examples::
+
+    python -m repro figures               # list everything available
+    python -m repro figure 9              # Figure 9's table
+    python -m repro figure 13a            # a Section 6 snapshot
+    python -m repro ablation granularity  # one of the ablations
+    python -m repro extension concert     # TLB/bpred/joint studies
+    python -m repro suite                 # the calibrated workload suite
+    python -m repro clock                 # the CAP's predetermined clocks
+    python -m repro power                 # Section 4.1 operating points
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro.experiments.reporting import format_series, format_table
+
+
+# ---------------------------------------------------------------------------
+# figure printers
+# ---------------------------------------------------------------------------
+
+
+def _print_wire_figure(series) -> None:
+    print(format_series(series.x_label, series.x_values, series.as_series_dict()))
+    for feature in sorted(series.buffered_ns, reverse=True):
+        print(f"  buffering pays from x = {series.crossover(feature)} at {feature}u")
+
+
+def _figure_1a() -> None:
+    from repro.experiments.wire_delay import figure1
+
+    print("Figure 1(a): cache wire delay (ns), 2KB subarrays")
+    _print_wire_figure(figure1(subarray_kb=2))
+
+
+def _figure_1b() -> None:
+    from repro.experiments.wire_delay import figure1
+
+    print("Figure 1(b): cache wire delay (ns), 4KB subarrays")
+    _print_wire_figure(figure1(subarray_kb=4))
+
+
+def _figure_2() -> None:
+    from repro.experiments.wire_delay import figure2
+
+    print("Figure 2: integer queue wire delay (ns)")
+    _print_wire_figure(figure2())
+
+
+def _print_tpi_panels(panels, x_label: str) -> None:
+    for domain in ("integer", "floating"):
+        panel = panels[domain]
+        apps = sorted(panel)
+        xs = sorted(next(iter(panel.values())))
+        series = {app: [panel[app][x] for x in xs] for app in apps}
+        print(f"\n[{domain}]")
+        print(format_series(x_label, xs, series))
+
+
+def _figure_7() -> None:
+    from repro.experiments.cache_study import figure7
+
+    print("Figure 7: Avg TPI (ns) vs L1 D-cache size, fixed boundary")
+    _print_tpi_panels(figure7(), "L1 KB")
+
+
+def _figure_8_9(metric: str) -> None:
+    from repro.experiments.cache_study import figure8_9
+
+    study = figure8_9()
+    comparison = study.tpi_miss if metric == "miss" else study.tpi
+    label = "TPImiss" if metric == "miss" else "TPI"
+    print(
+        f"Figure {'8' if metric == 'miss' else '9'}: Avg {label} (ns), conventional "
+        f"{study.conventional_l1_kb:.0f}KB L1 vs process-level adaptive"
+    )
+    rows = [
+        [app, f"{8 * study.best_boundaries[app]}K",
+         comparison.conventional[app], comparison.adaptive[app]]
+        for app in comparison.applications
+    ]
+    rows.append(["average", "-", comparison.average_conventional(),
+                 comparison.average_adaptive()])
+    print(format_table(["app", "adaptive L1", "conventional", "adaptive"], rows))
+    print(f"average reduction: {comparison.average_reduction_percent():.1f}%")
+
+
+def _figure_10() -> None:
+    from repro.experiments.queue_study import figure10
+
+    print("Figure 10: Avg TPI (ns) vs instruction queue size")
+    _print_tpi_panels(figure10(), "entries")
+
+
+def _figure_11() -> None:
+    from repro.experiments.queue_study import figure11
+
+    study = figure11()
+    print(
+        f"Figure 11: Avg TPI (ns), conventional {study.conventional_size}-entry "
+        "queue vs process-level adaptive"
+    )
+    rows = [
+        [app, study.best_sizes[app], study.tpi.conventional[app],
+         study.tpi.adaptive[app]]
+        for app in study.tpi.applications
+    ]
+    rows.append(["average", "-", study.tpi.average_conventional(),
+                 study.tpi.average_adaptive()])
+    print(format_table(["app", "adaptive entries", "conventional", "adaptive"], rows))
+    print(f"average reduction: {study.tpi.average_reduction_percent():.1f}%")
+
+
+def _print_interval_result(result) -> None:
+    windows = result.windows
+    rows = [
+        [i] + [float(result.series[w].tpi_ns[i]) for w in windows]
+        for i in range(len(result.series[windows[0]]))
+    ]
+    print(format_table(["interval"] + [f"{w}" for w in windows], rows))
+
+
+def _figure_12() -> None:
+    from repro.experiments.interval_study import figure12
+
+    print("Figure 12: turb3d interval TPI (ns), 64 vs 128 entries")
+    _print_interval_result(figure12(intervals_per_phase=30))
+
+
+def _figure_13(regular: bool) -> None:
+    from repro.experiments.interval_study import figure13
+
+    panel = "a (regular)" if regular else "b (irregular)"
+    print(f"Figure 13{panel}: vortex interval TPI (ns), 16 vs 64 entries")
+    _print_interval_result(figure13(regular=regular))
+
+
+_FIGURES: dict[str, Callable[[], None]] = {
+    "1a": _figure_1a,
+    "1b": _figure_1b,
+    "2": _figure_2,
+    "7": _figure_7,
+    "8": lambda: _figure_8_9("miss"),
+    "9": lambda: _figure_8_9("total"),
+    "10": _figure_10,
+    "11": _figure_11,
+    "12": _figure_12,
+    "13a": lambda: _figure_13(True),
+    "13b": lambda: _figure_13(False),
+}
+
+
+# ---------------------------------------------------------------------------
+# ablations and extensions
+# ---------------------------------------------------------------------------
+
+
+def _ablation(name: str) -> None:
+    from repro.experiments import ablations
+    from repro.experiments.interval_study import figure13
+
+    if name == "granularity":
+        r = ablations.increment_granularity_ablation()
+        print(format_table(
+            ["design", "cycle @16KB", "conventional TPI", "adaptive TPI"],
+            [["8KB 2-way (paper)", r.paper_cycle_at_16kb, r.paper_suite_tpi_ns,
+              r.paper_adaptive_tpi_ns],
+             ["4KB direct-mapped", r.fine_cycle_at_16kb, r.fine_suite_tpi_ns,
+              r.fine_adaptive_tpi_ns]],
+        ))
+    elif name == "latency-mode":
+        r = ablations.latency_mode_ablation()
+        winners = r.winners()
+        rows = [[a, r.clock_mode_tpi[a], r.latency_mode_tpi[a], winners[a]]
+                for a in sorted(r.clock_mode_tpi)]
+        print(format_table(["app", "clock mode", "latency mode", "winner"], rows))
+    elif name == "flush":
+        r = ablations.flush_reconfiguration_ablation()
+        print(f"{r.app}: {r.preserved_misses} misses preserving data, "
+              f"{r.flushed_misses} with a flush "
+              f"(+{r.extra_misses}, {r.extra_miss_ns / 1000:.1f} us)")
+    elif name == "confidence":
+        sweep = ablations.confidence_threshold_sweep(figure13(regular=False))
+        print(format_table(
+            ["threshold", "TPI (ns)", "switches"],
+            [[t, o.tpi_ns, o.n_switches] for t, o in sorted(sweep.items())],
+        ))
+    elif name == "switch-cost":
+        sweep = ablations.switch_cost_sensitivity(figure13(regular=True))
+        print(format_table(
+            ["pause (cycles)", "TPI (ns)", "switches"],
+            [[p, o.tpi_ns, o.n_switches] for p, o in sorted(sweep.items())],
+        ))
+    else:
+        raise SystemExit(f"unknown ablation {name!r}; see `repro ablations`")
+
+
+_ABLATIONS = ("granularity", "latency-mode", "flush", "confidence", "switch-cost")
+
+
+def _extension(name: str) -> None:
+    from repro.branch.predictors import PredictorKind
+    from repro.experiments import extended_structures as ext
+    from repro.experiments.interval_study import cache_interval_study, predictor_study
+
+    if name == "tlb":
+        study = ext.tlb_study()
+        rows = [[a, study.best_configs[a], study.tpi.conventional[a],
+                 study.tpi.adaptive[a]] for a in study.tpi.applications]
+        print(format_table(["app", "best fast entries", "conventional", "adaptive"],
+                           rows))
+        print(f"conventional fast section: {study.conventional_config}; "
+              f"average reduction {study.tpi.average_reduction_percent():.1f}%")
+    elif name == "bpred":
+        for kind in (PredictorKind.GSHARE, PredictorKind.BIMODAL):
+            study = ext.branch_study(kind)
+            print(f"{kind.value}: conventional {study.conventional_config} entries, "
+                  f"average reduction {study.tpi.average_reduction_percent():.1f}%")
+    elif name == "concert":
+        study = ext.concert_study()
+        conv = study.conventional
+        print(f"conventional: L1 {8 * conv.cache_boundary}KB, "
+              f"queue {conv.queue_entries}, TLB fast {conv.tlb_fast_entries}, "
+              f"bpred {conv.predictor_entries}")
+        rows = [[a, f"{8 * c.cache_boundary}K", c.queue_entries,
+                 c.tlb_fast_entries, c.predictor_entries]
+                for a, c in study.best_configs.items()]
+        print(format_table(["app", "L1", "queue", "TLB fast", "bpred"], rows))
+        print(f"average joint reduction: {study.tpi.average_reduction_percent():.1f}%")
+    elif name == "cache-intervals":
+        study = cache_interval_study()
+        ps = predictor_study(study, confidence_threshold=0.7)
+        print(f"best static: {ps.best_static_tpi_ns:.3f} ns; "
+              f"predictor: {ps.adaptive.tpi_ns:.3f} ns "
+              f"({ps.adaptive.n_switches} switches); "
+              f"oracle: {ps.oracle.tpi_ns:.3f} ns")
+    else:
+        raise SystemExit(f"unknown extension {name!r}; see `repro extensions`")
+
+
+_EXTENSIONS = ("tlb", "bpred", "concert", "cache-intervals")
+
+
+# ---------------------------------------------------------------------------
+# info commands
+# ---------------------------------------------------------------------------
+
+
+def _suite() -> None:
+    from repro.workloads.suite import all_profiles
+
+    rows = []
+    for p in all_profiles():
+        if p.memory is None:
+            memory = "(not traced — Atom could not instrument go)"
+        else:
+            memory = ", ".join(
+                f"{c.kind.value}:{c.size_kb:g}KB@{c.weight:g}"
+                for c in p.memory.components
+            )
+        rows.append([p.name, p.suite.value, p.domain, memory])
+    print(format_table(["app", "suite", "domain", "working-set components"], rows))
+
+
+def _clock() -> None:
+    from repro import CapProcessor
+
+    cpu = CapProcessor()
+    print(cpu.describe())
+    print("\nAll predetermined clock periods:")
+    for period in cpu.clock.available_speeds_ns():
+        print(f"  {period:.3f} ns  ({1.0 / period:.2f} GHz)")
+
+
+def _power() -> None:
+    from repro import AdaptiveCacheHierarchy, AdaptiveInstructionQueue
+    from repro.core.power import PowerModel, PowerMode
+
+    model = PowerModel(
+        structures=(AdaptiveCacheHierarchy(), AdaptiveInstructionQueue())
+    )
+    rows = []
+    for mode in (PowerMode.HIGH_PERFORMANCE, PowerMode.BALANCED, PowerMode.LOW_POWER):
+        est = model.mode_estimate(mode)
+        rows.append([mode.value, str(est.configs), est.cycle_time_ns,
+                     est.relative_power])
+    print(format_table(["mode", "configs", "clock (ns)", "relative power"], rows))
+
+
+# ---------------------------------------------------------------------------
+# entry point
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Complexity-Adaptive Processors: regenerate the paper.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("figures", help="list regenerable figures")
+    fig = sub.add_parser("figure", help="print one figure's data")
+    fig.add_argument("id", choices=sorted(_FIGURES))
+    sub.add_parser("ablations", help="list ablation studies")
+    abl = sub.add_parser("ablation", help="run one ablation")
+    abl.add_argument("name", choices=_ABLATIONS)
+    sub.add_parser("extensions", help="list extension studies")
+    extp = sub.add_parser("extension", help="run one extension study")
+    extp.add_argument("name", choices=_EXTENSIONS)
+    exp = sub.add_parser("export", help="write figure data as CSV")
+    exp.add_argument("id", help="figure id, or 'all'")
+    exp.add_argument("--out", default="figures", help="output directory")
+    sub.add_parser("suite", help="print the calibrated application suite")
+    sub.add_parser("clock", help="print the CAP clock table")
+    sub.add_parser("power", help="print the Section 4.1 power modes")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    try:
+        return _dispatch(build_parser().parse_args(argv))
+    except BrokenPipeError:
+        # output piped into a pager/head that closed early: not an error
+        import os
+
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            os.close(1)
+        return 0
+
+
+def _dispatch(args) -> int:
+    if args.command == "figures":
+        print("regenerable figures:", ", ".join(sorted(_FIGURES)))
+    elif args.command == "figure":
+        _FIGURES[args.id]()
+    elif args.command == "ablations":
+        print("ablations:", ", ".join(_ABLATIONS))
+    elif args.command == "ablation":
+        _ablation(args.name)
+    elif args.command == "extensions":
+        print("extensions:", ", ".join(_EXTENSIONS))
+    elif args.command == "extension":
+        _extension(args.name)
+    elif args.command == "export":
+        from repro.experiments.export import export_all, export_figure
+
+        if args.id == "all":
+            for path in export_all(args.out):
+                print(f"wrote {path}")
+        else:
+            print(f"wrote {export_figure(args.id, args.out)}")
+    elif args.command == "suite":
+        _suite()
+    elif args.command == "clock":
+        _clock()
+    elif args.command == "power":
+        _power()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,78 @@
+"""The paper's primary contribution: the Complexity-Adaptive Processor.
+
+This subpackage holds the machinery that turns the cache and queue
+simulators into a CAP:
+
+* :mod:`repro.core.structure` — fixed (FS) and complexity-adaptive
+  (CAS) hardware structure abstractions.
+* :mod:`repro.core.clock` — the dynamic clock: per-configuration
+  frequency table derived from worst-case structure delays, plus the
+  cost of reliably switching clock sources.
+* :mod:`repro.core.monitor` — performance-monitoring counters read by
+  configuration-management heuristics.
+* :mod:`repro.core.manager` — the Configuration Manager with the
+  paper's process-level adaptive policy.
+* :mod:`repro.core.policies` — static, oracle and interval-adaptive
+  configuration policies (Section 6).
+* :mod:`repro.core.predictor` — pattern-based next-configuration
+  predictor with confidence estimation (Section 6).
+* :mod:`repro.core.metrics` — TPI aggregation and reduction reporting.
+* :mod:`repro.core.power` — the power-mode model of Section 4.1.
+* :mod:`repro.core.processor` — ties cache CAS + queue CAS + clock into
+  one top-level object.
+"""
+
+from repro.core.structure import (
+    ComplexityAdaptiveStructure,
+    FixedStructure,
+    ReconfigurationCost,
+)
+from repro.core.clock import ClockSwitch, DynamicClock
+from repro.core.monitor import IntervalSample, PerformanceMonitor
+from repro.core.manager import ConfigurationDecision, ConfigurationManager
+from repro.core.policies import (
+    ConfigurationPolicy,
+    IntervalAdaptivePolicy,
+    OraclePolicy,
+    StaticPolicy,
+)
+from repro.core.predictor import ConfigurationPredictor, PredictorStats
+from repro.core.metrics import TpiComparison, geometric_mean, reduction_percent
+from repro.core.power import PowerModel, PowerMode
+from repro.core.processor import CapProcessor
+from repro.core.controller import ControllerConfig, ControllerOutcome, OnlineController, run_online
+from repro.core.multiprogram import MultiprogramResult, ProcessSpec, run_multiprogrammed
+from repro.core.asynchronous import AsyncAccessProfile, async_cache_profile
+
+__all__ = [
+    "FixedStructure",
+    "ComplexityAdaptiveStructure",
+    "ReconfigurationCost",
+    "DynamicClock",
+    "ClockSwitch",
+    "PerformanceMonitor",
+    "IntervalSample",
+    "ConfigurationManager",
+    "ConfigurationDecision",
+    "ConfigurationPolicy",
+    "StaticPolicy",
+    "OraclePolicy",
+    "IntervalAdaptivePolicy",
+    "ConfigurationPredictor",
+    "PredictorStats",
+    "TpiComparison",
+    "reduction_percent",
+    "geometric_mean",
+    "PowerModel",
+    "PowerMode",
+    "CapProcessor",
+    "OnlineController",
+    "ControllerConfig",
+    "ControllerOutcome",
+    "run_online",
+    "ProcessSpec",
+    "MultiprogramResult",
+    "run_multiprogrammed",
+    "AsyncAccessProfile",
+    "async_cache_profile",
+]

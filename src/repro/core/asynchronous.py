@@ -1,0 +1,76 @@
+"""Asynchronous CAP structures (paper Section 4.1).
+
+"Another advantage is that complexity-adaptive structures can be
+easily implemented in asynchronous processor designs ... With a
+complexity-adaptive approach, very large structures can be designed,
+yet the average stage delay can be much lower than the worst-case delay
+if faster elements are frequently accessed.  Thus, stage delays are
+automatically adjusted according to the location of elements, obviating
+the need for a Configuration Manager."
+
+This module quantifies that claim: a handshaked structure whose
+per-element completion time is position-dependent (near elements fast,
+far elements slow, per the repeated-bus delay profile) has an *average*
+access delay set by the access distribution, not the worst case — and
+with LRU-style placement, hot data lives near, so the average tracks a
+small synchronous configuration while capacity matches the largest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.config import CacheGeometry, PAPER_GEOMETRY
+from repro.cache.stackdist import DepthHistogram
+from repro.errors import SimulationError
+from repro.tech.cacti import best_bus_delay_ns
+from repro.tech.parameters import TechnologyParameters, technology
+
+
+@dataclass(frozen=True)
+class AsyncAccessProfile:
+    """Average/worst access delay of a handshaked adaptive structure."""
+
+    average_delay_ns: float
+    worst_delay_ns: float
+    per_increment_delay_ns: tuple[float, ...]
+
+    @property
+    def speedup_over_worst_case(self) -> float:
+        """How much the handshake buys over clocking at the worst case."""
+        return self.worst_delay_ns / self.average_delay_ns
+
+
+def async_cache_profile(
+    histogram: DepthHistogram,
+    geometry: CacheGeometry = PAPER_GEOMETRY,
+    tech: TechnologyParameters | None = None,
+) -> AsyncAccessProfile:
+    """Average self-timed access delay of the full 16-increment structure.
+
+    Element ``i``'s completion time is its bank access plus the bus run
+    to position ``i``.  With LRU placement, an access at stack depth
+    ``d`` lives in increment ``d // ways_per_increment``; misses pay the
+    full-span probe.  The histogram therefore gives the access-location
+    distribution directly.
+    """
+    tech = tech if tech is not None else technology(0.18)
+    inc = geometry.increment_timing
+    delays = tuple(
+        inc.bank_access_ns(tech) + best_bus_delay_ns((i + 1) * inc.height_mm, tech)
+        for i in range(geometry.n_increments)
+    )
+    counts = histogram.counts
+    if histogram.n_references == 0:
+        raise SimulationError("empty histogram")
+    weighted = 0.0
+    for depth in range(geometry.total_ways):
+        increment = depth // geometry.ways_per_increment
+        weighted += float(counts[depth]) * delays[increment]
+    # misses probe the whole structure before going off-chip
+    weighted += histogram.cold * delays[-1]
+    return AsyncAccessProfile(
+        average_delay_ns=weighted / histogram.n_references,
+        worst_delay_ns=delays[-1],
+        per_increment_delay_ns=delays,
+    )

@@ -1,0 +1,124 @@
+"""The dynamic clock of a Complexity-Adaptive Processor.
+
+The paper's clocking scheme (Figures 4 and 5): several clock sources
+feed a selector through clock-hold logic, analogous to scan designs
+that stop one clock and reliably start another.  The set of available
+clock speeds is *predetermined* from worst-case timing analysis of
+every fixed structure and every combination of CAS configurations —
+there is no continuous frequency scaling, only selection among the
+precomputed points.  Switching clock sources "may require tens of
+cycles to pause the active clock and enable the new clock".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Mapping, Sequence
+
+from repro.core.structure import ComplexityAdaptiveStructure, FixedStructure
+from repro.errors import ConfigurationError
+
+#: Default clock-switch pause, in cycles of the *new* clock.  The paper
+#: estimates "tens of cycles"; 30 is the midpoint we charge.
+DEFAULT_SWITCH_PAUSE_CYCLES: int = 30
+
+
+@dataclass(frozen=True)
+class ClockSwitch:
+    """Record of one clock-source change."""
+
+    old_cycle_ns: float
+    new_cycle_ns: float
+    pause_cycles: int
+
+    @property
+    def pause_ns(self) -> float:
+        """Wall-clock cost of the switch."""
+        return self.pause_cycles * self.new_cycle_ns
+
+
+class DynamicClock:
+    """Selects the processor clock from structure delays.
+
+    Parameters
+    ----------
+    fixed_structures:
+        Conventional structures whose delays floor the cycle time.
+    adaptive_structures:
+        The CAS set; the cycle time for a configuration vector is the
+        maximum delay over all structures.
+    switch_pause_cycles:
+        Cycles the pipeline is held while swapping clock sources.
+    """
+
+    def __init__(
+        self,
+        fixed_structures: Sequence[FixedStructure] = (),
+        adaptive_structures: Sequence[ComplexityAdaptiveStructure] = (),
+        switch_pause_cycles: int = DEFAULT_SWITCH_PAUSE_CYCLES,
+    ) -> None:
+        if switch_pause_cycles < 0:
+            raise ConfigurationError("switch pause must be non-negative")
+        self.fixed_structures = tuple(fixed_structures)
+        self.adaptive_structures = tuple(adaptive_structures)
+        self.switch_pause_cycles = switch_pause_cycles
+        self._history: list[ClockSwitch] = []
+
+    def cycle_time_ns(self, configs: Mapping[str, Hashable] | None = None) -> float:
+        """Cycle time for a configuration vector.
+
+        ``configs`` maps CAS name to configuration; omitted structures
+        use their current configuration.
+        """
+        configs = dict(configs or {})
+        delays = [fs.delay_ns for fs in self.fixed_structures]
+        for cas in self.adaptive_structures:
+            config = configs.pop(cas.name, cas.configuration)
+            cas.validate(config)
+            delays.append(cas.delay_ns(config))
+        if configs:
+            raise ConfigurationError(f"unknown structures in config vector: {sorted(configs)}")
+        if not delays:
+            raise ConfigurationError("clock has no structures to time")
+        return max(delays)
+
+    def available_speeds_ns(self) -> tuple[float, ...]:
+        """All predetermined clock periods, fastest first.
+
+        Enumerates the cross product of CAS configurations — the
+        worst-case timing analysis a CAP design performs up front.
+        """
+        periods = {self.cycle_time_ns(dict(zip(names, combo)))
+                   for names, combo in self._config_product()}
+        return tuple(sorted(periods))
+
+    def _config_product(self):
+        names = tuple(cas.name for cas in self.adaptive_structures)
+        combos: list[tuple] = [()]
+        for cas in self.adaptive_structures:
+            combos = [c + (cfg,) for c in combos for cfg in cas.configurations()]
+        for combo in combos:
+            yield names, combo
+
+    def switch(self, old_cycle_ns: float, new_cycle_ns: float) -> ClockSwitch:
+        """Record a clock-source change and return its cost.
+
+        Selecting the same period is free — the clock keeps running.
+        """
+        pause = 0 if old_cycle_ns == new_cycle_ns else self.switch_pause_cycles
+        event = ClockSwitch(
+            old_cycle_ns=old_cycle_ns, new_cycle_ns=new_cycle_ns, pause_cycles=pause
+        )
+        if pause:
+            self._history.append(event)
+        return event
+
+    @property
+    def switch_history(self) -> tuple[ClockSwitch, ...]:
+        """All non-trivial clock switches performed so far."""
+        return tuple(self._history)
+
+    @property
+    def total_switch_overhead_ns(self) -> float:
+        """Accumulated wall-clock time spent paused for clock switches."""
+        return sum(s.pause_ns for s in self._history)

@@ -1,0 +1,209 @@
+"""Online adaptive control: the paper's Section 4 hardware, honestly.
+
+"Adaptive control hardware may read the performance monitoring hardware
+at regular intervals at runtime, analyze the performance information,
+predict the configuration which will perform best over the next
+interval ... and switch configurations as appropriate."
+
+The interval *policies* in :mod:`repro.core.policies` replay against
+precomputed per-configuration TPI series, which implicitly hands the
+controller oracle knowledge (the best-config label of the finished
+interval).  This module implements the mechanism without any oracle: a
+controller that only ever observes the TPI of the configuration it
+actually ran, maintains per-configuration running estimates, and
+*probes* — occasionally spends one interval on a neighbouring
+configuration to refresh a stale estimate.  Switching (and probing)
+pays the full clock-switch cost.
+
+This is the classic explore/exploit structure; the exploration period
+and the hysteresis margin are the hardware-budget knobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.monitor import IntervalSample, PerformanceMonitor
+from repro.errors import ConfigurationError, SimulationError
+from repro.ooo.intervals import IntervalSeries
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Tuning of the online controller."""
+
+    #: Exponential-moving-average weight of new observations.
+    ewma_alpha: float = 0.4
+    #: Probe a neighbouring configuration every this many intervals.
+    probe_period: int = 12
+    #: Required relative advantage before switching home configurations
+    #: (hysteresis; plays the role of the Section 6 confidence gate).
+    switch_margin: float = 0.08
+    #: How many intervals an estimate stays fresh without a probe.
+    staleness_limit: int = 32
+    #: Relative TPI jump on the home configuration that signals a phase
+    #: change and triggers an immediate probe (change detection).
+    change_threshold: float = 0.15
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ConfigurationError("ewma_alpha must be in (0, 1]")
+        if self.probe_period < 2:
+            raise ConfigurationError("probe_period must be >= 2")
+        if self.switch_margin < 0:
+            raise ConfigurationError("switch_margin must be >= 0")
+        if self.staleness_limit < self.probe_period:
+            raise ConfigurationError("staleness_limit must cover a probe period")
+
+
+@dataclass(frozen=True)
+class ControllerOutcome:
+    """Result of one online-controlled run."""
+
+    total_time_ns: float
+    switch_overhead_ns: float
+    n_switches: int
+    n_probes: int
+    chosen: np.ndarray
+    instructions: int
+
+    @property
+    def tpi_ns(self) -> float:
+        """Achieved TPI including every switching and probing cost."""
+        return self.total_time_ns / self.instructions
+
+
+class OnlineController:
+    """Explore/exploit controller over a discrete configuration set."""
+
+    def __init__(
+        self,
+        configurations: tuple[int, ...],
+        config: ControllerConfig | None = None,
+    ) -> None:
+        if len(configurations) < 2:
+            raise ConfigurationError("controller needs at least two configurations")
+        self.configurations = tuple(sorted(configurations))
+        self.config = config if config is not None else ControllerConfig()
+        self.monitor = PerformanceMonitor()
+        self._estimate: dict[int, float] = {}
+        self._last_seen: dict[int, int] = {}
+        self._interval = 0
+        self._change_flag = False
+
+    def observe(self, configuration: int, tpi_ns: float, instructions: int) -> None:
+        """Feed one finished interval's measurement."""
+        if configuration not in self.configurations:
+            raise ConfigurationError(f"unknown configuration {configuration}")
+        alpha = self.config.ewma_alpha
+        old = self._estimate.get(configuration)
+        if old is not None and abs(tpi_ns - old) > self.config.change_threshold * old:
+            # the running configuration's behaviour jumped: a phase
+            # change — stale estimates for the others, probe soon
+            self._change_flag = True
+        self._estimate[configuration] = (
+            tpi_ns if old is None else (1 - alpha) * old + alpha * tpi_ns
+        )
+        self._last_seen[configuration] = self._interval
+        self.monitor.record(
+            IntervalSample(self._interval, configuration, tpi_ns, instructions)
+        )
+        self._interval += 1
+
+    def _stalest_neighbour(self, home: int) -> int:
+        idx = self.configurations.index(home)
+        neighbours = [
+            self.configurations[j]
+            for j in (idx - 1, idx + 1)
+            if 0 <= j < len(self.configurations)
+        ]
+        return min(
+            neighbours, key=lambda c: self._last_seen.get(c, -1)
+        )
+
+    def choose(self, home: int) -> tuple[int, bool]:
+        """Pick the configuration for the next interval.
+
+        Returns ``(configuration, is_probe)``.  A probe runs a stale
+        neighbour for one interval; otherwise the best current estimate
+        wins if it clears the hysteresis margin, else we stay home.
+        """
+        if home not in self.configurations:
+            raise ConfigurationError(f"unknown configuration {home}")
+        cfg = self.config
+        due = self._interval > 0 and (
+            self._interval % cfg.probe_period == 0 or self._change_flag
+        )
+        if due:
+            neighbour = self._stalest_neighbour(home)
+            age = self._interval - self._last_seen.get(neighbour, -(10**9))
+            if age >= min(cfg.probe_period, 2) or self._change_flag:
+                self._change_flag = False
+                return neighbour, True
+        known = {c: e for c, e in self._estimate.items()}
+        if not known:
+            return home, False
+        best = min(known, key=known.__getitem__)
+        if best != home and home in known:
+            if known[best] < known[home] * (1 - cfg.switch_margin):
+                return best, False
+        return home, False
+
+
+def run_online(
+    series: Mapping[int, IntervalSeries],
+    controller: OnlineController,
+    initial: int,
+    switch_pause_cycles: int = 30,
+) -> ControllerOutcome:
+    """Drive the controller against per-configuration interval series.
+
+    Unlike :func:`repro.core.policies.evaluate_policy`, the controller
+    is never told which configuration *would have been* best — it only
+    sees what it ran.
+    """
+    if initial not in series:
+        raise SimulationError(f"initial configuration {initial} not in series")
+    lengths = {len(s) for s in series.values()}
+    if len(lengths) != 1:
+        raise SimulationError("series lengths disagree")
+    n_intervals = lengths.pop()
+    instr = {s.interval_instructions for s in series.values()}.pop()
+
+    home = initial
+    current = initial
+    total_ns = 0.0
+    overhead_ns = 0.0
+    switches = 0
+    probes = 0
+    chosen = np.empty(n_intervals, dtype=np.int64)
+
+    for i in range(n_intervals):
+        chosen[i] = current
+        tpi = float(series[current].tpi_ns[i])
+        total_ns += tpi * instr
+        controller.observe(current, tpi, instr)
+        nxt, is_probe = controller.choose(home)
+        if is_probe:
+            probes += 1
+        else:
+            home = nxt
+        if nxt != current:
+            # covers both deliberate moves and the return from a probe
+            pause = switch_pause_cycles * series[nxt].cycle_time_ns
+            overhead_ns += pause
+            total_ns += pause
+            switches += 1
+            current = nxt
+
+    return ControllerOutcome(
+        total_time_ns=total_ns,
+        switch_overhead_ns=overhead_ns,
+        n_switches=switches,
+        n_probes=probes,
+        chosen=chosen,
+        instructions=n_intervals * instr,
+    )

@@ -1,0 +1,127 @@
+"""The Configuration Manager (paper Figure 5).
+
+Controls the organisation of each complexity-adaptive structure and the
+clock speed of the processor at appropriate execution points.  The
+paper's evaluation uses a simple **process-level adaptive** scheme: the
+configuration is fixed for the duration of each application (chosen by
+a CAP compiler or runtime environment) and the configuration registers
+are saved/restored by the operating system on context switches.
+
+:class:`ConfigurationManager` implements that scheme over any CAS: given
+a per-configuration evaluation function (TPI), it selects the argmin,
+applies it (paying cleanup and clock-switch costs), and keeps the
+per-process configuration-register file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable
+
+from repro.core.clock import DynamicClock
+from repro.core.structure import ComplexityAdaptiveStructure
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ConfigurationDecision:
+    """Outcome of one process-level configuration choice."""
+
+    process: str
+    structure: str
+    configuration: Hashable
+    predicted_tpi_ns: float
+    cycle_time_ns: float
+    evaluated: dict[Hashable, float] = field(default_factory=dict)
+
+
+class ConfigurationManager:
+    """Process-level adaptive configuration management."""
+
+    def __init__(
+        self,
+        clock: DynamicClock,
+        structures: tuple[ComplexityAdaptiveStructure, ...],
+    ) -> None:
+        if not structures:
+            raise ConfigurationError("manager needs at least one adaptive structure")
+        names = [s.name for s in structures]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate structure names: {names}")
+        self.clock = clock
+        self.structures = {s.name: s for s in structures}
+        #: Per-process configuration registers (saved/restored by the OS
+        #: on context switches in the paper's scheme).
+        self._registers: dict[str, dict[str, Hashable]] = {}
+        self._decisions: list[ConfigurationDecision] = []
+
+    def select_for_process(
+        self,
+        process: str,
+        structure: str,
+        evaluate_tpi: Callable[[Hashable], float],
+    ) -> ConfigurationDecision:
+        """Choose the TPI-minimising configuration for one process.
+
+        ``evaluate_tpi`` plays the role of the CAP compiler / profiling
+        runtime: it predicts the process's TPI under each candidate
+        configuration.
+        """
+        cas = self._structure(structure)
+        evaluated = {cfg: evaluate_tpi(cfg) for cfg in cas.configurations()}
+        best = min(evaluated, key=evaluated.__getitem__)
+        decision = ConfigurationDecision(
+            process=process,
+            structure=structure,
+            configuration=best,
+            predicted_tpi_ns=evaluated[best],
+            cycle_time_ns=self.clock.cycle_time_ns({structure: best}),
+            evaluated=evaluated,
+        )
+        self._registers.setdefault(process, {})[structure] = best
+        self._decisions.append(decision)
+        return decision
+
+    def context_switch(self, process: str) -> float:
+        """Restore ``process``'s configuration registers; return the
+        wall-clock overhead (ns) of the reconfiguration."""
+        registers = self._registers.get(process)
+        if registers is None:
+            raise ConfigurationError(f"no configuration registers saved for {process!r}")
+        overhead_ns = 0.0
+        for structure, config in registers.items():
+            overhead_ns += self.apply(structure, config)
+        return overhead_ns
+
+    def apply(self, structure: str, config: Hashable) -> float:
+        """Reconfigure one structure now; return overhead in ns."""
+        cas = self._structure(structure)
+        old_cycle = self.clock.cycle_time_ns()
+        cost = cas.reconfigure(config)
+        new_cycle = self.clock.cycle_time_ns()
+        overhead_ns = cost.cleanup_cycles * old_cycle
+        if cost.requires_clock_switch:
+            overhead_ns += self.clock.switch(old_cycle, new_cycle).pause_ns
+        return overhead_ns
+
+    def saved_configuration(self, process: str, structure: str) -> Hashable:
+        """Read a process's saved configuration register."""
+        try:
+            return self._registers[process][structure]
+        except KeyError:
+            raise ConfigurationError(
+                f"no saved configuration for process {process!r} / {structure!r}"
+            ) from None
+
+    @property
+    def decisions(self) -> tuple[ConfigurationDecision, ...]:
+        """All process-level decisions made so far."""
+        return tuple(self._decisions)
+
+    def _structure(self, name: str) -> ComplexityAdaptiveStructure:
+        try:
+            return self.structures[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown structure {name!r}; have {sorted(self.structures)}"
+            ) from None

@@ -1,0 +1,106 @@
+"""TPI aggregation and comparison metrics.
+
+The paper's headline numbers are arithmetic-mean TPI (and TPImiss)
+reductions of the process-level adaptive configuration relative to the
+best-performing conventional configuration, reported per application
+and as a suite average.  This module holds those aggregations plus the
+small numeric helpers shared by the experiment harnesses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.errors import ReproError
+
+
+def reduction_percent(baseline: float, improved: float) -> float:
+    """Percent reduction of ``improved`` relative to ``baseline``.
+
+    Positive when ``improved`` is smaller (better).
+
+    >>> round(reduction_percent(2.0, 1.0), 1)
+    50.0
+    """
+    if baseline <= 0:
+        raise ReproError(f"baseline must be positive, got {baseline}")
+    return (baseline - improved) / baseline * 100.0
+
+
+def speedup(baseline: float, improved: float) -> float:
+    """Ratio of baseline to improved time (``> 1`` means faster)."""
+    if improved <= 0:
+        raise ReproError(f"improved must be positive, got {improved}")
+    return baseline / improved
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values."""
+    if not values:
+        raise ReproError("geometric mean of nothing")
+    if any(v <= 0 for v in values):
+        raise ReproError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+@dataclass(frozen=True)
+class TpiComparison:
+    """Per-application conventional-versus-adaptive comparison.
+
+    ``conventional`` and ``adaptive`` map application name to TPI (ns).
+    The conventional column is evaluated at a single fixed
+    configuration (the best overall one); the adaptive column at each
+    application's own best configuration.
+    """
+
+    metric_name: str
+    conventional: Mapping[str, float]
+    adaptive: Mapping[str, float]
+
+    def __post_init__(self) -> None:
+        if set(self.conventional) != set(self.adaptive):
+            raise ReproError("comparison columns cover different applications")
+        if not self.conventional:
+            raise ReproError("comparison is empty")
+
+    @property
+    def applications(self) -> tuple[str, ...]:
+        """Application names in insertion order of the conventional column."""
+        return tuple(self.conventional)
+
+    def average_conventional(self) -> float:
+        """Arithmetic-mean metric of the conventional configuration."""
+        return sum(self.conventional.values()) / len(self.conventional)
+
+    def average_adaptive(self) -> float:
+        """Arithmetic-mean metric of the adaptive approach."""
+        return sum(self.adaptive.values()) / len(self.adaptive)
+
+    def average_reduction_percent(self) -> float:
+        """Suite-average percent reduction (the paper's headline form)."""
+        return reduction_percent(self.average_conventional(), self.average_adaptive())
+
+    def per_app_reduction_percent(self) -> dict[str, float]:
+        """Percent reduction for each application."""
+        return {
+            app: reduction_percent(self.conventional[app], self.adaptive[app])
+            for app in self.applications
+        }
+
+    def biggest_winners(self, n: int = 3) -> tuple[str, ...]:
+        """Applications with the largest reductions, best first."""
+        per_app = self.per_app_reduction_percent()
+        return tuple(sorted(per_app, key=per_app.__getitem__, reverse=True)[:n])
+
+    def never_worse(self, tolerance: float = 1e-9) -> bool:
+        """True when adaptivity never loses to the conventional config.
+
+        Holds by construction for process-level adaptivity whenever the
+        conventional configuration is in the adaptive search space.
+        """
+        return all(
+            self.adaptive[app] <= self.conventional[app] + tolerance
+            for app in self.applications
+        )

@@ -1,0 +1,78 @@
+"""On-chip performance-monitoring hardware (modelled).
+
+Effective configuration management "requires on-chip performance
+monitoring hardware, configuration registers, and good heuristics"
+(paper Section 4).  This module models the monitoring side: a rolling
+record of per-interval samples that policies and predictors read at
+reconfiguration points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class IntervalSample:
+    """What the monitoring hardware reports for one execution interval."""
+
+    index: int
+    configuration: Hashable
+    tpi_ns: float
+    instructions: int
+
+    def __post_init__(self) -> None:
+        if self.tpi_ns <= 0:
+            raise SimulationError(f"interval TPI must be positive, got {self.tpi_ns}")
+        if self.instructions <= 0:
+            raise SimulationError("interval must contain instructions")
+
+
+class PerformanceMonitor:
+    """Rolling window of interval samples.
+
+    ``depth`` bounds how much history the hardware retains; heuristics
+    that want more must maintain their own state (as the predictor's
+    pattern table does).
+    """
+
+    def __init__(self, depth: int = 64) -> None:
+        if depth < 1:
+            raise SimulationError("monitor depth must be positive")
+        self.depth = depth
+        self._samples: list[IntervalSample] = []
+        self._total_time_ns = 0.0
+        self._total_instructions = 0
+
+    def record(self, sample: IntervalSample) -> None:
+        """Store a new interval sample, evicting beyond ``depth``."""
+        self._samples.append(sample)
+        if len(self._samples) > self.depth:
+            del self._samples[0]
+        self._total_time_ns += sample.tpi_ns * sample.instructions
+        self._total_instructions += sample.instructions
+
+    @property
+    def samples(self) -> tuple[IntervalSample, ...]:
+        """Retained samples, oldest first."""
+        return tuple(self._samples)
+
+    def last(self) -> IntervalSample | None:
+        """Most recent sample, if any."""
+        return self._samples[-1] if self._samples else None
+
+    @property
+    def cumulative_tpi_ns(self) -> float:
+        """Overall average TPI across everything recorded (not just the
+        retained window)."""
+        if self._total_instructions == 0:
+            raise SimulationError("monitor has recorded nothing")
+        return self._total_time_ns / self._total_instructions
+
+    @property
+    def total_instructions(self) -> int:
+        """Instructions recorded over the lifetime of the monitor."""
+        return self._total_instructions

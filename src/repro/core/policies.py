@@ -1,0 +1,197 @@
+"""Configuration-management policies and their evaluation harness.
+
+Three policies bracket the design space the paper discusses:
+
+* :class:`StaticPolicy` — one configuration throughout (a conventional
+  processor, or the per-application process-level choice).
+* :class:`OraclePolicy` — switches to each interval's true best
+  configuration with perfect knowledge; an upper bound that still pays
+  reconfiguration overhead.
+* :class:`IntervalAdaptivePolicy` — the Section 6 proposal: a pattern
+  predictor with a confidence gate decides, interval by interval,
+  whether to reconfigure.
+
+:func:`evaluate_policy` replays a policy against precomputed
+per-interval TPI series (one per configuration) and charges clock-switch
+and queue-drain overheads on every configuration change, producing the
+achieved total time and switch counts.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.predictor import ConfigurationPredictor
+from repro.errors import ConfigurationError, SimulationError
+from repro.ooo.intervals import IntervalSeries
+
+#: Pipeline-hold cycles charged per clock-source change.
+DEFAULT_SWITCH_PAUSE_CYCLES: int = 30
+
+
+class ConfigurationPolicy(abc.ABC):
+    """Decides which configuration to run for the next interval."""
+
+    @abc.abstractmethod
+    def first(self) -> int:
+        """Configuration for the first interval."""
+
+    @abc.abstractmethod
+    def next(self, interval: int, observed_tpi_ns: float, best_config: int) -> int:
+        """Configuration for interval ``interval + 1``.
+
+        ``observed_tpi_ns`` is what the running configuration achieved
+        in the interval just finished; ``best_config`` is the label the
+        monitoring hardware derived for that interval (which of the
+        candidate configurations would have been fastest).
+        """
+
+
+class StaticPolicy(ConfigurationPolicy):
+    """Run one configuration forever."""
+
+    def __init__(self, configuration: int) -> None:
+        self.configuration = configuration
+
+    def first(self) -> int:
+        return self.configuration
+
+    def next(self, interval: int, observed_tpi_ns: float, best_config: int) -> int:
+        return self.configuration
+
+
+class OraclePolicy(ConfigurationPolicy):
+    """Perfect next-interval knowledge (evaluation upper bound).
+
+    The oracle is fed the *next* interval's best label through
+    :attr:`schedule`; it still pays switching costs, so it can be beaten
+    by no realisable policy but is not free.
+    """
+
+    def __init__(self, schedule: np.ndarray) -> None:
+        if len(schedule) == 0:
+            raise ConfigurationError("oracle schedule is empty")
+        self.schedule = np.asarray(schedule)
+
+    def first(self) -> int:
+        return int(self.schedule[0])
+
+    def next(self, interval: int, observed_tpi_ns: float, best_config: int) -> int:
+        nxt = interval + 1
+        if nxt >= len(self.schedule):
+            return int(self.schedule[-1])
+        return int(self.schedule[nxt])
+
+
+class IntervalAdaptivePolicy(ConfigurationPolicy):
+    """Predictor-driven policy with a confidence gate (Section 6)."""
+
+    def __init__(
+        self,
+        predictor: ConfigurationPredictor,
+        initial: int | None = None,
+    ) -> None:
+        self.predictor = predictor
+        self._current = (
+            initial if initial is not None else predictor.configurations[0]
+        )
+        if self._current not in predictor.configurations:
+            raise ConfigurationError(
+                f"initial configuration {self._current} unknown to predictor"
+            )
+
+    def first(self) -> int:
+        return int(self._current)
+
+    def next(self, interval: int, observed_tpi_ns: float, best_config: int) -> int:
+        self.predictor.update(best_config)
+        decision = self.predictor.should_switch(self._current)
+        if decision is not None:
+            self._current = decision.configuration
+        return int(self._current)
+
+
+@dataclass(frozen=True)
+class PolicyOutcome:
+    """Result of replaying one policy over an interval series set."""
+
+    total_time_ns: float
+    switch_overhead_ns: float
+    n_switches: int
+    n_intervals: int
+    instructions: int
+    chosen: np.ndarray
+
+    @property
+    def tpi_ns(self) -> float:
+        """Achieved average TPI including all switching overhead."""
+        return self.total_time_ns / self.instructions
+
+
+def evaluate_policy(
+    series: Mapping[int, IntervalSeries],
+    policy: ConfigurationPolicy,
+    switch_pause_cycles: int = DEFAULT_SWITCH_PAUSE_CYCLES,
+    drain_cycles: int = 8,
+) -> PolicyOutcome:
+    """Replay ``policy`` against per-configuration interval TPI series.
+
+    Every configuration change charges ``switch_pause_cycles`` of the
+    *new* clock (the reliable clock-source swap) plus ``drain_cycles``
+    of the old clock (emptying queue entries about to be disabled —
+    an upper-bound constant, since occupancy varies).
+    """
+    if not series:
+        raise SimulationError("no interval series supplied")
+    lengths = {len(s) for s in series.values()}
+    if len(lengths) != 1:
+        raise SimulationError(f"series lengths disagree: {sorted(lengths)}")
+    n_intervals = lengths.pop()
+    interval_instr = {s.interval_instructions for s in series.values()}
+    if len(interval_instr) != 1:
+        raise SimulationError("interval lengths disagree across series")
+    instr_per_interval = interval_instr.pop()
+
+    windows = sorted(series)
+    tpi_matrix = np.vstack([series[w].tpi_ns for w in windows])
+    best_rows = np.argmin(tpi_matrix, axis=0)
+
+    current = policy.first()
+    if current not in series:
+        raise SimulationError(f"policy chose unknown configuration {current}")
+    total_ns = 0.0
+    overhead_ns = 0.0
+    n_switches = 0
+    chosen = np.empty(n_intervals, dtype=np.int64)
+
+    for interval in range(n_intervals):
+        chosen[interval] = current
+        row = windows.index(current)
+        observed = float(tpi_matrix[row, interval])
+        total_ns += observed * instr_per_interval
+        best_config = windows[int(best_rows[interval])]
+        nxt = policy.next(interval, observed, best_config)
+        if nxt not in series:
+            raise SimulationError(f"policy chose unknown configuration {nxt}")
+        if nxt != current:
+            pause = (
+                switch_pause_cycles * series[nxt].cycle_time_ns
+                + drain_cycles * series[current].cycle_time_ns
+            )
+            overhead_ns += pause
+            total_ns += pause
+            n_switches += 1
+            current = nxt
+
+    return PolicyOutcome(
+        total_time_ns=total_ns,
+        switch_overhead_ns=overhead_ns,
+        n_switches=n_switches,
+        n_intervals=n_intervals,
+        instructions=n_intervals * instr_per_interval,
+        chosen=chosen,
+    )

@@ -1,0 +1,143 @@
+"""Power-mode model (paper Section 4.1).
+
+Beyond performance, "the controllable clock frequency and hardware
+disables of a CAP design provide several performance/power dissipation
+design points that can be managed at runtime.  The lowest-power mode
+can be enabled by setting all complexity-adaptive structures to their
+minimum size, and selecting the slowest clock."  A single CAP design
+can thereby be configured for environments from high-end servers to
+low-power laptops.
+
+The model is a standard activity proxy: dynamic power of a structure
+scales with its *enabled* capacitance (enabled fraction of the
+structure) times clock frequency, on top of a fixed-structure floor.
+Relative units — the point is the ordering of modes, not watts.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Hashable, Mapping
+
+from repro.core.structure import ComplexityAdaptiveStructure
+from repro.errors import ConfigurationError
+
+
+class PowerMode(enum.Enum):
+    """Named operating points (Section 4.1's product environments)."""
+
+    #: Everything enabled at the clock the configuration permits.
+    HIGH_PERFORMANCE = "server"
+    #: Mid-size structures — the laptop point.
+    BALANCED = "laptop"
+    #: Minimum structures, slowest clock — e.g. running from a UPS
+    #: after a power failure.
+    LOW_POWER = "ups"
+
+
+@dataclass(frozen=True)
+class PowerEstimate:
+    """Relative power of one (configuration vector, clock) point."""
+
+    configs: dict[str, Hashable]
+    cycle_time_ns: float
+    relative_power: float
+
+    @property
+    def frequency_ghz(self) -> float:
+        """Clock frequency implied by the cycle time."""
+        return 1.0 / self.cycle_time_ns
+
+
+class PowerModel:
+    """Relative power across CAS configuration vectors.
+
+    Parameters
+    ----------
+    structures:
+        The adaptive structures.  Both CAS types in this library use
+        numeric configurations proportional to enabled capacity
+        (increments, entries), so the enabled fraction of a structure is
+        its configuration value normalised by the largest one.
+    fixed_fraction:
+        Power floor from fixed structures, as a fraction of the total
+        switched capacitance at full size.
+    """
+
+    def __init__(
+        self,
+        structures: tuple[ComplexityAdaptiveStructure, ...],
+        fixed_fraction: float = 0.4,
+    ) -> None:
+        if not structures:
+            raise ConfigurationError("power model needs at least one structure")
+        if not 0.0 <= fixed_fraction < 1.0:
+            raise ConfigurationError("fixed fraction must be in [0, 1)")
+        self.structures = structures
+        self.fixed_fraction = fixed_fraction
+
+    def _enabled_fraction(self, cas: ComplexityAdaptiveStructure, config: Hashable) -> float:
+        configs = tuple(cas.configurations())
+        cas.validate(config)
+        # Configurations are sizes (increments or entries): numeric and
+        # proportional to enabled capacity.
+        largest = max(float(c) for c in configs)
+        return float(config) / largest
+
+    def estimate(
+        self,
+        configs: Mapping[str, Hashable],
+        cycle_time_ns: float,
+    ) -> PowerEstimate:
+        """Relative power for a configuration vector at a chosen clock.
+
+        The clock may be *slower* than the configuration permits (power
+        management deliberately underclocks); it may not be faster.
+        """
+        adaptive_share = (1.0 - self.fixed_fraction) / len(self.structures)
+        switched = self.fixed_fraction
+        min_period = 0.0
+        for cas in self.structures:
+            if cas.name not in configs:
+                raise ConfigurationError(f"missing configuration for {cas.name!r}")
+            config = configs[cas.name]
+            min_period = max(min_period, cas.delay_ns(config))
+            switched += adaptive_share * self._enabled_fraction(cas, config)
+        if cycle_time_ns < min_period:
+            raise ConfigurationError(
+                f"clock period {cycle_time_ns} ns is faster than the slowest "
+                f"structure permits ({min_period} ns)"
+            )
+        frequency = 1.0 / cycle_time_ns
+        return PowerEstimate(
+            configs=dict(configs),
+            cycle_time_ns=cycle_time_ns,
+            relative_power=switched * frequency,
+        )
+
+    def mode_estimate(self, mode: PowerMode) -> PowerEstimate:
+        """Estimate one named operating point."""
+        if mode is PowerMode.HIGH_PERFORMANCE:
+            configs = {c.name: c.slowest_configuration() for c in self.structures}
+        elif mode is PowerMode.LOW_POWER:
+            configs = {c.name: c.fastest_configuration() for c in self.structures}
+        else:
+            configs = {}
+            for cas in self.structures:
+                options = tuple(cas.configurations())
+                configs[cas.name] = options[len(options) // 2]
+        min_period = max(
+            cas.delay_ns(configs[cas.name]) for cas in self.structures
+        )
+        slowest = max(
+            cas.delay_ns(cas.slowest_configuration()) for cas in self.structures
+        )
+        if mode is PowerMode.LOW_POWER:
+            # slowest predetermined clock: the one sized for the largest
+            # configuration, deliberately selected while running small
+            return self.estimate(configs, slowest)
+        if mode is PowerMode.BALANCED:
+            # laptops trade some of the permitted clock away as well
+            return self.estimate(configs, (min_period + slowest) / 2.0)
+        return self.estimate(configs, min_period)

@@ -1,0 +1,157 @@
+"""Pattern-based next-configuration predictor with confidence.
+
+Section 6 of the paper observes two behaviours in interval-level
+best-configuration sequences: long stable runs and regular alternation
+(both exploitable, Figures 12/13a), and irregular stretches where the
+configurations perform equally and switching would only pay overhead
+(Figure 13b).  It concludes that, "as with value prediction, a
+complexity-adaptive hardware predictor should assign a confidence level
+to each prediction ... to avoid needless reconfiguration overhead."
+
+This module implements that proposed mechanism with the machinery of a
+two-level branch predictor: a shift register of the last ``history``
+best-configuration labels indexes a pattern table of per-configuration
+saturating counters; the predicted configuration is the pattern's
+strongest counter and the confidence is its normalised strength.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """One predictor output."""
+
+    configuration: Hashable
+    confidence: float
+
+
+@dataclass(frozen=True)
+class PredictorStats:
+    """Lifetime accuracy accounting."""
+
+    predictions: int
+    correct: int
+    confident_predictions: int
+    confident_correct: int
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of all predictions that matched the next best label."""
+        return self.correct / self.predictions if self.predictions else 0.0
+
+    @property
+    def confident_accuracy(self) -> float:
+        """Accuracy restricted to predictions above the confidence bar."""
+        if not self.confident_predictions:
+            return 0.0
+        return self.confident_correct / self.confident_predictions
+
+
+class ConfigurationPredictor:
+    """Two-level pattern predictor over best-configuration labels."""
+
+    def __init__(
+        self,
+        configurations: Sequence[Hashable],
+        history: int = 4,
+        counter_max: int = 7,
+        confidence_threshold: float = 0.75,
+    ) -> None:
+        configs = tuple(configurations)
+        if len(configs) < 2:
+            raise ConfigurationError("predictor needs at least two configurations")
+        if history < 1:
+            raise ConfigurationError("history length must be positive")
+        if counter_max < 1:
+            raise ConfigurationError("counter maximum must be positive")
+        if not 0.0 < confidence_threshold <= 1.0:
+            raise ConfigurationError("confidence threshold must be in (0, 1]")
+        self.configurations = configs
+        self.history_length = history
+        self.counter_max = counter_max
+        self.confidence_threshold = confidence_threshold
+        self._history: list[Hashable] = []
+        self._table: dict[tuple, dict[Hashable, int]] = {}
+        self._pending: Prediction | None = None
+        self._stats = [0, 0, 0, 0]  # predictions, correct, confident, conf-correct
+
+    def _pattern(self) -> tuple:
+        return tuple(self._history[-self.history_length :])
+
+    def predict(self) -> Prediction:
+        """Predict the best configuration for the next interval.
+
+        Before any history accumulates (or for a never-seen pattern) the
+        prediction is the most recent label with zero confidence — i.e.
+        "stay put", which is the cheap default.
+        """
+        if not self._history:
+            return Prediction(configuration=self.configurations[0], confidence=0.0)
+        counters = self._table.get(self._pattern())
+        if not counters:
+            return Prediction(configuration=self._history[-1], confidence=0.0)
+        best = max(counters, key=lambda c: counters[c])
+        total = sum(counters.values())
+        confidence = counters[best] / total if total else 0.0
+        return Prediction(configuration=best, confidence=confidence)
+
+    def should_switch(self, current: Hashable) -> Prediction | None:
+        """Predict, and return the prediction only if it clears the bar
+        and differs from ``current``; otherwise return ``None``.
+
+        This is the confidence gate the paper calls for: low-confidence
+        predictions keep the current configuration to avoid paying
+        reconfiguration overhead for no expected gain.
+        """
+        prediction = self.predict()
+        self._pending = prediction
+        if (
+            prediction.configuration != current
+            and prediction.confidence >= self.confidence_threshold
+        ):
+            return prediction
+        return None
+
+    def update(self, actual_best: Hashable) -> None:
+        """Train on the observed best configuration of the last interval."""
+        if actual_best not in self.configurations:
+            raise ConfigurationError(
+                f"label {actual_best!r} is not a known configuration"
+            )
+        if self._pending is not None:
+            self._stats[0] += 1
+            hit = self._pending.configuration == actual_best
+            if hit:
+                self._stats[1] += 1
+            if self._pending.confidence >= self.confidence_threshold:
+                self._stats[2] += 1
+                if hit:
+                    self._stats[3] += 1
+            self._pending = None
+        if self._history:
+            counters = self._table.setdefault(self._pattern(), {})
+            value = counters.get(actual_best, 0)
+            counters[actual_best] = min(self.counter_max, value + 1)
+            # gently decay competitors so regime changes are learnable
+            for other in list(counters):
+                if other != actual_best and counters[other] > 0:
+                    counters[other] -= 0 if counters[other] < self.counter_max else 1
+        self._history.append(actual_best)
+        if len(self._history) > self.history_length:
+            del self._history[0]
+
+    @property
+    def stats(self) -> PredictorStats:
+        """Accuracy counters accumulated so far."""
+        return PredictorStats(
+            predictions=self._stats[0],
+            correct=self._stats[1],
+            confident_predictions=self._stats[2],
+            confident_correct=self._stats[3],
+        )

@@ -1,0 +1,104 @@
+"""Fixed and complexity-adaptive hardware structure abstractions.
+
+A CAP (paper Figure 5) is a mix of fixed structures (FS) and
+complexity-adaptive structures (CAS).  Each CAS exposes a discrete set
+of configurations; each configuration has a critical-path delay, and
+the processor clock for a given *configuration vector* is set by the
+slowest structure (worst-case timing analysis, predetermined at design
+time).  Configuration Control (CC) signals — here, the
+:meth:`ComplexityAdaptiveStructure.reconfigure` method — change a CAS's
+organisation at runtime, possibly after a cheap "cleanup" operation
+(e.g. draining queue entries about to be disabled).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Generic, Hashable, Sequence, TypeVar
+
+from repro.errors import ConfigurationError
+
+ConfigT = TypeVar("ConfigT", bound=Hashable)
+
+
+@dataclass(frozen=True)
+class ReconfigurationCost:
+    """Cost of one CAS reconfiguration.
+
+    Attributes
+    ----------
+    cleanup_cycles:
+        Cycles spent on the structure's cleanup operation (draining
+        entries to be disabled, etc.).  The paper argues these are
+        "simple and have low enough overhead to not unduly impact
+        performance".
+    requires_clock_switch:
+        Whether the new configuration runs at a different clock, which
+        adds the clock-switch pause (see :mod:`repro.core.clock`).
+    """
+
+    cleanup_cycles: int = 0
+    requires_clock_switch: bool = False
+
+
+@dataclass(frozen=True)
+class FixedStructure:
+    """A conventional, non-adaptive structure (FS in the paper's Figure 5).
+
+    Fixed structures still participate in clock selection: their delay
+    is a floor on the cycle time of every configuration.
+    """
+
+    name: str
+    delay_ns: float
+
+    def __post_init__(self) -> None:
+        if self.delay_ns < 0:
+            raise ConfigurationError(f"structure delay must be >= 0, got {self.delay_ns}")
+
+
+class ComplexityAdaptiveStructure(abc.ABC, Generic[ConfigT]):
+    """A hardware structure whose complexity can change at runtime (CAS).
+
+    Concrete implementations: the movable-boundary cache hierarchy
+    (:class:`repro.cache.adaptive.AdaptiveCacheHierarchy`) and the
+    resizable instruction queue
+    (:class:`repro.ooo.adaptive.AdaptiveInstructionQueue`).
+    """
+
+    #: Short identifier used in reports.
+    name: str = "cas"
+
+    @abc.abstractmethod
+    def configurations(self) -> Sequence[ConfigT]:
+        """All supported configurations, smallest/fastest first."""
+
+    @abc.abstractmethod
+    def delay_ns(self, config: ConfigT) -> float:
+        """Critical-path delay of the structure in ``config``."""
+
+    @property
+    @abc.abstractmethod
+    def configuration(self) -> ConfigT:
+        """The currently enabled configuration."""
+
+    @abc.abstractmethod
+    def reconfigure(self, config: ConfigT) -> ReconfigurationCost:
+        """Switch to ``config``, returning the cost of doing so."""
+
+    def validate(self, config: ConfigT) -> None:
+        """Raise :class:`ConfigurationError` for unsupported configs."""
+        if config not in tuple(self.configurations()):
+            raise ConfigurationError(
+                f"{self.name}: unsupported configuration {config!r}; "
+                f"supported: {tuple(self.configurations())!r}"
+            )
+
+    def fastest_configuration(self) -> ConfigT:
+        """The configuration with the smallest critical-path delay."""
+        return min(self.configurations(), key=self.delay_ns)
+
+    def slowest_configuration(self) -> ConfigT:
+        """The configuration with the largest critical-path delay."""
+        return max(self.configurations(), key=self.delay_ns)

@@ -1,0 +1,33 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error deliberately raised by the library derives from
+:class:`ReproError` so callers can catch library failures without also
+swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid hardware configuration was requested.
+
+    Raised, for example, when the L1/L2 boundary of the adaptive cache is
+    placed outside the physical structure, or when an instruction queue is
+    resized to a value that is not a multiple of its increment.
+    """
+
+
+class SimulationError(ReproError):
+    """A simulator was driven into an inconsistent state."""
+
+
+class WorkloadError(ReproError):
+    """A workload profile or trace request was malformed."""
+
+
+class TimingModelError(ReproError):
+    """A timing model was evaluated outside its calibrated domain."""

@@ -1,0 +1,154 @@
+"""Figures 7, 8 and 9: the complexity-adaptive cache hierarchy study.
+
+Methodology, following the paper's Section 5.1:
+
+* each application contributes an address trace (first N D-cache
+  references; the paper uses 100 M, we default to a calibrated 60 k
+  with a warm-up prefix that plays the role the sheer length of the
+  paper's traces plays — amortising compulsory misses of structures
+  that do fit in the hierarchy);
+* the two-level simulator is blocking and conflict-free;
+* TPI and TPImiss come from :class:`repro.cache.tpi.CacheTpiModel`;
+* the conventional configuration is the fixed boundary minimising
+  suite-average TPI (the paper finds the 16 KB 4-way L1);
+* the process-level adaptive configuration is each application's own
+  TPI-minimising boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.config import PAPER_GEOMETRY, PAPER_MAX_L1_INCREMENTS, HierarchyConfig
+from repro.cache.stackdist import DepthHistogram, StackDistanceEngine
+from repro.cache.tpi import CacheTpiModel, TpiBreakdown
+from repro.core.metrics import TpiComparison
+from repro.workloads.address_trace import generate_address_trace
+from repro.workloads.profiles import BenchmarkProfile
+from repro.workloads.suite import cache_study_profiles
+
+#: Default measured trace length (references per application).
+DEFAULT_N_REFS: int = 60_000
+#: Default warm-up prefix (references discarded before measuring).
+DEFAULT_WARMUP_REFS: int = 20_000
+
+_HISTOGRAM_CACHE: dict[tuple, DepthHistogram] = {}
+
+
+def histogram_for(
+    profile: BenchmarkProfile,
+    n_refs: int = DEFAULT_N_REFS,
+    warmup_refs: int = DEFAULT_WARMUP_REFS,
+) -> DepthHistogram:
+    """Stack-depth histogram of one application's trace (memoised).
+
+    One pass of the stack-distance engine evaluates every boundary
+    position at once; the cache keeps suite-wide sweeps cheap.
+    """
+    key = (profile.name, n_refs, warmup_refs, profile.seed)
+    hit = _HISTOGRAM_CACHE.get(key)
+    if hit is not None:
+        return hit
+    if profile.memory is None:
+        raise ValueError(f"{profile.name} is not part of the cache study")
+    addresses = generate_address_trace(profile.memory, n_refs + warmup_refs, profile.seed)
+    engine = StackDistanceEngine(PAPER_GEOMETRY)
+    if warmup_refs:
+        engine.process(addresses[:warmup_refs])
+    histogram = DepthHistogram.from_depths(
+        PAPER_GEOMETRY, engine.process(addresses[warmup_refs:])
+    )
+    _HISTOGRAM_CACHE[key] = histogram
+    return histogram
+
+
+def cache_tpi_table(
+    n_refs: int = DEFAULT_N_REFS,
+    warmup_refs: int = DEFAULT_WARMUP_REFS,
+    tpi_model: CacheTpiModel | None = None,
+) -> dict[str, dict[int, TpiBreakdown]]:
+    """Full TPI breakdowns: application -> boundary -> breakdown."""
+    model = tpi_model if tpi_model is not None else CacheTpiModel()
+    boundaries = PAPER_GEOMETRY.boundary_positions(PAPER_MAX_L1_INCREMENTS)
+    table: dict[str, dict[int, TpiBreakdown]] = {}
+    for profile in cache_study_profiles():
+        histogram = histogram_for(profile, n_refs, warmup_refs)
+        table[profile.name] = model.sweep(
+            histogram, profile.memory.load_store_fraction, boundaries
+        )
+    return table
+
+
+def figure7(
+    n_refs: int = DEFAULT_N_REFS,
+    warmup_refs: int = DEFAULT_WARMUP_REFS,
+) -> dict[str, dict[str, dict[float, float]]]:
+    """Average TPI vs. L1 size, fixed boundary.
+
+    Returns ``{"integer"|"floating": {app: {l1_kb: tpi_ns}}}`` — panel
+    (a) and (b) of the paper's Figure 7.
+    """
+    table = cache_tpi_table(n_refs, warmup_refs)
+    panels: dict[str, dict[str, dict[float, float]]] = {"integer": {}, "floating": {}}
+    for profile in cache_study_profiles():
+        curve = {
+            HierarchyConfig(PAPER_GEOMETRY, k).l1_kb: breakdown.tpi_ns
+            for k, breakdown in table[profile.name].items()
+        }
+        panels[profile.domain][profile.name] = curve
+    return panels
+
+
+@dataclass(frozen=True)
+class CacheStudyResult:
+    """Everything Figures 8 and 9 plot, plus the selection metadata."""
+
+    conventional_boundary: int
+    best_boundaries: dict[str, int]
+    tpi: TpiComparison
+    tpi_miss: TpiComparison
+    table: dict[str, dict[int, TpiBreakdown]] = field(repr=False)
+
+    @property
+    def conventional_l1_kb(self) -> float:
+        """L1 size of the best conventional configuration."""
+        return HierarchyConfig(PAPER_GEOMETRY, self.conventional_boundary).l1_kb
+
+
+def figure8_9(
+    n_refs: int = DEFAULT_N_REFS,
+    warmup_refs: int = DEFAULT_WARMUP_REFS,
+    tpi_model: CacheTpiModel | None = None,
+) -> CacheStudyResult:
+    """Best conventional vs. process-level adaptive, per app and average.
+
+    Figure 8 is the ``tpi_miss`` comparison, Figure 9 the ``tpi`` one.
+    """
+    table = cache_tpi_table(n_refs, warmup_refs, tpi_model)
+    boundaries = PAPER_GEOMETRY.boundary_positions(PAPER_MAX_L1_INCREMENTS)
+    apps = list(table)
+
+    def suite_average(k: int) -> float:
+        return sum(table[app][k].tpi_ns for app in apps) / len(apps)
+
+    conventional = min(boundaries, key=suite_average)
+    best = {
+        app: min(boundaries, key=lambda k: table[app][k].tpi_ns) for app in apps
+    }
+    tpi = TpiComparison(
+        metric_name="Avg TPI (ns)",
+        conventional={app: table[app][conventional].tpi_ns for app in apps},
+        adaptive={app: table[app][best[app]].tpi_ns for app in apps},
+    )
+    tpi_miss = TpiComparison(
+        metric_name="Avg Miss TPI (ns)",
+        conventional={app: table[app][conventional].tpi_miss_ns for app in apps},
+        adaptive={app: table[app][best[app]].tpi_miss_ns for app in apps},
+    )
+    return CacheStudyResult(
+        conventional_boundary=conventional,
+        best_boundaries=best,
+        tpi=tpi,
+        tpi_miss=tpi_miss,
+        table=table,
+    )

@@ -1,0 +1,148 @@
+"""CSV export of every regenerable figure.
+
+The library never plots (no plotting dependency), but every figure's
+data can be exported as CSV for external tooling:
+
+>>> from repro.experiments.export import export_figure
+>>> path = export_figure("2", "/tmp/figs")        # doctest: +SKIP
+
+Each file has one header row; series figures are wide (one column per
+curve), comparison figures are long (one row per application).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Callable
+
+from repro.errors import ReproError
+
+
+def _write(path: Path, header: list[str], rows: list[list]) -> Path:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(header)
+        writer.writerows(rows)
+    return path
+
+
+def _export_wire(figure_id: str, out: Path) -> Path:
+    from repro.experiments.wire_delay import figure1, figure2
+
+    if figure_id == "2":
+        series = figure2()
+    else:
+        series = figure1(subarray_kb=2 if figure_id == "1a" else 4)
+    names = list(series.as_series_dict())
+    data = series.as_series_dict()
+    rows = [
+        [x] + [data[name][i] for name in names]
+        for i, x in enumerate(series.x_values)
+    ]
+    return _write(out / f"figure{figure_id}.csv", [series.x_label] + names, rows)
+
+
+def _export_panels(figure_id: str, out: Path) -> Path:
+    from repro.experiments.cache_study import figure7
+    from repro.experiments.queue_study import figure10
+
+    panels = figure7() if figure_id == "7" else figure10()
+    x_label = "l1_kb" if figure_id == "7" else "entries"
+    rows = []
+    for domain in ("integer", "floating"):
+        for app, curve in panels[domain].items():
+            for x, tpi in sorted(curve.items()):
+                rows.append([domain, app, x, tpi])
+    return _write(
+        out / f"figure{figure_id}.csv", ["domain", "app", x_label, "tpi_ns"], rows
+    )
+
+
+def _export_cache_comparison(figure_id: str, out: Path) -> Path:
+    from repro.experiments.cache_study import figure8_9
+
+    study = figure8_9()
+    comparison = study.tpi_miss if figure_id == "8" else study.tpi
+    rows = [
+        [app, 8 * study.best_boundaries[app], comparison.conventional[app],
+         comparison.adaptive[app]]
+        for app in comparison.applications
+    ]
+    return _write(
+        out / f"figure{figure_id}.csv",
+        ["app", "adaptive_l1_kb", "conventional_ns", "adaptive_ns"],
+        rows,
+    )
+
+
+def _export_queue_comparison(out: Path) -> Path:
+    from repro.experiments.queue_study import figure11
+
+    study = figure11()
+    rows = [
+        [app, study.best_sizes[app], study.tpi.conventional[app],
+         study.tpi.adaptive[app]]
+        for app in study.tpi.applications
+    ]
+    return _write(
+        out / "figure11.csv",
+        ["app", "adaptive_entries", "conventional_ns", "adaptive_ns"],
+        rows,
+    )
+
+
+def _export_intervals(figure_id: str, out: Path) -> Path:
+    from repro.experiments.interval_study import figure12, figure13
+
+    if figure_id == "12":
+        result = figure12()
+    else:
+        result = figure13(regular=figure_id == "13a")
+    windows = result.windows
+    rows = [
+        [i] + [float(result.series[w].tpi_ns[i]) for w in windows]
+        for i in range(len(result.series[windows[0]]))
+    ]
+    return _write(
+        out / f"figure{figure_id}.csv",
+        ["interval"] + [f"tpi_ns_{w}_entries" for w in windows],
+        rows,
+    )
+
+
+_EXPORTERS: dict[str, Callable[[str, Path], Path]] = {
+    "1a": _export_wire,
+    "1b": _export_wire,
+    "2": _export_wire,
+    "7": _export_panels,
+    "8": _export_cache_comparison,
+    "9": _export_cache_comparison,
+    "10": _export_panels,
+    "11": lambda _fid, out: _export_queue_comparison(out),
+    "12": _export_intervals,
+    "13a": _export_intervals,
+    "13b": _export_intervals,
+}
+
+
+def exportable_figures() -> tuple[str, ...]:
+    """Figure ids :func:`export_figure` accepts."""
+    return tuple(sorted(_EXPORTERS))
+
+
+def export_figure(figure_id: str, out_dir: str | Path) -> Path:
+    """Write one figure's data as CSV; return the file path."""
+    try:
+        exporter = _EXPORTERS[figure_id]
+    except KeyError:
+        raise ReproError(
+            f"unknown figure {figure_id!r}; exportable: {exportable_figures()}"
+        ) from None
+    return exporter(figure_id, Path(out_dir))
+
+
+def export_all(out_dir: str | Path) -> list[Path]:
+    """Export every figure; return the written paths."""
+    return [export_figure(fid, out_dir) for fid in exportable_figures()]

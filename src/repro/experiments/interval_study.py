@@ -1,0 +1,221 @@
+"""Figures 12/13 and the Section 6 predictor evaluation.
+
+The paper's finer-grained-adaptivity analysis compares, over consecutive
+2000-instruction intervals, the TPI of two queue configurations:
+
+* Figure 12 (turb3d): 64 vs. 128 entries over two long stable phases.
+* Figure 13a (vortex): 16 vs. 64 entries alternating regularly
+  (roughly every 15 intervals).
+* Figure 13b (vortex): 16 vs. 64 entries varying almost randomly, with
+  both configurations averaging the same.
+
+Beyond reproducing the snapshots, :func:`predictor_study` evaluates the
+mechanism the paper proposes: an interval-adaptive policy driven by a
+pattern predictor with a confidence gate, compared against static
+configurations and the switching oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.policies import (
+    IntervalAdaptivePolicy,
+    OraclePolicy,
+    PolicyOutcome,
+    StaticPolicy,
+    evaluate_policy,
+)
+from repro.core.predictor import ConfigurationPredictor
+from repro.ooo.intervals import (
+    IntervalSeries,
+    PAPER_INTERVAL_INSTRUCTIONS,
+    best_window_sequence,
+    interval_tpi_series,
+)
+from repro.ooo.machine import MachineConfig, OutOfOrderMachine
+from repro.ooo.timing import QueueTimingModel
+from repro.workloads.phases import (
+    PhasedWorkload,
+    turb3d_snapshots,
+    vortex_irregular,
+    vortex_regular,
+)
+
+_SERIES_CACHE: dict[tuple, dict[int, IntervalSeries]] = {}
+
+
+@dataclass(frozen=True)
+class IntervalStudyResult:
+    """Per-interval TPI of the two competing configurations."""
+
+    workload: str
+    series: dict[int, IntervalSeries]
+
+    @property
+    def windows(self) -> tuple[int, ...]:
+        """The two configurations compared."""
+        return tuple(sorted(self.series))
+
+    def best_sequence(self) -> np.ndarray:
+        """Per-interval best configuration (the oracle labels)."""
+        return best_window_sequence(self.series)
+
+    def stability_runs(self) -> list[tuple[int, int]]:
+        """(window, run_length) for each maximal best-config run."""
+        seq = self.best_sequence()
+        runs: list[tuple[int, int]] = []
+        start = 0
+        for i in range(1, len(seq) + 1):
+            if i == len(seq) or seq[i] != seq[start]:
+                runs.append((int(seq[start]), i - start))
+                start = i
+        return runs
+
+
+def _interval_series(
+    workload: PhasedWorkload,
+    windows: tuple[int, ...],
+    seed: int,
+    interval_instructions: int,
+) -> dict[int, IntervalSeries]:
+    key = (workload.name, windows, seed, interval_instructions, workload.n_instructions)
+    hit = _SERIES_CACHE.get(key)
+    if hit is not None:
+        return hit
+    trace = workload.generate(seed)
+    timing = QueueTimingModel()
+    series = {}
+    for w in windows:
+        result = OutOfOrderMachine(MachineConfig(window=w)).run(trace)
+        series[w] = interval_tpi_series(
+            result, timing.cycle_time_ns(w), interval_instructions
+        )
+    _SERIES_CACHE[key] = series
+    return series
+
+
+def figure12(
+    intervals_per_phase: int = 60,
+    interval_instructions: int = PAPER_INTERVAL_INSTRUCTIONS,
+    seed: int = 12,
+) -> IntervalStudyResult:
+    """turb3d snapshots: 64- vs. 128-entry queue over two stable phases."""
+    workload = turb3d_snapshots(interval_instructions)
+    # trim the workload to the requested snapshot span per phase
+    from repro.workloads.phases import PhasedWorkload, PhaseSegment
+
+    span = intervals_per_phase * interval_instructions
+    workload = PhasedWorkload(
+        name=workload.name,
+        segments=tuple(
+            PhaseSegment(s.ilp, span) for s in workload.segments
+        ),
+    )
+    series = _interval_series(workload, (64, 128), seed, interval_instructions)
+    return IntervalStudyResult(workload="turb3d", series=series)
+
+
+def figure13(
+    regular: bool,
+    interval_instructions: int = PAPER_INTERVAL_INSTRUCTIONS,
+    seed: int = 13,
+) -> IntervalStudyResult:
+    """vortex snapshots: 16- vs. 64-entry queue.
+
+    ``regular=True`` is panel (a) — alternation every ~15 intervals;
+    ``regular=False`` is panel (b) — near-random variation.
+    """
+    if regular:
+        workload = vortex_regular(interval_instructions, n_phases=8)
+    else:
+        workload = vortex_irregular(interval_instructions, n_phases=60, seed=seed + 1)
+    series = _interval_series(workload, (16, 64), seed, interval_instructions)
+    name = "vortex-regular" if regular else "vortex-irregular"
+    return IntervalStudyResult(workload=name, series=series)
+
+
+@dataclass(frozen=True)
+class PredictorStudyResult:
+    """Interval-adaptive policy vs. its bounds on one workload."""
+
+    workload: str
+    static: dict[int, PolicyOutcome]
+    adaptive: PolicyOutcome
+    adaptive_ungated: PolicyOutcome
+    oracle: PolicyOutcome
+
+    @property
+    def best_static_tpi_ns(self) -> float:
+        """TPI of the best static configuration (process-level choice)."""
+        return min(o.tpi_ns for o in self.static.values())
+
+    @property
+    def adaptive_gain_percent(self) -> float:
+        """Percent TPI reduction of the gated policy vs. best static."""
+        base = self.best_static_tpi_ns
+        return (base - self.adaptive.tpi_ns) / base * 100.0
+
+
+def cache_interval_study(
+    phase_refs: int = 9000,
+    n_phases: int = 8,
+    boundaries: tuple[int, ...] = (2, 6),
+    seed: int = 21,
+) -> IntervalStudyResult:
+    """Interval-level adaptivity for the *cache* boundary.
+
+    Goes beyond the paper's Section 6 (which studied only the queue):
+    a workload alternating between a small hot working set and a tiled
+    32 KB one, evaluated per interval at two boundary positions.  The
+    returned result plugs into :func:`predictor_study` unchanged.
+    """
+    from repro.cache.intervals import cache_interval_tpi_series
+    from repro.workloads.phases import cache_alternating_workload
+
+    workload = cache_alternating_workload(phase_refs=phase_refs, n_phases=n_phases)
+    trace = workload.generate(seed)
+    series = cache_interval_tpi_series(
+        trace,
+        load_store_fraction=workload.segments[0].memory.load_store_fraction,
+        boundaries=boundaries,
+    )
+    return IntervalStudyResult(workload=workload.name, series=series)
+
+
+def predictor_study(
+    result: IntervalStudyResult,
+    confidence_threshold: float = 0.75,
+    history: int = 4,
+) -> PredictorStudyResult:
+    """Evaluate the Section 6 mechanism on one interval study.
+
+    Compares: each static configuration; the pattern predictor with the
+    confidence gate; the same predictor with the gate disabled
+    (always-switch, threshold ~0); and the switching oracle.
+    """
+    series = result.series
+    windows = tuple(sorted(series))
+    static = {w: evaluate_policy(series, StaticPolicy(w)) for w in windows}
+
+    def gated(threshold: float) -> PolicyOutcome:
+        predictor = ConfigurationPredictor(
+            configurations=windows,
+            history=history,
+            confidence_threshold=threshold,
+        )
+        policy = IntervalAdaptivePolicy(predictor, initial=windows[0])
+        return evaluate_policy(series, policy)
+
+    adaptive = gated(confidence_threshold)
+    adaptive_ungated = gated(1e-9)
+    oracle = evaluate_policy(series, OraclePolicy(result.best_sequence()))
+    return PredictorStudyResult(
+        workload=result.workload,
+        static=static,
+        adaptive=adaptive,
+        adaptive_ungated=adaptive_ungated,
+        oracle=oracle,
+    )

@@ -1,0 +1,110 @@
+"""Figures 10 and 11: the complexity-adaptive instruction queue study.
+
+Methodology, following the paper's Section 5.1:
+
+* 8-way out-of-order machine, perfect branch prediction, perfect
+  caches, plentiful functional units (the simulator idealises exactly
+  these);
+* queue sizes 16..128 in 16-entry increments; wakeup + select set the
+  cycle time at every size (Palacharla model, 0.18 micron);
+* each application runs the first N instructions (paper: 100 M; we
+  default to a calibrated 16 k);
+* conventional = fixed size minimising suite-average TPI (the paper
+  finds 64 entries); process-level adaptive = per-app best size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.metrics import TpiComparison
+from repro.ooo.machine import MachineResult, run_window_sweep
+from repro.ooo.timing import PAPER_QUEUE_SIZES, QueueTimingModel
+from repro.workloads.instruction_trace import generate_instruction_trace
+from repro.workloads.profiles import BenchmarkProfile
+from repro.workloads.suite import queue_study_profiles
+
+#: Default measured trace length (instructions per application).
+DEFAULT_N_INSTRUCTIONS: int = 16_000
+
+_SWEEP_CACHE: dict[tuple, dict[int, MachineResult]] = {}
+
+
+def sweep_for(
+    profile: BenchmarkProfile,
+    n_instructions: int = DEFAULT_N_INSTRUCTIONS,
+    sizes: tuple[int, ...] = PAPER_QUEUE_SIZES,
+) -> dict[int, MachineResult]:
+    """Machine results for one application at every queue size (memoised)."""
+    key = (profile.name, n_instructions, sizes, profile.seed)
+    hit = _SWEEP_CACHE.get(key)
+    if hit is not None:
+        return hit
+    trace = generate_instruction_trace(profile.ilp, n_instructions, profile.seed)
+    results = run_window_sweep(trace, sizes)
+    _SWEEP_CACHE[key] = results
+    return results
+
+
+def queue_tpi_table(
+    n_instructions: int = DEFAULT_N_INSTRUCTIONS,
+    timing: QueueTimingModel | None = None,
+) -> dict[str, dict[int, float]]:
+    """TPI per application per queue size."""
+    model = timing if timing is not None else QueueTimingModel()
+    cycles = model.cycle_table()
+    table: dict[str, dict[int, float]] = {}
+    for profile in queue_study_profiles():
+        results = sweep_for(profile, n_instructions, model.sizes)
+        table[profile.name] = {
+            w: results[w].tpi_ns(cycles[w]) for w in model.sizes
+        }
+    return table
+
+
+def figure10(
+    n_instructions: int = DEFAULT_N_INSTRUCTIONS,
+) -> dict[str, dict[str, dict[int, float]]]:
+    """Average TPI vs. queue size: ``{"integer"|"floating": {app: {size: tpi}}}``."""
+    table = queue_tpi_table(n_instructions)
+    panels: dict[str, dict[str, dict[int, float]]] = {"integer": {}, "floating": {}}
+    for profile in queue_study_profiles():
+        panels[profile.domain][profile.name] = table[profile.name]
+    return panels
+
+
+@dataclass(frozen=True)
+class QueueStudyResult:
+    """Everything Figure 11 plots, plus selection metadata."""
+
+    conventional_size: int
+    best_sizes: dict[str, int]
+    tpi: TpiComparison
+    table: dict[str, dict[int, float]] = field(repr=False)
+
+
+def figure11(
+    n_instructions: int = DEFAULT_N_INSTRUCTIONS,
+    timing: QueueTimingModel | None = None,
+) -> QueueStudyResult:
+    """Best conventional vs. process-level adaptive queue sizing."""
+    table = queue_tpi_table(n_instructions, timing)
+    sizes = sorted(next(iter(table.values())))
+    apps = list(table)
+
+    def suite_average(w: int) -> float:
+        return sum(table[app][w] for app in apps) / len(apps)
+
+    conventional = min(sizes, key=suite_average)
+    best = {app: min(sizes, key=lambda w: table[app][w]) for app in apps}
+    tpi = TpiComparison(
+        metric_name="Avg TPI (ns)",
+        conventional={app: table[app][conventional] for app in apps},
+        adaptive={app: table[app][best[app]] for app in apps},
+    )
+    return QueueStudyResult(
+        conventional_size=conventional,
+        best_sizes=best,
+        tpi=tpi,
+        table=table,
+    )

@@ -1,0 +1,53 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harnesses print the same rows/series the paper's figures
+plot; these helpers keep that output aligned and uniform.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import ReproError
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render rows as an aligned monospace table."""
+    rendered: list[list[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        cells = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append(float_format.format(value))
+            else:
+                cells.append(str(value))
+        if len(cells) != len(headers):
+            raise ReproError(
+                f"row width {len(cells)} does not match header width {len(headers)}"
+            )
+        rendered.append(cells)
+    widths = [max(len(r[c]) for r in rendered) for c in range(len(headers))]
+    lines = []
+    for i, row in enumerate(rendered):
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    xs: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render named y-series against a shared x-axis (a figure's data)."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [series[name][i] for name in series])
+    return format_table(headers, rows, float_format=float_format)

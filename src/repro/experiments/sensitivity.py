@@ -1,0 +1,96 @@
+"""Robustness of the headline results to methodology knobs.
+
+The reproduction shortens the paper's 100 M-event traces to tens of
+thousands of events (see docs/calibration.md).  This module verifies
+that the conclusions do not hinge on those lengths: it reruns the two
+headline studies at multiple trace lengths and reports how the
+conventional configuration, the per-application winners and the average
+reductions move.  Stationary generators should make them nearly
+invariant — and the bench asserts that they are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.cache_study import DEFAULT_N_REFS, DEFAULT_WARMUP_REFS, figure8_9
+from repro.experiments.queue_study import DEFAULT_N_INSTRUCTIONS, figure11
+
+
+@dataclass(frozen=True)
+class RobustnessPoint:
+    """One study rerun at one trace length."""
+
+    length: int
+    conventional: int
+    average_reduction_percent: float
+    best_configs: dict[str, int]
+
+
+@dataclass(frozen=True)
+class RobustnessResult:
+    """A study's behaviour across trace lengths."""
+
+    study: str
+    points: tuple[RobustnessPoint, ...]
+
+    @property
+    def conventional_stable(self) -> bool:
+        """Does the suite-best configuration survive every length?"""
+        return len({p.conventional for p in self.points}) == 1
+
+    @property
+    def reduction_spread_percent(self) -> float:
+        """Max minus min of the average reductions across lengths."""
+        values = [p.average_reduction_percent for p in self.points]
+        return max(values) - min(values)
+
+    def winner_agreement(self) -> float:
+        """Fraction of applications whose best config is identical at
+        every length."""
+        apps = self.points[0].best_configs.keys()
+        stable = sum(
+            1
+            for app in apps
+            if len({p.best_configs[app] for p in self.points}) == 1
+        )
+        return stable / len(apps)
+
+
+def cache_length_robustness(
+    scales: tuple[float, ...] = (0.5, 1.0, 2.0),
+) -> RobustnessResult:
+    """Rerun the cache study at scaled trace lengths."""
+    points = []
+    for scale in scales:
+        n = int(DEFAULT_N_REFS * scale)
+        warm = int(DEFAULT_WARMUP_REFS * scale)
+        study = figure8_9(n_refs=n, warmup_refs=warm)
+        points.append(
+            RobustnessPoint(
+                length=n,
+                conventional=study.conventional_boundary,
+                average_reduction_percent=study.tpi.average_reduction_percent(),
+                best_configs=dict(study.best_boundaries),
+            )
+        )
+    return RobustnessResult(study="cache", points=tuple(points))
+
+
+def queue_length_robustness(
+    scales: tuple[float, ...] = (0.5, 1.0, 1.5),
+) -> RobustnessResult:
+    """Rerun the queue study at scaled trace lengths."""
+    points = []
+    for scale in scales:
+        n = int(DEFAULT_N_INSTRUCTIONS * scale)
+        study = figure11(n_instructions=n)
+        points.append(
+            RobustnessPoint(
+                length=n,
+                conventional=study.conventional_size,
+                average_reduction_percent=study.tpi.average_reduction_percent(),
+                best_configs=dict(study.best_sizes),
+            )
+        )
+    return RobustnessResult(study="queue", points=tuple(points))

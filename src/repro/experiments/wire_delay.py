@@ -1,0 +1,88 @@
+"""Figures 1 and 2: buffered vs. unbuffered wire delay.
+
+Figure 1 plots cache address-bus delay against the number of subarrays
+(2 KB subarrays in panel (a), 4 KB in panel (b)); Figure 2 plots
+R10000-style integer-queue tag-bus delay against the number of entries.
+Each has one unbuffered curve (feature-size independent) and one
+buffered curve per feature size (0.25, 0.18, 0.12 micron).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.tech.cacti import cache_bus_length_mm
+from repro.tech.palacharla import queue_bus_length_mm
+from repro.tech.parameters import technology
+from repro.tech.repeaters import buffered_wire_delay_ns
+from repro.tech.wires import unbuffered_wire_delay_ns
+from repro.units import PAPER_FEATURE_SIZES_UM
+
+
+@dataclass(frozen=True)
+class WireDelaySeries:
+    """The data behind one wire-delay figure panel."""
+
+    x_label: str
+    x_values: tuple[int, ...]
+    unbuffered_ns: tuple[float, ...]
+    buffered_ns: dict[float, tuple[float, ...]]  # feature size -> series
+
+    def crossover(self, feature_um: float) -> int | None:
+        """Smallest x at which buffering beats the bare wire, if any."""
+        buffered = self.buffered_ns[feature_um]
+        for x, b, u in zip(self.x_values, buffered, self.unbuffered_ns):
+            if b < u:
+                return x
+        return None
+
+    def as_series_dict(self) -> dict[str, tuple[float, ...]]:
+        """Named series for :func:`repro.experiments.reporting.format_series`."""
+        out: dict[str, tuple[float, ...]] = {"Unbuffered": self.unbuffered_ns}
+        for feature in sorted(self.buffered_ns, reverse=True):
+            out[f"Buffers, {feature}u"] = self.buffered_ns[feature]
+        return out
+
+
+def _wire_series(
+    x_label: str,
+    x_values: Sequence[int],
+    lengths_mm: Sequence[float],
+    features: Sequence[float],
+) -> WireDelaySeries:
+    ref = technology(max(features))
+    unbuffered = tuple(unbuffered_wire_delay_ns(length, ref) for length in lengths_mm)
+    buffered = {
+        f: tuple(buffered_wire_delay_ns(length, technology(f)) for length in lengths_mm)
+        for f in features
+    }
+    return WireDelaySeries(
+        x_label=x_label,
+        x_values=tuple(x_values),
+        unbuffered_ns=unbuffered,
+        buffered_ns=buffered,
+    )
+
+
+def figure1(
+    subarray_kb: int,
+    n_arrays: Sequence[int] = tuple(range(4, 17)),
+    features: Sequence[float] = PAPER_FEATURE_SIZES_UM,
+) -> WireDelaySeries:
+    """Cache address-bus wire delay vs. number of subarrays.
+
+    ``subarray_kb=2`` is panel (a), ``subarray_kb=4`` is panel (b);
+    data-bus delays are identical (same wire model).
+    """
+    lengths = [cache_bus_length_mm(n, subarray_kb * 1024) for n in n_arrays]
+    return _wire_series("Number of Cache Arrays", n_arrays, lengths, features)
+
+
+def figure2(
+    entries: Sequence[int] = tuple(range(16, 65, 4)),
+    features: Sequence[float] = PAPER_FEATURE_SIZES_UM,
+) -> WireDelaySeries:
+    """Integer-queue tag-bus wire delay vs. number of queue entries."""
+    lengths = [queue_bus_length_mm(n) for n in entries]
+    return _wire_series("Number of Instruction Queue Entries", entries, lengths, features)

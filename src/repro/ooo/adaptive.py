@@ -1,0 +1,83 @@
+"""The resizable instruction queue as a complexity-adaptive structure.
+
+A configuration is the number of enabled entries (a multiple of the
+16-entry increment).  Unlike the cache, shrinking the queue requires a
+cleanup: entries in the portion to be disabled must first issue, so the
+reconfiguration cost includes a drain (paper Section 5.1: "this
+low-overhead operation occurs only on context switches and therefore
+does not pose a noticeable performance penalty" under the process-level
+policy; interval policies charge it every shrink).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.structure import ComplexityAdaptiveStructure, ReconfigurationCost
+from repro.ooo.queue import InstructionQueue
+from repro.ooo.timing import PAPER_QUEUE_SIZES, QueueTimingModel
+
+
+class AdaptiveInstructionQueue(ComplexityAdaptiveStructure[int]):
+    """Complexity-adaptive issue queue (configuration = enabled entries)."""
+
+    name = "iqueue"
+
+    def __init__(
+        self,
+        timing: QueueTimingModel | None = None,
+        initial_entries: int | None = None,
+        issue_width: int = 8,
+    ) -> None:
+        self.timing = timing if timing is not None else QueueTimingModel()
+        self.issue_width = issue_width
+        max_entries = max(self.timing.sizes)
+        self._queue = InstructionQueue(
+            max_entries=max_entries,
+            enabled_entries=initial_entries if initial_entries is not None else max_entries,
+        )
+
+    # -- ComplexityAdaptiveStructure interface ---------------------------
+
+    def configurations(self) -> Sequence[int]:
+        """Enabled-entry counts, smallest (fastest) first."""
+        return tuple(sorted(self.timing.sizes))
+
+    def delay_ns(self, config: int) -> float:
+        """Critical-path delay: atomic wakeup + select at this size."""
+        self.validate(config)
+        return self.timing.cycle_time_ns(config)
+
+    @property
+    def configuration(self) -> int:
+        """Currently enabled entries."""
+        return self._queue.enabled_entries
+
+    def reconfigure(self, config: int) -> ReconfigurationCost:
+        """Resize the queue, paying the drain cost when shrinking."""
+        self.validate(config)
+        changed = config != self.configuration
+        drain = self._queue.resize(config, issue_width=self.issue_width)
+        return ReconfigurationCost(
+            cleanup_cycles=drain, requires_clock_switch=changed
+        )
+
+    # -- structural passthrough ------------------------------------------
+
+    @property
+    def queue(self) -> InstructionQueue:
+        """The underlying entry bookkeeping."""
+        return self._queue
+
+
+@dataclass(frozen=True)
+class QueueConfigurationSpace:
+    """Convenience bundle describing the paper's evaluated design space."""
+
+    timing: QueueTimingModel = field(default_factory=QueueTimingModel)
+    sizes: tuple[int, ...] = PAPER_QUEUE_SIZES
+
+    def cycle_table(self) -> dict[int, float]:
+        """Cycle time per size."""
+        return {w: self.timing.cycle_time_ns(w) for w in self.sizes}

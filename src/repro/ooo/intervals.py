@@ -1,0 +1,95 @@
+"""Per-interval TPI sampling (the Section 6 snapshots).
+
+The paper examines intra-application diversity by plotting the average
+TPI of two queue configurations over consecutive 2000-instruction
+intervals (Figures 12 and 13).  Given a machine run's per-instruction
+issue times, the time an interval took is the difference between the
+issue times of its last instruction and the previous interval's last
+instruction, so one simulation per configuration yields the whole
+series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.ooo.machine import MachineResult
+
+#: Interval length used throughout the paper's Section 6.
+PAPER_INTERVAL_INSTRUCTIONS: int = 2000
+
+
+@dataclass(frozen=True)
+class IntervalSeries:
+    """TPI of one configuration over consecutive instruction intervals."""
+
+    window: int
+    cycle_time_ns: float
+    interval_instructions: int
+    tpi_ns: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.tpi_ns)
+
+    def mean_tpi_ns(self) -> float:
+        """Average TPI over the whole series."""
+        return float(self.tpi_ns.mean())
+
+
+def interval_tpi_series(
+    result: MachineResult,
+    cycle_time_ns: float,
+    interval_instructions: int = PAPER_INTERVAL_INSTRUCTIONS,
+) -> IntervalSeries:
+    """Convert a machine run into a per-interval TPI series.
+
+    Only whole intervals are reported (a trailing partial interval is
+    dropped, as in the paper's plots).
+    """
+    if interval_instructions < 1:
+        raise SimulationError("interval length must be positive")
+    n = result.n_instructions
+    n_intervals = n // interval_instructions
+    if n_intervals == 0:
+        raise SimulationError(
+            f"trace of {n} instructions is shorter than one interval "
+            f"({interval_instructions})"
+        )
+    # Issue is out of order, so a younger instruction can issue before an
+    # older one; the time an interval *finished* is the running maximum
+    # of issue times up to its last instruction.
+    frontier = np.maximum.accumulate(result.issue_times.astype(np.float64))
+    ends = frontier[
+        interval_instructions - 1 : n_intervals * interval_instructions : interval_instructions
+    ]
+    starts = np.concatenate(([0.0], ends[:-1]))
+    cycles = ends - starts
+    # Guard against a degenerate zero-cycle interval (cannot happen with
+    # finite issue bandwidth, but keep the invariant explicit).
+    cycles = np.maximum(cycles, 1.0)
+    tpi = cycles * cycle_time_ns / interval_instructions
+    return IntervalSeries(
+        window=result.config.window,
+        cycle_time_ns=cycle_time_ns,
+        interval_instructions=interval_instructions,
+        tpi_ns=tpi,
+    )
+
+
+def best_window_sequence(series: dict[int, IntervalSeries]) -> np.ndarray:
+    """Per-interval argmin over configurations (oracle best sequence).
+
+    Returns an array of window sizes, one per interval; all series must
+    cover the same number of intervals.
+    """
+    if not series:
+        raise SimulationError("no interval series supplied")
+    lengths = {len(s) for s in series.values()}
+    if len(lengths) != 1:
+        raise SimulationError(f"series lengths disagree: {sorted(lengths)}")
+    windows = sorted(series)
+    stacked = np.vstack([series[w].tpi_ns for w in windows])
+    return np.array(windows, dtype=np.int64)[np.argmin(stacked, axis=0)]

@@ -1,0 +1,196 @@
+"""Oldest-first out-of-order issue simulator.
+
+Models the machine of the paper's queue study: 8-way issue, perfect
+branch prediction, perfect caches, plentiful functional units.  With
+those idealisations the machine is fully characterised by three
+constraints, which the simulator applies as a single in-order greedy
+pass (oldest-first list scheduling — exactly the policy a selection
+tree of priority encoders implements):
+
+1. **Dispatch** is in-order, ``dispatch_width`` per cycle, and only
+   into a free queue entry: instruction ``i`` can dispatch once at
+   least ``i - window + 1`` older instructions have issued (entries
+   free at issue, out of order — the queue is a free list, not a FIFO).
+2. **Wakeup**: an instruction is ready once all producers have
+   completed (``issue + latency``); wakeup/select is atomic within a
+   cycle, so dependent instructions can issue in consecutive cycles.
+3. **Select**: at most ``issue_width`` instructions issue per cycle,
+   oldest first.
+
+The queue-occupancy constraint needs the k-th smallest issue time of
+all older instructions with ``k`` growing by one per instruction; a
+two-heap structure maintains it in O(log window) per instruction.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.workloads.instruction_trace import NO_DEP, InstructionTrace
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Machine parameters of the paper's queue study."""
+
+    window: int
+    issue_width: int = 8
+    dispatch_width: int = 8
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise SimulationError(f"window must be positive, got {self.window}")
+        if self.issue_width < 1 or self.dispatch_width < 1:
+            raise SimulationError("issue and dispatch width must be positive")
+
+
+@dataclass(frozen=True)
+class MachineResult:
+    """Outcome of one simulation run."""
+
+    config: MachineConfig
+    n_instructions: int
+    cycles: int
+    issue_times: np.ndarray
+
+    @property
+    def ipc(self) -> float:
+        """Committed instructions per cycle."""
+        return self.n_instructions / self.cycles
+
+    def tpi_ns(self, cycle_time_ns: float) -> float:
+        """Average time per instruction at a given clock."""
+        return cycle_time_ns / self.ipc
+
+
+class _RunningKthSmallest:
+    """Streaming k-th order statistic where k grows by one per step.
+
+    ``low`` is a max-heap (negated) holding the k smallest values seen;
+    ``high`` is a min-heap of the rest.  ``advance()`` grows k; ``add()``
+    inserts a new value; ``kth()`` reads the current k-th smallest.
+    """
+
+    __slots__ = ("_low", "_high")
+
+    def __init__(self) -> None:
+        self._low: list[int] = []
+        self._high: list[int] = []
+
+    def add(self, value: int) -> None:
+        if self._low and value < -self._low[0]:
+            heapq.heappush(self._low, -value)
+            heapq.heappush(self._high, -heapq.heappop(self._low))
+        else:
+            heapq.heappush(self._high, value)
+
+    def advance(self) -> None:
+        if not self._high:
+            raise SimulationError("order statistic advanced past its population")
+        heapq.heappush(self._low, -heapq.heappop(self._high))
+
+    def kth(self) -> int:
+        if not self._low:
+            raise SimulationError("order statistic read before first advance")
+        return -self._low[0]
+
+
+class OutOfOrderMachine:
+    """Greedy oldest-first scheduler for one :class:`MachineConfig`."""
+
+    def __init__(self, config: MachineConfig) -> None:
+        self.config = config
+
+    def run(self, trace: InstructionTrace, memory_system=None) -> MachineResult:
+        """Simulate ``trace`` and return cycle counts and issue times.
+
+        With ``memory_system`` (a
+        :class:`repro.ooo.memory.CacheMemorySystem`) and a trace whose
+        loads carry addresses, each load's latency comes from the cache
+        hierarchy instead of the trace — the integrated simulation in
+        which independent misses can overlap under the window.
+        """
+        window = self.config.window
+        issue_width = self.config.issue_width
+        dispatch_width = self.config.dispatch_width
+
+        n = len(trace)
+        dep1 = trace.dep1.tolist()
+        dep2 = trace.dep2.tolist()
+        latency = trace.latency.tolist()
+        if memory_system is not None:
+            if trace.load_address is None:
+                raise SimulationError(
+                    "memory_system given but the trace carries no load addresses"
+                )
+            addresses = trace.load_address.tolist()
+            for i, addr in enumerate(addresses):
+                if addr >= 0:
+                    latency[i] = memory_system.load_latency_cycles(int(addr))
+
+        issue = np.zeros(n, dtype=np.int64)
+        issue_list = issue.tolist()  # python ints are faster in the loop
+        dispatch_times: list[int] = [0] * n
+        issue_counts: dict[int, int] = {}
+        occupancy = _RunningKthSmallest()
+        last_dispatch = 0
+
+        for i in range(n):
+            # -- dispatch: in-order, bandwidth-limited, queue-capacity-limited
+            d = last_dispatch
+            if i >= dispatch_width:
+                earliest_by_bw = dispatch_times[i - dispatch_width] + 1
+                if earliest_by_bw > d:
+                    d = earliest_by_bw
+            if i >= window:
+                occupancy.advance()  # k becomes i - window + 1
+                # the slot is reusable the cycle after its occupant issues
+                free_at = occupancy.kth() + 1
+                if free_at > d:
+                    d = free_at
+            dispatch_times[i] = d
+            last_dispatch = d
+
+            # -- wakeup: ready when all producers have completed
+            ready = d
+            p = dep1[i]
+            if p != NO_DEP:
+                t = issue_list[p] + latency[p]
+                if t > ready:
+                    ready = t
+            p = dep2[i]
+            if p != NO_DEP:
+                t = issue_list[p] + latency[p]
+                if t > ready:
+                    ready = t
+
+            # -- select: oldest-first, issue_width per cycle
+            cycle = ready
+            count = issue_counts.get(cycle, 0)
+            while count >= issue_width:
+                cycle += 1
+                count = issue_counts.get(cycle, 0)
+            issue_counts[cycle] = count + 1
+            issue_list[i] = cycle
+            occupancy.add(cycle)
+
+        issue = np.array(issue_list, dtype=np.int64)
+        completion = issue + trace.latency.astype(np.int64)
+        cycles = int(completion.max()) + 1
+        return MachineResult(
+            config=self.config,
+            n_instructions=n,
+            cycles=cycles,
+            issue_times=issue,
+        )
+
+
+def run_window_sweep(
+    trace: InstructionTrace, windows: tuple[int, ...]
+) -> dict[int, MachineResult]:
+    """Run the same trace at every window size."""
+    return {w: OutOfOrderMachine(MachineConfig(window=w)).run(trace) for w in windows}

@@ -1,0 +1,88 @@
+"""Memory-system hook for the out-of-order machine.
+
+The paper's queue study assumes perfect caches; its cache study assumes
+a fixed-IPC pipeline.  Composing the two analytically (as the paper
+does, and as :mod:`repro.experiments.extended_structures` does for the
+concert study) charges every L1 miss as a full blocking stall.  This
+module lets the machine simulate the two *together*: loads carry
+addresses, the adaptive cache hierarchy resolves each one to a level,
+and the machine sees the resulting latency — so independent misses can
+overlap under the issue window, which the additive model forbids.
+
+Used by :mod:`repro.experiments.validation` to quantify how
+conservative the paper's blocking composition is.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.cache.config import HierarchyConfig
+from repro.cache.hierarchy import AccessLevel, TwoLevelExclusiveCache
+from repro.cache.timing import CacheTimingModel, L1_LATENCY_CYCLES
+from repro.errors import ConfigurationError
+
+
+class CacheMemorySystem:
+    """Resolves load addresses to latencies through the adaptive cache.
+
+    Latencies are expressed in cycles of the configuration's own clock:
+    an L1 hit costs the constant pipeline latency (already covered by
+    the base schedule, so it maps to the generator's nominal 2-cycle
+    load latency), an L2 hit costs the boundary's L2 latency, and a
+    miss costs the 30 ns board-level access converted at the current
+    cycle time.
+    """
+
+    def __init__(
+        self,
+        l1_increments: int,
+        timing: CacheTimingModel | None = None,
+    ) -> None:
+        self.timing = timing if timing is not None else CacheTimingModel()
+        geometry = self.timing.geometry
+        if not 1 <= l1_increments < geometry.n_increments:
+            raise ConfigurationError(f"bad boundary {l1_increments}")
+        self.l1_increments = l1_increments
+        self._cache = TwoLevelExclusiveCache(
+            HierarchyConfig(geometry, l1_increments)
+        )
+        cycle = self.timing.cycle_time_ns(l1_increments)
+        self._l2_latency = self.timing.l2_hit_latency_cycles(l1_increments)
+        self._miss_latency = math.ceil(self.timing.miss_latency_ns() / cycle)
+        self._counts = {AccessLevel.L1: 0, AccessLevel.L2: 0, AccessLevel.MISS: 0}
+
+    @property
+    def cycle_time_ns(self) -> float:
+        """Clock period of this configuration."""
+        return self.timing.cycle_time_ns(self.l1_increments)
+
+    def load_latency_cycles(self, address: int) -> int:
+        """Access the hierarchy; return the load-to-use latency."""
+        level = self._cache.access(address)
+        self._counts[level] += 1
+        if level is AccessLevel.L1:
+            return L1_LATENCY_CYCLES
+        if level is AccessLevel.L2:
+            return self._l2_latency
+        return self._miss_latency
+
+    @property
+    def level_counts(self) -> dict[AccessLevel, int]:
+        """Accesses resolved per level so far."""
+        return dict(self._counts)
+
+    def warm(self, addresses) -> None:
+        """Touch a warm-up address stream without counting it.
+
+        Plays the role the sheer length of the paper's traces plays:
+        compulsory misses of structures that do fit are amortised away
+        before measurement begins.
+        """
+        for addr in addresses:
+            self._cache.access(int(addr))
+
+    def reset_counts(self) -> None:
+        """Zero the per-level counters (typically after :meth:`warm`)."""
+        for level in self._counts:
+            self._counts[level] = 0

@@ -1,0 +1,91 @@
+"""Structural model of the resizable instruction queue.
+
+The paper disables unused queue entries rather than repurposing them as
+"backups", so shrinking the queue requires a cleanup operation: entries
+in the portion about to be disabled must first issue (Section 5.1).
+This module models that occupancy/drain behaviour; the performance
+simulation itself lives in :mod:`repro.ooo.machine`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.ooo.timing import QUEUE_INCREMENT
+
+
+class InstructionQueue:
+    """Entry bookkeeping for a queue built from 16-entry increments.
+
+    Entries are identified by physical slot.  ``occupancy`` tracks how
+    many instructions currently wait in each increment; the model is
+    deliberately coarse (per-increment counts, not per-slot state)
+    because only drain cost depends on it.
+    """
+
+    def __init__(self, max_entries: int, enabled_entries: int | None = None) -> None:
+        if max_entries <= 0 or max_entries % QUEUE_INCREMENT:
+            raise ConfigurationError(
+                f"max_entries must be a positive multiple of {QUEUE_INCREMENT}"
+            )
+        self.max_entries = max_entries
+        self._enabled = enabled_entries if enabled_entries is not None else max_entries
+        self._check_enabled(self._enabled)
+        self._occupancy = [0] * (max_entries // QUEUE_INCREMENT)
+
+    def _check_enabled(self, entries: int) -> None:
+        if entries <= 0 or entries > self.max_entries or entries % QUEUE_INCREMENT:
+            raise ConfigurationError(
+                f"enabled entries must be a multiple of {QUEUE_INCREMENT} in "
+                f"(0, {self.max_entries}], got {entries}"
+            )
+
+    @property
+    def enabled_entries(self) -> int:
+        """Currently enabled window size."""
+        return self._enabled
+
+    @property
+    def occupancy(self) -> int:
+        """Instructions currently waiting in the queue."""
+        return sum(self._occupancy)
+
+    def enabled_increments(self) -> int:
+        """Number of enabled 16-entry increments."""
+        return self._enabled // QUEUE_INCREMENT
+
+    def fill(self, per_increment: list[int]) -> None:
+        """Set per-increment occupancy (used by tests and the manager)."""
+        if len(per_increment) != len(self._occupancy):
+            raise SimulationError("occupancy vector has wrong length")
+        for inc, count in enumerate(per_increment):
+            if count < 0 or count > QUEUE_INCREMENT:
+                raise SimulationError(f"increment occupancy out of range: {count}")
+            if count and inc >= self.enabled_increments():
+                raise SimulationError("occupancy recorded in a disabled increment")
+        self._occupancy = list(per_increment)
+
+    def drain_cost_cycles(self, new_entries: int, issue_width: int = 8) -> int:
+        """Cycles to drain entries that are about to be disabled.
+
+        When shrinking, instructions resident in increments beyond the
+        new boundary must issue before those increments can be switched
+        off; at best ``issue_width`` of them issue per cycle.  Growing
+        the queue needs no drain.  The paper performs this only on
+        context switches, where the cost is negligible; interval
+        policies charge it on every shrink.
+        """
+        self._check_enabled(new_entries)
+        if new_entries >= self._enabled:
+            return 0
+        first_disabled = new_entries // QUEUE_INCREMENT
+        to_drain = sum(self._occupancy[first_disabled:])
+        return -(-to_drain // issue_width)
+
+    def resize(self, new_entries: int, issue_width: int = 8) -> int:
+        """Resize the queue; return the drain cost paid, in cycles."""
+        cost = self.drain_cost_cycles(new_entries, issue_width)
+        first_disabled = new_entries // QUEUE_INCREMENT
+        for inc in range(first_disabled, len(self._occupancy)):
+            self._occupancy[inc] = 0
+        self._enabled = new_entries
+        return cost

@@ -1,0 +1,49 @@
+"""Queue size to processor cycle time.
+
+The paper assumes the queue's wakeup and selection logic is on the
+critical timing path for *every* configuration (bypass delays being
+reduced via clustering), so the processor clock follows the enabled
+window size directly through the Palacharla model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.tech.palacharla import IssueQueueTiming
+from repro.tech.parameters import TechnologyParameters, technology
+
+#: The paper's evaluated queue sizes: 16 to 128 entries in 16-entry
+#: increments (the increment matching the tag-line buffering interval).
+PAPER_QUEUE_SIZES: tuple[int, ...] = tuple(range(16, 129, 16))
+
+#: The configuration increment (entries per enable/disable group).
+QUEUE_INCREMENT: int = 16
+
+
+@dataclass(frozen=True)
+class QueueTimingModel:
+    """Cycle times for each legal queue size."""
+
+    tech: TechnologyParameters = field(default_factory=lambda: technology(0.18))
+    sizes: tuple[int, ...] = PAPER_QUEUE_SIZES
+
+    def __post_init__(self) -> None:
+        bad = [s for s in self.sizes if s % QUEUE_INCREMENT or s <= 0]
+        if bad:
+            raise ConfigurationError(
+                f"queue sizes must be positive multiples of {QUEUE_INCREMENT}: {bad}"
+            )
+
+    def cycle_time_ns(self, window: int) -> float:
+        """Clock period when ``window`` entries are enabled."""
+        if window not in self.sizes:
+            raise ConfigurationError(
+                f"window {window} not in configured sizes {self.sizes}"
+            )
+        return IssueQueueTiming(self.tech).cycle_time_ns(window)
+
+    def cycle_table(self) -> dict[int, float]:
+        """Cycle time for every configured size."""
+        return {w: self.cycle_time_ns(w) for w in self.sizes}

@@ -1,0 +1,31 @@
+"""Technology models: wires, repeaters, and structure timing.
+
+This subpackage provides the first-order delay models the paper builds
+on:
+
+* :mod:`repro.tech.parameters` — per-feature-size technology constants.
+* :mod:`repro.tech.wires` — unbuffered distributed-RC wire delay.
+* :mod:`repro.tech.repeaters` — Bakoglu optimal repeater insertion.
+* :mod:`repro.tech.cacti` — CACTI-style cache increment access/cycle time.
+* :mod:`repro.tech.palacharla` — instruction queue wakeup + select delays.
+"""
+
+from repro.tech.parameters import TechnologyParameters, technology
+from repro.tech.wires import unbuffered_wire_delay_ns
+from repro.tech.repeaters import RepeaterDesign, buffered_wire_delay_ns, optimal_repeaters
+from repro.tech.cacti import CacheIncrementTiming, cache_bus_length_mm, structure_height_mm
+from repro.tech.palacharla import IssueQueueTiming, queue_bus_length_mm
+
+__all__ = [
+    "TechnologyParameters",
+    "technology",
+    "unbuffered_wire_delay_ns",
+    "RepeaterDesign",
+    "optimal_repeaters",
+    "buffered_wire_delay_ns",
+    "CacheIncrementTiming",
+    "structure_height_mm",
+    "cache_bus_length_mm",
+    "IssueQueueTiming",
+    "queue_bus_length_mm",
+]

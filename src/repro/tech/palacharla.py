@@ -1,0 +1,121 @@
+"""Instruction queue wakeup + select delay model (after Palacharla et al.).
+
+The paper assumes the issue queue's wakeup and selection logic is on the
+critical timing path for every configuration, using Palacharla's 16-entry
+wakeup delay values for 0.18 micron with operand tag lines buffered
+between each group of 16 entries (the configuration increment), and a
+selection tree of 4-bit priority encoders whose height — and therefore
+delay — depends on the number of *enabled* entries.
+
+This module provides:
+
+* :func:`r10000_entry_ram_equivalent_bytes` — the area bookkeeping the
+  paper performs for the R10000-style integer queue entry (52 bits of
+  1-ported RAM, 12 bits of 3-ported CAM, 6 bits of 4-ported CAM; a CAM
+  cell is twice a RAM cell and area grows quadratically with ports),
+  which comes out to "roughly 60 bytes" per entry.
+* :func:`queue_bus_length_mm` — tag-bus length over ``n`` entries, used
+  by the Figure 2 wire-delay study.
+* :class:`IssueQueueTiming` — wakeup, select and cycle time as a function
+  of enabled window size, used by :mod:`repro.ooo.timing`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import TimingModelError
+from repro.tech.cacti import structure_height_mm
+from repro.tech.parameters import TechnologyParameters
+from repro.units import ps
+
+#: Composition of one R10000-style integer queue entry.
+R10000_RAM_BITS: int = 52
+R10000_CAM3_BITS: int = 12
+R10000_CAM4_BITS: int = 6
+#: Area of a CAM cell relative to a RAM cell.
+CAM_AREA_FACTOR: float = 2.0
+
+#: Wakeup coefficients at the 0.25 micron reference, in ps.  The base is
+#: the tag match + result OR of a 16-entry queue; the per-entry term is
+#: the (buffered, hence linear) tag-line extension cost.
+WAKEUP_BASE_PS: float = 277.8
+WAKEUP_PS_PER_ENTRY: float = 3.06
+
+#: Select-tree coefficients at the 0.25 micron reference, in ps: a tree
+#: of 4-input priority encoders, one level per factor of four entries,
+#: plus the root grant driver.
+SELECT_PS_PER_LEVEL: float = 118.1
+SELECT_ROOT_PS: float = 41.7
+
+
+def r10000_entry_ram_equivalent_bytes() -> float:
+    """Single-ported-RAM-equivalent area of one integer queue entry.
+
+    >>> 55 < r10000_entry_ram_equivalent_bytes() < 60
+    True
+    """
+    ram = R10000_RAM_BITS * 1.0
+    cam3 = R10000_CAM3_BITS * CAM_AREA_FACTOR * 3**2
+    cam4 = R10000_CAM4_BITS * CAM_AREA_FACTOR * 4**2
+    return (ram + cam3 + cam4) / 8.0
+
+
+def queue_bus_length_mm(n_entries: int) -> float:
+    """Tag/operand bus length (mm) over ``n_entries`` queue entries."""
+    if n_entries < 1:
+        raise TimingModelError(f"need at least one queue entry, got {n_entries}")
+    entry_height = structure_height_mm(r10000_entry_ram_equivalent_bytes())
+    return n_entries * entry_height
+
+
+def select_tree_levels(window: int) -> int:
+    """Height of the 4-input priority-encoder selection tree.
+
+    Entries that are disabled have their encoders disabled too, so the
+    tree height follows the number of *enabled* entries:
+
+    >>> select_tree_levels(16), select_tree_levels(64), select_tree_levels(128)
+    (2, 3, 4)
+    """
+    if window < 1:
+        raise TimingModelError(f"window must be positive, got {window}")
+    if window == 1:
+        return 1
+    return math.ceil(math.log(window, 4))
+
+
+@dataclass(frozen=True)
+class IssueQueueTiming:
+    """Wakeup + select timing for a (possibly adaptive) issue queue.
+
+    The wakeup and select operation must complete atomically within one
+    cycle so dependent instructions can issue in consecutive cycles, so
+    the queue's cycle time is their sum.
+    """
+
+    tech: TechnologyParameters
+
+    def wakeup_ns(self, window: int) -> float:
+        """Tag drive + match + ready-OR delay for ``window`` entries."""
+        if window < 1:
+            raise TimingModelError(f"window must be positive, got {window}")
+        scale = self.tech.gate_delay_scale()
+        return ps((WAKEUP_BASE_PS + WAKEUP_PS_PER_ENTRY * window) * scale)
+
+    def select_ns(self, window: int) -> float:
+        """Selection-tree delay for ``window`` enabled entries."""
+        scale = self.tech.gate_delay_scale()
+        levels = select_tree_levels(window)
+        return ps((SELECT_ROOT_PS + SELECT_PS_PER_LEVEL * levels) * scale)
+
+    def cycle_time_ns(self, window: int) -> float:
+        """Processor cycle time when ``window`` entries are enabled.
+
+        >>> from repro.tech import technology
+        >>> t = IssueQueueTiming(technology(0.18))
+        >>> t.cycle_time_ns(16) < t.cycle_time_ns(64) < t.cycle_time_ns(128)
+        True
+        """
+        return self.wakeup_ns(window) + self.select_ns(window)

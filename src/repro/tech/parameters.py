@@ -1,0 +1,100 @@
+"""Per-feature-size technology constants.
+
+The paper's delay analysis (Section 2) rests on two first-order scaling
+assumptions that we adopt verbatim:
+
+* transistor (buffer, driver, decoder...) delays scale **linearly** with
+  feature size, and
+* wire delays (resistance and capacitance per unit length of the global
+  busses) remain **constant** as feature size shrinks.
+
+All constants below are calibrated at the 0.25 micron reference node so
+that the model reproduces the delay ranges of the paper's Figures 1 and 2
+(cache wire delay reaching ~3 ns for sixteen 2 KB subarrays, ~6 ns for
+sixteen 4 KB subarrays, and ~1.3 ns for a 64-entry R10000-style integer
+queue) and the buffered-versus-unbuffered crossovers called out in the
+text (16 KB+ caches of 2 KB subarrays benefit at 0.18 micron; a 32-entry
+queue benefits at 0.12 micron).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TimingModelError
+from repro.units import feature_scale
+
+#: Global-bus wire resistance per unit length (ohm / mm).  Constant with
+#: feature size per the paper's first-order assumption.
+WIRE_RESISTANCE_OHM_PER_MM: float = 146.5
+
+#: Global-bus wire capacitance per unit length (pF / mm).
+WIRE_CAPACITANCE_PF_PER_MM: float = 0.4
+
+#: Characteristic repeater RC product (ps) at the 0.25 micron reference
+#: node: the intrinsic delay scale of a minimum-sized inverter driving an
+#: identical inverter.  Scales linearly with feature size.
+REPEATER_RC_PS_AT_REFERENCE: float = 27.4
+
+#: Layout rule used for all RAM/CAM array structures: the bus-height of a
+#: 2 KB single-ported RAM subarray, in mm.  Heights of other array sizes
+#: follow the square-root-of-area rule (linear dimension grows with the
+#: square root of capacity).  Held constant across feature sizes, matching
+#: the paper's conservative assumption that wire lengths do not shrink.
+SUBARRAY_2KB_HEIGHT_MM: float = 0.75
+
+#: Capacity (bytes) of the reference subarray whose height is given above.
+REFERENCE_SUBARRAY_BYTES: int = 2048
+
+
+@dataclass(frozen=True)
+class TechnologyParameters:
+    """Technology constants for one feature size.
+
+    Attributes
+    ----------
+    feature_um:
+        Drawn feature size in microns.
+    wire_r_ohm_per_mm / wire_c_pf_per_mm:
+        Global wire resistance and capacitance per mm (feature-size
+        independent).
+    repeater_rc_ps:
+        Characteristic repeater RC product in picoseconds; linear in
+        feature size.
+    """
+
+    feature_um: float
+    wire_r_ohm_per_mm: float
+    wire_c_pf_per_mm: float
+    repeater_rc_ps: float
+
+    @property
+    def wire_rc_ps_per_mm2(self) -> float:
+        """Distributed-RC product of the global wire, in ps / mm^2."""
+        return self.wire_r_ohm_per_mm * self.wire_c_pf_per_mm
+
+    def gate_delay_scale(self) -> float:
+        """Scale factor for transistor delays relative to 0.25 micron."""
+        return feature_scale(self.feature_um)
+
+
+def technology(feature_um: float) -> TechnologyParameters:
+    """Build the :class:`TechnologyParameters` for a feature size.
+
+    Parameters
+    ----------
+    feature_um:
+        Feature size in microns.  The model is calibrated over the range
+        studied in the paper (0.1 to 0.35 micron); values outside that
+        range raise :class:`~repro.errors.TimingModelError`.
+    """
+    if not 0.1 <= feature_um <= 0.35:
+        raise TimingModelError(
+            f"technology model calibrated for 0.10-0.35 micron, got {feature_um}"
+        )
+    return TechnologyParameters(
+        feature_um=feature_um,
+        wire_r_ohm_per_mm=WIRE_RESISTANCE_OHM_PER_MM,
+        wire_c_pf_per_mm=WIRE_CAPACITANCE_PF_PER_MM,
+        repeater_rc_ps=REPEATER_RC_PS_AT_REFERENCE * feature_scale(feature_um),
+    )

@@ -1,0 +1,126 @@
+"""Bakoglu optimal repeater insertion.
+
+Inserting ``k`` repeaters of size ``h`` (relative to a minimum inverter)
+into a wire of total resistance ``R_int`` and capacitance ``C_int``
+breaks the quadratic RC delay into ``k`` short segments.  Bakoglu and
+Meindl [4] derive the optimum:
+
+* ``k_opt = sqrt(0.4 * R_int * C_int / (0.7 * R0 * C0))``
+* ``h_opt = sqrt(R0 * C_int / (R_int * C0))``
+* ``T_opt = 2.5 * sqrt(R0 * C0 * R_int * C_int)``
+
+where ``R0 * C0`` is the characteristic RC product of a minimum
+repeater.  Because ``R_int = r * L`` and ``C_int = c * L``, the optimally
+buffered delay grows **linearly** with wire length::
+
+    T_opt(L) = 2.5 * sqrt(R0 * C0 * r * c) * L
+
+and because ``R0 * C0`` scales linearly with feature size, buffered wires
+get faster as technology shrinks even though the bare wire does not —
+the effect the paper's Figures 1 and 2 illustrate.  On top of ``T_opt``
+we charge the intrinsic delay of driving into the repeated line (two
+characteristic RC products), which slightly penalises buffering for very
+short wires and produces the crossover behaviour seen in the figures.
+
+Segment isolation is the property the CAP architecture exploits: every
+buffered segment's delay is independent of how many further segments
+follow it, so elements can be disabled (and the clock retargeted) without
+redesigning the wire.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import TimingModelError
+from repro.tech.parameters import TechnologyParameters
+from repro.tech.wires import unbuffered_wire_delay_ns
+from repro.units import ps
+
+#: Fixed overhead of entering a repeated line, in characteristic repeater
+#: RC products (the driver stage plus the first repeater's intrinsic
+#: delay).
+DRIVE_IN_OVERHEAD_RC: float = 2.0
+
+
+@dataclass(frozen=True)
+class RepeaterDesign:
+    """Result of optimally buffering one wire.
+
+    Attributes
+    ----------
+    length_mm:
+        Total wire length.
+    n_repeaters:
+        Optimal repeater count ``k_opt`` (rounded up, at least 1).
+    repeater_size:
+        Optimal repeater size ``h_opt`` relative to a minimum inverter.
+    delay_ns:
+        End-to-end buffered delay including drive-in overhead.
+    segment_delay_ns:
+        Delay of one repeated segment; independent of the number of
+        downstream segments (the isolation property).
+    """
+
+    length_mm: float
+    n_repeaters: int
+    repeater_size: float
+    delay_ns: float
+    segment_delay_ns: float
+
+
+def _per_mm_delay_ps(tech: TechnologyParameters) -> float:
+    """Optimally buffered wire delay per millimetre, in ps."""
+    return 2.5 * math.sqrt(tech.repeater_rc_ps * tech.wire_rc_ps_per_mm2)
+
+
+def buffered_wire_delay_ns(length_mm: float, tech: TechnologyParameters) -> float:
+    """Delay (ns) of an optimally repeated wire of ``length_mm``.
+
+    Linear in length, and scales with the square root of the repeater RC
+    product (hence improves as feature size shrinks).
+    """
+    if length_mm < 0:
+        raise TimingModelError(f"wire length must be non-negative, got {length_mm}")
+    if length_mm == 0:
+        return 0.0
+    overhead_ps = DRIVE_IN_OVERHEAD_RC * tech.repeater_rc_ps
+    return ps(overhead_ps + _per_mm_delay_ps(tech) * length_mm)
+
+
+def optimal_repeaters(length_mm: float, tech: TechnologyParameters) -> RepeaterDesign:
+    """Compute the full Bakoglu design point for a wire.
+
+    >>> from repro.tech import technology
+    >>> d = optimal_repeaters(10.0, technology(0.18))
+    >>> d.n_repeaters >= 1 and d.delay_ns > 0
+    True
+    """
+    if length_mm <= 0:
+        raise TimingModelError(f"wire length must be positive, got {length_mm}")
+    r_int_c_int_ps = tech.wire_rc_ps_per_mm2 * length_mm * length_mm
+    k_opt = math.sqrt(0.4 * r_int_c_int_ps / (0.7 * tech.repeater_rc_ps))
+    n_repeaters = max(1, math.ceil(k_opt))
+    # h_opt = sqrt(R0 * C_int / (R_int * C0)); with R0/C0 folded into the
+    # characteristic product we report the classic dimensionless form
+    # using a nominal R0/C0 split of 1 kOhm / tau0 per kOhm.
+    r0_ohm = 1000.0
+    c0_pf = tech.repeater_rc_ps / r0_ohm
+    c_int_pf = tech.wire_c_pf_per_mm * length_mm
+    r_int_ohm = tech.wire_r_ohm_per_mm * length_mm
+    h_opt = math.sqrt(r0_ohm * c_int_pf / (r_int_ohm * c0_pf))
+    delay = buffered_wire_delay_ns(length_mm, tech)
+    segment = (delay - ps(DRIVE_IN_OVERHEAD_RC * tech.repeater_rc_ps)) / n_repeaters
+    return RepeaterDesign(
+        length_mm=length_mm,
+        n_repeaters=n_repeaters,
+        repeater_size=h_opt,
+        delay_ns=delay,
+        segment_delay_ns=segment,
+    )
+
+
+def buffering_is_beneficial(length_mm: float, tech: TechnologyParameters) -> bool:
+    """True when optimal buffering beats the bare distributed-RC wire."""
+    return buffered_wire_delay_ns(length_mm, tech) < unbuffered_wire_delay_ns(length_mm, tech)

@@ -1,0 +1,40 @@
+"""Unbuffered distributed-RC wire delay.
+
+A long on-chip bus with no repeaters behaves as a distributed RC line;
+its 50%-point Elmore delay is ``0.38 * r * c * L^2`` (Bakoglu).  The
+quadratic growth with length is what makes large monolithic structures
+slow, and what repeater insertion (:mod:`repro.tech.repeaters`) converts
+into linear growth.
+
+Following the paper's Figure 1 ("there is only one unbuffered curve as
+wire delays remain constant with feature size"), the unbuffered delay
+deliberately excludes any transistor driver component so that it is
+feature-size independent.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TimingModelError
+from repro.tech.parameters import TechnologyParameters
+from repro.units import ps
+
+#: Elmore coefficient for the 50% point of a distributed RC line.
+DISTRIBUTED_RC_COEFFICIENT: float = 0.38
+
+
+def unbuffered_wire_delay_ns(length_mm: float, tech: TechnologyParameters) -> float:
+    """Delay (ns) of an unbuffered distributed-RC wire of ``length_mm``.
+
+    The result depends only on the wire's per-unit-length RC product,
+    which the model holds constant across feature sizes, so the same
+    length gives the same delay at 0.25, 0.18 and 0.12 micron.
+
+    >>> from repro.tech import technology
+    >>> t = technology(0.18)
+    >>> round(unbuffered_wire_delay_ns(1.0, t), 4) > 0
+    True
+    """
+    if length_mm < 0:
+        raise TimingModelError(f"wire length must be non-negative, got {length_mm}")
+    rc = tech.wire_rc_ps_per_mm2  # ps / mm^2
+    return ps(DISTRIBUTED_RC_COEFFICIENT * rc * length_mm * length_mm)

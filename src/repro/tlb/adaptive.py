@@ -1,0 +1,53 @@
+"""The TLB as a complexity-adaptive structure.
+
+The configuration is the fast-section size (entries on the single-cycle
+match path).  Unlike the issue queue, nothing drains on reconfiguration
+— entries merely change sections, exactly like cache increments
+changing level designation — so the only cost is the clock switch.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.structure import ComplexityAdaptiveStructure, ReconfigurationCost
+from repro.tlb.timing import TlbTimingModel
+
+
+class AdaptiveTlb(ComplexityAdaptiveStructure[int]):
+    """Complexity-adaptive TLB (configuration = fast-section entries)."""
+
+    name = "tlb"
+
+    def __init__(
+        self,
+        timing: TlbTimingModel | None = None,
+        initial_fast_entries: int | None = None,
+    ) -> None:
+        self.timing = timing if timing is not None else TlbTimingModel()
+        boundaries = self.timing.boundaries()
+        self._current = (
+            initial_fast_entries if initial_fast_entries is not None else boundaries[-1]
+        )
+        self.validate(self._current)
+
+    def configurations(self) -> Sequence[int]:
+        """Fast-section sizes, smallest (fastest) first."""
+        return self.timing.boundaries()
+
+    def delay_ns(self, config: int) -> float:
+        """Critical path: the single-cycle CAM match."""
+        self.validate(config)
+        return self.timing.lookup_time_ns(config)
+
+    @property
+    def configuration(self) -> int:
+        """Current fast-section size."""
+        return self._current
+
+    def reconfigure(self, config: int) -> ReconfigurationCost:
+        """Move the fast/backup boundary; translations stay resident."""
+        self.validate(config)
+        changed = config != self._current
+        self._current = config
+        return ReconfigurationCost(cleanup_cycles=0, requires_clock_switch=changed)

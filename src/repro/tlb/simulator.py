@@ -1,0 +1,98 @@
+"""Page-level LRU stack engine for the fully-associative TLB.
+
+A fully-associative LRU TLB of any capacity is characterised by one
+recency stack: an access at stack depth ``d`` hits every TLB with more
+than ``d`` entries.  With the backup organisation, depth ``< fast``
+is a single-cycle hit, depth ``< total`` a two-cycle backup hit, and
+anything deeper a page walk — so, exactly as with the cache study, one
+pass evaluates every boundary position at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+#: Page size assumed by the TLB study.
+PAGE_BYTES: int = 4096
+_PAGE_SHIFT: int = 12
+
+#: Depth recorded for an access beyond everything the TLB can hold.
+WALK_DEPTH: int = 65535
+
+
+class PageStackEngine:
+    """Streams byte addresses and records page-level stack depths."""
+
+    def __init__(self, max_depth: int) -> None:
+        if max_depth < 1:
+            raise SimulationError(f"max depth must be positive, got {max_depth}")
+        self.max_depth = max_depth
+        self._stack: list[int] = []
+
+    def reset(self) -> None:
+        """Forget all cached translations."""
+        self._stack = []
+
+    def process(self, addresses: np.ndarray) -> np.ndarray:
+        """Return the page stack depth of every byte address."""
+        pages = (np.asarray(addresses, dtype=np.uint64) >> np.uint64(_PAGE_SHIFT))
+        depths = np.empty(len(pages), dtype=np.uint16)
+        stack = self._stack
+        max_depth = self.max_depth
+        for i, page in enumerate(pages.tolist()):
+            try:
+                depth = stack.index(page)
+            except ValueError:
+                depths[i] = WALK_DEPTH
+                stack.insert(0, page)
+                if len(stack) > max_depth:
+                    stack.pop()
+                continue
+            depths[i] = depth
+            if depth:
+                del stack[depth]
+                stack.insert(0, page)
+        return depths
+
+
+@dataclass(frozen=True)
+class TlbDepthHistogram:
+    """Histogram of page stack depths for one trace.
+
+    ``counts[d]`` is the number of accesses at depth ``d`` (up to the
+    TLB's total capacity); ``walks`` counts accesses that missed the
+    whole structure.
+    """
+
+    total_entries: int
+    counts: np.ndarray
+    walks: int
+
+    @classmethod
+    def from_depths(cls, total_entries: int, depths: np.ndarray) -> "TlbDepthHistogram":
+        """Aggregate the output of :meth:`PageStackEngine.process`."""
+        raw = np.bincount(depths, minlength=WALK_DEPTH + 1)
+        counts = raw[:total_entries].astype(np.int64)
+        walks = int(raw[total_entries:].sum())
+        return cls(total_entries=total_entries, counts=counts, walks=walks)
+
+    @property
+    def n_accesses(self) -> int:
+        """Total accesses."""
+        return int(self.counts.sum()) + self.walks
+
+    def fast_hits(self, fast_entries: int) -> int:
+        """Single-cycle hits with the boundary at ``fast_entries``."""
+        return int(self.counts[:fast_entries].sum())
+
+    def backup_hits(self, fast_entries: int) -> int:
+        """Two-cycle hits in the backup section."""
+        return int(self.counts[fast_entries:].sum())
+
+    def walk_count(self) -> int:
+        """Page walks (boundary independent)."""
+        return self.walks

@@ -1,0 +1,89 @@
+"""TLB lookup timing versus fast-section size.
+
+The TLB is a CAM searched on every memory access.  Like the issue
+queue's tag match, the lookup delay grows with the number of entries on
+the (repeater-buffered) match path, so the single-cycle *fast* section
+sets the processor cycle time while the backup section — searched only
+on a fast miss — merely adds a cycle.
+
+The entry area bookkeeping follows the paper's R10000 method: a TLB
+entry holds a virtual-page CAM tag (~8 bytes dual-ported) and a
+physical-page RAM payload (~8 bytes), giving an area-equivalent of
+roughly 72 bytes of single-ported RAM per entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.tech.cacti import best_bus_delay_ns, structure_height_mm
+from repro.tech.parameters import TechnologyParameters, technology
+from repro.units import ps
+
+#: Physical capacity of the adaptive TLB.
+TLB_TOTAL_ENTRIES: int = 128
+#: Enable/disable granularity (one repeater-isolated group).
+TLB_INCREMENT: int = 16
+
+#: CAM area bookkeeping: 8 B of 2-ported CAM (x2 cell x4 ports^2) plus
+#: 8 B of 1-ported RAM payload.
+_ENTRY_RAM_EQUIVALENT_BYTES: float = 8 * 2.0 * 2**2 + 8.0
+
+#: Match + priority-mux delay of a 16-entry CAM group, ps at 0.25 um.
+_MATCH_BASE_PS: float = 250.0
+
+#: The CAM is laid out as two folded columns, halving the bus run.
+_FOLD_FACTOR: float = 0.5
+
+#: Page-walk latency in ns (a couple of memory accesses).
+PAGE_WALK_NS: float = 60.0
+
+
+def tlb_entry_height_mm() -> float:
+    """Bus-height of one TLB entry (folded two-column layout)."""
+    return _FOLD_FACTOR * structure_height_mm(_ENTRY_RAM_EQUIVALENT_BYTES)
+
+
+@dataclass(frozen=True)
+class TlbTimingModel:
+    """Lookup delay per boundary position."""
+
+    tech: TechnologyParameters = field(default_factory=lambda: technology(0.18))
+    total_entries: int = TLB_TOTAL_ENTRIES
+    increment: int = TLB_INCREMENT
+
+    def __post_init__(self) -> None:
+        if self.total_entries % self.increment:
+            raise ConfigurationError(
+                "TLB capacity must be a whole number of increments"
+            )
+
+    def boundaries(self) -> tuple[int, ...]:
+        """Legal fast-section sizes (at least one increment each side
+        is *not* required: the whole TLB may be fast)."""
+        return tuple(
+            range(self.increment, self.total_entries + 1, self.increment)
+        )
+
+    def lookup_time_ns(self, fast_entries: int) -> float:
+        """Single-cycle lookup path: match across the fast section."""
+        if fast_entries not in self.boundaries():
+            raise ConfigurationError(
+                f"fast section must be one of {self.boundaries()}, got {fast_entries}"
+            )
+        bus_mm = fast_entries * tlb_entry_height_mm()
+        match = ps(_MATCH_BASE_PS * self.tech.gate_delay_scale())
+        return match + best_bus_delay_ns(bus_mm, self.tech)
+
+    def backup_extra_cycles(self) -> int:
+        """Additional cycles for a hit in the backup section.
+
+        The backup match spans the full structure and is serialised
+        behind the fast match, costing two extra cycles.
+        """
+        return 2
+
+    def page_walk_ns(self) -> float:
+        """Cost of missing the whole TLB."""
+        return PAGE_WALK_NS

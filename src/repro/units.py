@@ -1,0 +1,74 @@
+"""Physical units and conversion helpers used throughout the library.
+
+All delays inside :mod:`repro` are expressed in **nanoseconds**, all
+capacities in **bytes**, and all wire geometry in **millimetres**.  The
+handful of helpers here keep those conventions explicit at module
+boundaries, where the paper quotes values in mixed units (picoseconds for
+gate delays, KB for cache sizes, microns for feature sizes).
+"""
+
+from __future__ import annotations
+
+#: Bytes per kilobyte.  The paper (and all cache literature of the era)
+#: uses binary kilobytes.
+KB: int = 1024
+
+#: Nanoseconds per picosecond.
+PS: float = 1e-3
+
+#: Reference feature size (microns) at which the technology parameters in
+#: :mod:`repro.tech.parameters` are calibrated.
+REFERENCE_FEATURE_UM: float = 0.25
+
+#: The three feature sizes studied in the paper's Figures 1 and 2.
+PAPER_FEATURE_SIZES_UM: tuple[float, ...] = (0.25, 0.18, 0.12)
+
+
+def kb(n: float) -> int:
+    """Return *n* kilobytes expressed in bytes.
+
+    >>> kb(8)
+    8192
+    """
+    return int(n * KB)
+
+
+def to_kb(n_bytes: float) -> float:
+    """Return *n_bytes* expressed in kilobytes.
+
+    >>> to_kb(8192)
+    8.0
+    """
+    return n_bytes / KB
+
+
+def ps(n: float) -> float:
+    """Return *n* picoseconds expressed in nanoseconds.
+
+    >>> ps(500)
+    0.5
+    """
+    return n * PS
+
+
+def ns_to_mhz(cycle_time_ns: float) -> float:
+    """Return the clock frequency in MHz for a cycle time in ns.
+
+    >>> ns_to_mhz(2.0)
+    500.0
+    """
+    if cycle_time_ns <= 0:
+        raise ValueError(f"cycle time must be positive, got {cycle_time_ns}")
+    return 1e3 / cycle_time_ns
+
+
+def feature_scale(feature_um: float) -> float:
+    """Linear scaling factor of transistor delay relative to 0.25 micron.
+
+    The paper assumes that, to first order, transistor (and hence buffer)
+    delays scale linearly with feature size while wire delays remain
+    constant.  ``feature_scale(0.25) == 1.0``.
+    """
+    if feature_um <= 0:
+        raise ValueError(f"feature size must be positive, got {feature_um}")
+    return feature_um / REFERENCE_FEATURE_UM

@@ -1,0 +1,75 @@
+"""Synthetic D-cache reference streams (the Atom-trace substitute).
+
+A trace is a mixture process: each reference picks a working-set
+component (or the streaming source) by weight, then produces a byte
+address within it:
+
+* **uniform** components pick a random block — irregular reuse whose
+  stack-distance distribution softens around the component size;
+* **loop** components advance a cyclic sequential walk — classic LRU
+  pathology with a sharp fit-or-thrash knee at the component size;
+* the **streaming** source walks an unbounded region — pure compulsory
+  misses.
+
+Sequential sources touch each 32 B block ``refs_per_block`` times in a
+row (word-granularity spatial locality), which keeps thrashing loops
+from looking artificially hostile: even a thrashing loop hits in L1 for
+the intra-block references, exactly as real strided code does.
+
+Component address spaces are disjoint (distinct high bits) so
+components never alias each other's blocks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workloads.profiles import ComponentKind, MemoryProfile
+
+#: Byte offset separating component address spaces.
+_COMPONENT_STRIDE: int = 1 << 42
+#: Block size assumed by the generators (matches the paper geometry).
+_BLOCK_BYTES: int = 32
+
+
+def generate_address_trace(
+    profile: MemoryProfile, n_refs: int, seed: int
+) -> np.ndarray:
+    """Generate ``n_refs`` byte addresses for ``profile``.
+
+    Deterministic in ``seed``.  Returns a ``uint64`` array.
+    """
+    if n_refs <= 0:
+        raise WorkloadError(f"n_refs must be positive, got {n_refs}")
+    rng = np.random.default_rng(seed)
+    weights = np.array(profile.normalised_weights())
+    n_sources = len(weights)  # components + streaming
+    choices = rng.choice(n_sources, size=n_refs, p=weights)
+    addresses = np.zeros(n_refs, dtype=np.uint64)
+
+    for idx, component in enumerate(profile.components):
+        mask = choices == idx
+        count = int(mask.sum())
+        if count == 0:
+            continue
+        n_blocks = max(1, int(np.ceil(component.size_kb * 1024 / _BLOCK_BYTES)))
+        base = np.uint64((idx + 1) * _COMPONENT_STRIDE)
+        if component.kind is ComponentKind.UNIFORM:
+            blocks = rng.integers(0, n_blocks, size=count, dtype=np.uint64)
+        else:  # LOOP: cyclic sequential walk with spatial locality
+            positions = np.arange(count, dtype=np.uint64) // np.uint64(
+                profile.refs_per_block
+            )
+            blocks = positions % np.uint64(n_blocks)
+        addresses[mask] = base + blocks * np.uint64(_BLOCK_BYTES)
+
+    stream_mask = choices == n_sources - 1
+    count = int(stream_mask.sum())
+    if count:
+        base = np.uint64((n_sources + 1) * _COMPONENT_STRIDE)
+        positions = np.arange(count, dtype=np.uint64) // np.uint64(
+            profile.refs_per_block
+        )
+        addresses[stream_mask] = base + positions * np.uint64(_BLOCK_BYTES)
+    return addresses

@@ -1,0 +1,237 @@
+"""Dependence-annotated instruction streams (the SimpleScalar substitute).
+
+The queue study models an 8-way out-of-order machine with perfect
+branch prediction, perfect caches and plentiful functional units, so
+the *only* performance-relevant property of an instruction stream is
+its dataflow structure: who depends on whom, and operation latencies.
+
+Streams are generated as loop iterations of ``block_size`` instructions
+arranged in ``depth`` dataflow levels (a layered DAG — each level feeds
+the one below), optionally threaded by a serial loop-carried recurrence
+chain.  Three knobs emerge:
+
+* the recurrence bounds steady-state IPC at
+  ``block_size / (recurrence_ops * recurrence_latency)``;
+* the iteration critical path (``depth`` x mean latency) sets how much
+  issue window an iteration's body occupies before it drains;
+* ``deep_fraction`` mixes in iterations of an alternative
+  ``deep_variant`` profile — typically one with a long critical path
+  and no recurrence bound.  Real applications are mixtures of loop
+  nests with different ILP shapes, and it is exactly this heterogeneity
+  that produces the *concave* IPC-versus-window curves of the paper's
+  Figure 10: the shallow iterations deliver most of the ILP at small
+  windows, while the deep ones keep adding ILP as the window grows.
+
+Together the knobs place an application's best TPI point at any queue
+size, which is the behaviour Figures 10-13 depend on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workloads.profiles import IlpProfile
+
+#: Marker for "no dependence".
+NO_DEP: int = -1
+
+
+@dataclass(frozen=True)
+class InstructionTrace:
+    """A dynamic instruction stream with dataflow annotations.
+
+    ``dep1``/``dep2`` hold absolute producer indices (or :data:`NO_DEP`);
+    ``latency`` holds per-instruction execution latencies in cycles.
+    ``load_address`` is optional: when present, entries >= 0 mark loads
+    and carry the byte address they reference (:data:`NO_DEP` marks
+    non-loads), enabling the integrated machine+cache simulation.
+    """
+
+    dep1: np.ndarray
+    dep2: np.ndarray
+    latency: np.ndarray
+    load_address: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        n = len(self.latency)
+        if len(self.dep1) != n or len(self.dep2) != n:
+            raise WorkloadError("trace arrays must have equal length")
+        if self.load_address is not None and len(self.load_address) != n:
+            raise WorkloadError("load_address must match trace length")
+        if n == 0:
+            raise WorkloadError("instruction trace is empty")
+
+    def __len__(self) -> int:
+        return len(self.latency)
+
+    def validate(self) -> None:
+        """Check the dataflow invariants (producers strictly precede uses)."""
+        idx = np.arange(len(self))
+        for dep in (self.dep1, self.dep2):
+            used = dep != NO_DEP
+            if np.any(dep[used] >= idx[used]) or np.any(dep[used] < 0):
+                raise WorkloadError("dependence does not point strictly backward")
+        if np.any(self.latency < 1):
+            raise WorkloadError("latencies must be >= 1 cycle")
+
+    def slice(self, start: int, stop: int) -> "InstructionTrace":
+        """Extract ``[start, stop)``, clipping dangling deps to NO_DEP."""
+        dep1 = self.dep1[start:stop] - start
+        dep2 = self.dep2[start:stop] - start
+        dep1 = np.where((self.dep1[start:stop] == NO_DEP) | (dep1 < 0), NO_DEP, dep1)
+        dep2 = np.where((self.dep2[start:stop] == NO_DEP) | (dep2 < 0), NO_DEP, dep2)
+        loads = None if self.load_address is None else self.load_address[start:stop]
+        return InstructionTrace(
+            dep1=dep1, dep2=dep2, latency=self.latency[start:stop],
+            load_address=loads,
+        )
+
+
+def concatenate(traces: Sequence[InstructionTrace]) -> InstructionTrace:
+    """Concatenate traces, offsetting producer indices appropriately."""
+    if not traces:
+        raise WorkloadError("nothing to concatenate")
+    dep1_parts, dep2_parts, lat_parts, load_parts = [], [], [], []
+    base = 0
+    with_loads = all(t.load_address is not None for t in traces)
+    for t in traces:
+        dep1_parts.append(np.where(t.dep1 == NO_DEP, NO_DEP, t.dep1 + base))
+        dep2_parts.append(np.where(t.dep2 == NO_DEP, NO_DEP, t.dep2 + base))
+        lat_parts.append(t.latency)
+        if with_loads:
+            load_parts.append(t.load_address)
+        base += len(t)
+    return InstructionTrace(
+        dep1=np.concatenate(dep1_parts),
+        dep2=np.concatenate(dep2_parts),
+        latency=np.concatenate(lat_parts),
+        load_address=np.concatenate(load_parts) if with_loads else None,
+    )
+
+
+def _append_iteration(
+    profile: IlpProfile,
+    rng: np.random.Generator,
+    start: int,
+    prev_chain_tail: int,
+    dep1: list[int],
+    dep2: list[int],
+    latency: list[int],
+) -> int:
+    """Emit one iteration of ``profile`` starting at index ``start``.
+
+    ``prev_chain_tail`` is the absolute index of the previous
+    iteration's recurrence-chain tail (or :data:`NO_DEP`).  Returns this
+    iteration's chain tail for the next call.
+    """
+    block = profile.block_size
+    rec = profile.recurrence_ops
+    layered = block - rec
+    depth = min(profile.depth, max(layered, 1))
+
+    # --- loop-carried recurrence chain ---
+    for j in range(rec):
+        dep1.append(start + j - 1 if j else prev_chain_tail)
+        dep2.append(NO_DEP)
+        latency.append(profile.recurrence_latency)
+    chain_tail = start + rec - 1 if rec else prev_chain_tail
+
+    if layered == 0:
+        return chain_tail
+
+    # --- layered dataflow body ---
+    # level l occupies body positions [lo[l], hi[l])
+    lo = [l * layered // depth for l in range(depth)]
+    hi = lo[1:] + [layered]
+    level_of = [min(jj * depth // layered, depth - 1) for jj in range(layered)]
+    base = start + rec
+    long_draws = rng.random(layered)
+    pick_draws = rng.random(layered)
+    second_draws = rng.random(layered)
+    for jj in range(layered):
+        level = level_of[jj]
+        if level == 0:
+            dep1.append(NO_DEP)
+            dep2.append(NO_DEP)
+        else:
+            span_lo, span_hi = lo[level - 1], hi[level - 1]
+            dep1.append(base + span_lo + int(pick_draws[jj] * (span_hi - span_lo)))
+            if second_draws[jj] < profile.second_dep_probability:
+                lvl2 = int(second_draws[jj] / profile.second_dep_probability * level)
+                s_lo, s_hi = lo[lvl2], hi[lvl2]
+                dep2.append(base + s_lo + int(pick_draws[jj] * (s_hi - s_lo)))
+            else:
+                dep2.append(NO_DEP)
+        latency.append(
+            profile.long_latency_cycles
+            if long_draws[jj] < profile.long_latency_fraction
+            else 1
+        )
+    return chain_tail
+
+
+def generate_instruction_trace(
+    profile: IlpProfile, n_instructions: int, seed: int
+) -> InstructionTrace:
+    """Generate ``n_instructions`` instructions for ``profile``.
+
+    Deterministic in ``seed``.  Iterations alternate randomly between
+    the base profile and its ``deep_variant`` (when configured), with
+    each recurrence chain threading through the most recent chain tail.
+    """
+    if n_instructions <= 0:
+        raise WorkloadError(f"n_instructions must be positive, got {n_instructions}")
+    rng = np.random.default_rng(seed)
+    dep1: list[int] = []
+    dep2: list[int] = []
+    latency: list[int] = []
+    chain_tail = NO_DEP
+    while len(latency) < n_instructions:
+        use_deep = (
+            profile.deep_variant is not None
+            and rng.random() < profile.deep_fraction
+        )
+        iteration = profile.deep_variant if use_deep else profile
+        chain_tail = _append_iteration(
+            iteration, rng, len(latency), chain_tail, dep1, dep2, latency
+        )
+    n = n_instructions
+    return InstructionTrace(
+        dep1=np.array(dep1[:n], dtype=np.int64),
+        dep2=np.array(dep2[:n], dtype=np.int64),
+        latency=np.array(latency[:n], dtype=np.int16),
+    )
+
+
+def attach_memory_trace(
+    trace: InstructionTrace,
+    memory,  # MemoryProfile; untyped import to keep module deps one-way
+    seed: int,
+) -> InstructionTrace:
+    """Mark a load/store subset of ``trace`` and give it addresses.
+
+    Instructions become loads independently with the profile's
+    load/store density; their addresses follow the profile's reference
+    stream in program order, so the integrated simulation sees exactly
+    the address sequence the stack-distance studies measure.
+    """
+    from repro.workloads.address_trace import generate_address_trace
+
+    rng = np.random.default_rng(seed)
+    n = len(trace)
+    is_load = rng.random(n) < memory.load_store_fraction
+    n_loads = int(is_load.sum())
+    addresses = np.full(n, NO_DEP, dtype=np.int64)
+    if n_loads:
+        stream = generate_address_trace(memory, n_loads, seed)
+        addresses[is_load] = stream.astype(np.int64)
+    return InstructionTrace(
+        dep1=trace.dep1,
+        dep2=trace.dep2,
+        latency=trace.latency,
+        load_address=addresses,
+    )

@@ -1,0 +1,438 @@
+"""The paper's application suite, as calibrated synthetic profiles.
+
+21 applications drive the cache study (SPEC95 minus go, plus the CMU
+codes airshed/stereo/radar and the NAS benchmark appcg); the queue
+study adds go back (22 total).  Each profile is calibrated so the
+figures' qualitative structure reproduces — see the module docstring of
+:mod:`repro.workloads.profiles` for the specific behaviours anchored to
+the paper's text, and EXPERIMENTS.md for the measured outcome.
+
+ILP profile vocabulary (what makes an app "favour" a queue size):
+
+* ``CHAIN_BOUND`` apps saturate tiny windows — their loop-carried
+  recurrence already limits IPC at 16 entries, so the fastest clock
+  wins (radar, fpppp, appcg).
+* ``MODERATE`` apps keep gaining ILP up to roughly a 64-entry window.
+* ``DEEP`` apps (compress) have long per-iteration critical paths and
+  no recurrence bound, so IPC keeps growing through 128 entries.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.workloads.profiles import (
+    BenchmarkProfile,
+    IlpProfile,
+    MemoryProfile,
+    Suite,
+    loop,
+    uniform,
+)
+
+# --------------------------------------------------------------------------
+# ILP profile presets (tuned against the simulator; see tests/test_suite.py)
+# --------------------------------------------------------------------------
+
+def _deep_iterations(
+    long_latency_fraction: float = 0.35, long_latency_cycles: int = 5
+) -> IlpProfile:
+    """Deep, recurrence-free iteration shape: IPC grows with window.
+
+    Mixed into every application's base shape; the mix fraction and the
+    deep iterations' latency mix set how much ILP a wider window keeps
+    unlocking.
+    """
+    return IlpProfile(
+        block_size=32,
+        depth=16,
+        recurrence_ops=0,
+        long_latency_fraction=long_latency_fraction,
+        long_latency_cycles=long_latency_cycles,
+    )
+
+
+def _chain_bound(deep_fraction: float, rec_latency: int = 3) -> IlpProfile:
+    """Recurrence-limited: best TPI at the 16-entry queue.
+
+    ``deep_fraction`` sets how much the app loses by staying at 16 —
+    appcg (0.05) loses the most by running wide, radar (0.12) the least.
+    """
+    return IlpProfile(
+        block_size=12,
+        depth=3,
+        recurrence_ops=2,
+        recurrence_latency=rec_latency,
+        long_latency_fraction=0.10,
+        long_latency_cycles=4,
+        deep_variant=_deep_iterations(0.50, 6),
+        deep_fraction=deep_fraction,
+    )
+
+
+def _moderate(
+    block: int = 24, rec_latency: int = 5, deep_fraction: float = 0.50
+) -> IlpProfile:
+    """ILP saturates around a 64-entry window.
+
+    A shallow recurrence-bounded base (most ILP available at small
+    windows) mixed with deep iterations whose extra ILP a wider window
+    unlocks — and whose marginal gain past 64 entries no longer pays
+    for the slower clock.
+    """
+    return IlpProfile(
+        block_size=block,
+        depth=3,
+        recurrence_ops=2,
+        recurrence_latency=rec_latency,
+        long_latency_fraction=0.20,
+        long_latency_cycles=4,
+        deep_variant=_deep_iterations(),
+        deep_fraction=deep_fraction,
+    )
+
+
+def _near(block: int = 16) -> IlpProfile:
+    """ILP saturates around a 32-entry window (ijpeg)."""
+    return IlpProfile(
+        block_size=block,
+        depth=3,
+        recurrence_ops=2,
+        recurrence_latency=4,
+        long_latency_fraction=0.12,
+        long_latency_cycles=4,
+        deep_variant=_deep_iterations(),
+        deep_fraction=0.25,
+    )
+
+
+def _deep() -> IlpProfile:
+    """compress: keeps gaining ILP through the 128-entry window."""
+    return IlpProfile(
+        block_size=24,
+        depth=3,
+        recurrence_ops=2,
+        recurrence_latency=3,
+        long_latency_fraction=0.10,
+        long_latency_cycles=4,
+        deep_variant=_deep_iterations(0.45, 5),
+        deep_fraction=0.65,
+    )
+
+
+# --------------------------------------------------------------------------
+# The suite
+# --------------------------------------------------------------------------
+
+_PROFILES: tuple[BenchmarkProfile, ...] = (
+    # ---------------- SPECint95 ----------------
+    BenchmarkProfile(
+        name="go",
+        suite=Suite.SPECINT95,
+        domain="integer",
+        memory=None,  # the paper could not instrument go with Atom
+        ilp=_moderate(block=24, rec_latency=5, deep_fraction=0.50),
+        seed=101,
+    ),
+    BenchmarkProfile(
+        name="m88ksim",
+        suite=Suite.SPECINT95,
+        domain="integer",
+        memory=MemoryProfile(
+            components=(uniform(3, 0.95), uniform(10, 0.04)),
+            streaming_weight=0.01,
+            load_store_fraction=0.35,
+        ),
+        ilp=_moderate(block=24, rec_latency=4, deep_fraction=0.48),
+        seed=102,
+    ),
+    BenchmarkProfile(
+        name="gcc",
+        suite=Suite.SPECINT95,
+        domain="integer",
+        memory=MemoryProfile(
+            components=(uniform(3, 0.82), uniform(9, 0.15), uniform(100, 0.015)),
+            streaming_weight=0.015,
+            load_store_fraction=0.3,
+        ),
+        ilp=_moderate(block=20, rec_latency=5, deep_fraction=0.50),
+        seed=103,
+    ),
+    BenchmarkProfile(
+        name="compress",
+        suite=Suite.SPECINT95,
+        domain="integer",
+        memory=MemoryProfile(
+            # the only integer code that improves beyond a 16 KB L1; a
+            # large dictionary walked cyclically, few loads/stores
+            components=(uniform(3, 0.50), loop(16, 0.45), uniform(200, 0.03)),
+            streaming_weight=0.01,
+            load_store_fraction=0.09,
+        ),
+        ilp=_deep(),
+        seed=104,
+    ),
+    BenchmarkProfile(
+        name="li",
+        suite=Suite.SPECINT95,
+        domain="integer",
+        memory=MemoryProfile(
+            components=(uniform(3, 0.93), uniform(9, 0.05)),
+            streaming_weight=0.02,
+            load_store_fraction=0.3,
+        ),
+        ilp=_moderate(block=24, rec_latency=5, deep_fraction=0.50),
+        seed=105,
+    ),
+    BenchmarkProfile(
+        name="ijpeg",
+        suite=Suite.SPECINT95,
+        domain="integer",
+        memory=MemoryProfile(
+            components=(uniform(4, 0.90), uniform(12, 0.07)),
+            streaming_weight=0.03,
+            load_store_fraction=0.25,
+        ),
+        ilp=_near(),
+        seed=106,
+    ),
+    BenchmarkProfile(
+        name="perl",
+        suite=Suite.SPECINT95,
+        domain="integer",
+        memory=MemoryProfile(
+            components=(uniform(3, 0.94), uniform(8, 0.05)),
+            streaming_weight=0.01,
+            load_store_fraction=0.35,
+        ),
+        ilp=_moderate(block=20, rec_latency=4, deep_fraction=0.50),
+        seed=107,
+    ),
+    BenchmarkProfile(
+        name="vortex",
+        suite=Suite.SPECINT95,
+        domain="integer",
+        memory=MemoryProfile(
+            components=(uniform(4, 0.84), uniform(8, 0.08), uniform(60, 0.02)),
+            streaming_weight=0.02,
+            load_store_fraction=0.3,
+        ),
+        ilp=_moderate(block=24, rec_latency=5, deep_fraction=0.50),
+        seed=108,
+    ),
+    # ---------------- CMU task-parallel ----------------
+    BenchmarkProfile(
+        name="airshed",
+        suite=Suite.CMU,
+        domain="floating",
+        memory=MemoryProfile(
+            components=(uniform(5, 0.62), uniform(24, 0.13), loop(150, 0.025)),
+            streaming_weight=0.02,
+            load_store_fraction=0.35,
+        ),
+        ilp=_moderate(block=28, rec_latency=5, deep_fraction=0.52),
+        seed=109,
+    ),
+    BenchmarkProfile(
+        name="stereo",
+        suite=Suite.CMU,
+        domain="floating",
+        memory=MemoryProfile(
+            # image tiles walked repeatedly: the TPI curve must not
+            # flatten until a 48 KB L1 (paper Sec 5.2.2)
+            components=(uniform(4, 0.39), loop(32, 0.55), uniform(300, 0.025)),
+            streaming_weight=0.015,
+            load_store_fraction=0.4,
+        ),
+        ilp=_moderate(block=28, rec_latency=5, deep_fraction=0.52),
+        seed=110,
+    ),
+    BenchmarkProfile(
+        name="radar",
+        suite=Suite.CMU,
+        domain="floating",
+        memory=MemoryProfile(
+            components=(uniform(5, 0.78), uniform(12, 0.06), loop(100, 0.02)),
+            streaming_weight=0.02,
+            load_store_fraction=0.35,
+        ),
+        ilp=_chain_bound(deep_fraction=0.09),
+        seed=111,
+    ),
+    # ---------------- NAS ----------------
+    BenchmarkProfile(
+        name="appcg",
+        suite=Suite.NAS,
+        domain="floating",
+        memory=MemoryProfile(
+            # frequently-accessed structures that only coexist in a
+            # >48 KB L1: sharp drop past 48 KB (paper Sec 5.2.2)
+            components=(uniform(4, 0.50), loop(40, 0.45), uniform(400, 0.012)),
+            streaming_weight=0.01,
+            load_store_fraction=0.4,
+        ),
+        ilp=_chain_bound(deep_fraction=0.05, rec_latency=4),
+        seed=112,
+    ),
+    # ---------------- SPECfp95 ----------------
+    BenchmarkProfile(
+        name="tomcatv",
+        suite=Suite.SPECFP95,
+        domain="floating",
+        memory=MemoryProfile(
+            components=(uniform(5, 0.84), uniform(7, 0.05), loop(500, 0.05)),
+            streaming_weight=0.02,
+            load_store_fraction=0.4,
+        ),
+        ilp=_moderate(block=28, rec_latency=6, deep_fraction=0.55),
+        seed=113,
+    ),
+    BenchmarkProfile(
+        name="swim",
+        suite=Suite.SPECFP95,
+        domain="floating",
+        memory=MemoryProfile(
+            # stencil grids: large TPI reduction as L1 grows
+            components=(uniform(5, 0.37), loop(16, 0.23), loop(40, 0.30), loop(400, 0.02)),
+            streaming_weight=0.02,
+            load_store_fraction=0.38,
+        ),
+        ilp=_moderate(block=28, rec_latency=5, deep_fraction=0.52),
+        seed=114,
+    ),
+    BenchmarkProfile(
+        name="su2cor",
+        suite=Suite.SPECFP95,
+        domain="floating",
+        memory=MemoryProfile(
+            components=(uniform(5, 0.82), uniform(8, 0.04), uniform(150, 0.025)),
+            streaming_weight=0.02,
+            load_store_fraction=0.38,
+        ),
+        ilp=_moderate(block=28, rec_latency=6, deep_fraction=0.55),
+        seed=115,
+    ),
+    BenchmarkProfile(
+        name="hydro2d",
+        suite=Suite.SPECFP95,
+        domain="floating",
+        memory=MemoryProfile(
+            components=(uniform(4, 0.80), uniform(9, 0.08), loop(300, 0.04)),
+            streaming_weight=0.02,
+            load_store_fraction=0.4,
+        ),
+        ilp=_moderate(block=24, rec_latency=5, deep_fraction=0.50),
+        seed=116,
+    ),
+    BenchmarkProfile(
+        name="mgrid",
+        suite=Suite.SPECFP95,
+        domain="floating",
+        memory=MemoryProfile(
+            components=(uniform(5, 0.77), uniform(7, 0.04), loop(1000, 0.05)),
+            streaming_weight=0.02,
+            load_store_fraction=0.42,
+        ),
+        ilp=_moderate(block=28, rec_latency=5, deep_fraction=0.52),
+        seed=117,
+    ),
+    BenchmarkProfile(
+        name="applu",
+        suite=Suite.SPECFP95,
+        domain="floating",
+        memory=MemoryProfile(
+            # 9% L1 miss ratio at 8 KB dropping only to 8% at 64 KB,
+            # with most misses missing L2 too: the 128 KB structure is
+            # simply too small (paper Sec 5.2.2)
+            components=(uniform(3, 0.79), loop(250, 0.12)),
+            streaming_weight=0.01,
+            load_store_fraction=0.4,
+        ),
+        ilp=_moderate(block=28, rec_latency=6, deep_fraction=0.55),
+        seed=118,
+    ),
+    BenchmarkProfile(
+        name="turb3d",
+        suite=Suite.SPECFP95,
+        domain="floating",
+        memory=MemoryProfile(
+            components=(uniform(4, 0.82), uniform(9, 0.08), loop(200, 0.02)),
+            streaming_weight=0.02,
+            load_store_fraction=0.35,
+        ),
+        ilp=_moderate(block=24, rec_latency=5, deep_fraction=0.50),
+        seed=119,
+    ),
+    BenchmarkProfile(
+        name="apsi",
+        suite=Suite.SPECFP95,
+        domain="floating",
+        memory=MemoryProfile(
+            components=(uniform(4, 0.80), uniform(8, 0.07), uniform(90, 0.02)),
+            streaming_weight=0.02,
+            load_store_fraction=0.38,
+        ),
+        ilp=_moderate(block=28, rec_latency=6, deep_fraction=0.55),
+        seed=120,
+    ),
+    BenchmarkProfile(
+        name="fpppp",
+        suite=Suite.SPECFP95,
+        domain="floating",
+        memory=MemoryProfile(
+            components=(uniform(4, 0.85), uniform(10, 0.08)),
+            streaming_weight=0.01,
+            load_store_fraction=0.3,
+        ),
+        ilp=_chain_bound(deep_fraction=0.08, rec_latency=4),
+        seed=121,
+    ),
+    BenchmarkProfile(
+        name="wave5",
+        suite=Suite.SPECFP95,
+        domain="floating",
+        memory=MemoryProfile(
+            components=(uniform(5, 0.63), uniform(34, 0.09), loop(250, 0.02)),
+            streaming_weight=0.02,
+            load_store_fraction=0.38,
+        ),
+        ilp=_moderate(block=24, rec_latency=5, deep_fraction=0.50),
+        seed=122,
+    ),
+)
+
+_BY_NAME = {p.name: p for p in _PROFILES}
+
+
+def all_profiles() -> tuple[BenchmarkProfile, ...]:
+    """Every application, in the paper's figure order."""
+    return _PROFILES
+
+
+def get_profile(name: str) -> BenchmarkProfile:
+    """Look one application up by name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown benchmark {name!r}; known: {sorted(_BY_NAME)}"
+        ) from None
+
+
+def cache_study_profiles() -> tuple[BenchmarkProfile, ...]:
+    """The 21 applications of the cache study (go excluded)."""
+    return tuple(p for p in _PROFILES if p.in_cache_study)
+
+
+def queue_study_profiles() -> tuple[BenchmarkProfile, ...]:
+    """The 22 applications of the queue study (go included)."""
+    return _PROFILES
+
+
+def integer_profiles() -> tuple[BenchmarkProfile, ...]:
+    """Integer applications (figure panel (a))."""
+    return tuple(p for p in _PROFILES if p.domain == "integer")
+
+
+def floating_profiles() -> tuple[BenchmarkProfile, ...]:
+    """Floating-point / scientific applications (figure panel (b))."""
+    return tuple(p for p in _PROFILES if p.domain == "floating")

@@ -1,0 +1,78 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache.config import CacheGeometry, HierarchyConfig, PAPER_GEOMETRY
+from repro.tech.parameters import technology
+from repro.workloads.profiles import (
+    IlpProfile,
+    MemoryProfile,
+    loop,
+    uniform,
+)
+
+
+@pytest.fixture
+def tech18():
+    """The paper's primary technology point (0.18 micron)."""
+    return technology(0.18)
+
+
+@pytest.fixture
+def geometry() -> CacheGeometry:
+    """The paper's cache geometry (16 x 8 KB increments)."""
+    return PAPER_GEOMETRY
+
+
+@pytest.fixture
+def small_geometry() -> CacheGeometry:
+    """A tiny geometry (4 x 2 KB increments) for fast direct simulation."""
+    from repro.tech.cacti import CacheIncrementTiming
+
+    return CacheGeometry(
+        n_increments=4,
+        ways_per_increment=2,
+        block_bytes=32,
+        increment_bytes=2048,
+        increment_timing=CacheIncrementTiming(
+            bank_bytes=1024, n_banks=2, associativity=1, block_bytes=32
+        ),
+    )
+
+
+@pytest.fixture
+def boundary_config(geometry) -> HierarchyConfig:
+    """The paper's best conventional configuration (16 KB 4-way L1)."""
+    return HierarchyConfig(geometry=geometry, l1_increments=2)
+
+
+@pytest.fixture
+def simple_memory_profile() -> MemoryProfile:
+    """A small two-component memory profile."""
+    return MemoryProfile(
+        components=(uniform(4, 0.8), loop(16, 0.15)),
+        streaming_weight=0.05,
+        load_store_fraction=0.3,
+    )
+
+
+@pytest.fixture
+def simple_ilp_profile() -> IlpProfile:
+    """A small recurrence-bounded ILP profile."""
+    return IlpProfile(
+        block_size=12,
+        depth=3,
+        recurrence_ops=2,
+        recurrence_latency=3,
+        long_latency_fraction=0.1,
+        long_latency_cycles=4,
+    )
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic RNG for test-local randomness."""
+    return np.random.default_rng(1234)

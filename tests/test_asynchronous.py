@@ -1,0 +1,58 @@
+"""Additional tests for the asynchronous model and clock composition."""
+
+import numpy as np
+import pytest
+
+from repro.cache.config import PAPER_GEOMETRY
+from repro.cache.stackdist import DepthHistogram
+from repro.core.asynchronous import AsyncAccessProfile, async_cache_profile
+from repro.errors import SimulationError
+from repro.tech.parameters import technology
+
+
+def _hist(counts_by_depth: dict[int, int], cold: int = 0) -> DepthHistogram:
+    counts = np.zeros(PAPER_GEOMETRY.total_ways, dtype=np.int64)
+    for depth, n in counts_by_depth.items():
+        counts[depth] = n
+    return DepthHistogram(PAPER_GEOMETRY, counts, cold)
+
+
+class TestAsyncProfileAlgebra:
+    def test_all_mru_hits_track_first_increment(self):
+        profile = async_cache_profile(_hist({0: 1000}))
+        assert profile.average_delay_ns == pytest.approx(
+            profile.per_increment_delay_ns[0]
+        )
+
+    def test_all_misses_pay_worst_case(self):
+        profile = async_cache_profile(_hist({}, cold=500))
+        assert profile.average_delay_ns == pytest.approx(profile.worst_delay_ns)
+        assert profile.speedup_over_worst_case == pytest.approx(1.0)
+
+    def test_depth_maps_to_increment(self):
+        # depth 2-3 lives in increment 1 (2 ways per increment)
+        profile = async_cache_profile(_hist({2: 100}))
+        assert profile.average_delay_ns == pytest.approx(
+            profile.per_increment_delay_ns[1]
+        )
+
+    def test_mixture_is_weighted_mean(self):
+        profile = async_cache_profile(_hist({0: 300, 31: 100}))
+        d = profile.per_increment_delay_ns
+        expected = (300 * d[0] + 100 * d[15]) / 400
+        assert profile.average_delay_ns == pytest.approx(expected)
+
+    def test_empty_histogram_rejected(self):
+        with pytest.raises(SimulationError):
+            async_cache_profile(_hist({}))
+
+    def test_technology_scaling(self):
+        hist = _hist({0: 500, 8: 500})
+        fast = async_cache_profile(hist, tech=technology(0.12))
+        slow = async_cache_profile(hist, tech=technology(0.25))
+        assert fast.average_delay_ns < slow.average_delay_ns
+
+    def test_profile_is_dataclass(self):
+        profile = async_cache_profile(_hist({0: 10}))
+        assert isinstance(profile, AsyncAccessProfile)
+        assert len(profile.per_increment_delay_ns) == PAPER_GEOMETRY.n_increments

@@ -1,0 +1,170 @@
+"""Tests for the adaptive branch predictor extension."""
+
+import numpy as np
+import pytest
+
+from repro.branch.adaptive import AdaptiveBranchPredictor, RETRAIN_CLEANUP_CYCLES
+from repro.branch.predictors import (
+    BimodalPredictor,
+    GsharePredictor,
+    PredictorKind,
+    make_predictor,
+)
+from repro.branch.timing import BranchTimingModel, PREDICTOR_TABLE_SIZES
+from repro.branch.tpi import BranchTpiModel
+from repro.branch.workloads import (
+    BRANCH_FRACTION,
+    BranchProfile,
+    branch_profile_for,
+    generate_branch_trace,
+)
+from repro.errors import ConfigurationError, SimulationError, WorkloadError
+from repro.workloads.suite import get_profile
+
+
+class TestCounterPredictors:
+    def test_bimodal_learns_bias(self):
+        p = BimodalPredictor(1024)
+        pcs = np.zeros(200, dtype=np.int64)
+        outcomes = np.ones(200, dtype=bool)
+        rate = p.run(pcs, outcomes)
+        assert rate < 0.05  # initialised weakly taken, trains instantly
+
+    def test_bimodal_hysteresis(self):
+        """2-bit counters absorb a single anomalous outcome."""
+        p = BimodalPredictor(64)
+        for _ in range(4):
+            p.predict_and_update(3, True)
+        p.predict_and_update(3, False)  # anomaly
+        assert p.predict_and_update(3, True)  # still predicts taken
+
+    def test_gshare_learns_alternation_bimodal_cannot(self):
+        pcs = np.zeros(400, dtype=np.int64)
+        outcomes = np.tile([True, False], 200)
+        gshare_rate = GsharePredictor(1024).run(pcs, outcomes)
+        bimodal_rate = BimodalPredictor(1024).run(pcs, outcomes)
+        assert gshare_rate < 0.1
+        assert bimodal_rate > 0.4
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            BimodalPredictor(1000)
+
+    def test_rejects_empty_stream(self):
+        with pytest.raises(SimulationError):
+            BimodalPredictor(64).run(np.array([], dtype=np.int64), np.array([], dtype=bool))
+
+    def test_rejects_mismatched_streams(self):
+        with pytest.raises(SimulationError):
+            BimodalPredictor(64).run(
+                np.zeros(3, dtype=np.int64), np.zeros(2, dtype=bool)
+            )
+
+    def test_factory(self):
+        assert isinstance(make_predictor(PredictorKind.BIMODAL, 64), BimodalPredictor)
+        assert isinstance(make_predictor(PredictorKind.GSHARE, 64), GsharePredictor)
+
+
+class TestBranchWorkloads:
+    def test_deterministic(self):
+        profile = branch_profile_for(get_profile("gcc"))
+        a = generate_branch_trace(profile, 4000)
+        b = generate_branch_trace(profile, 4000)
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+    def test_template_structure_repeats(self):
+        """The dynamic stream must revisit the same static sequences
+        (loop bodies), or global history carries no signal."""
+        profile = branch_profile_for(get_profile("perl"))
+        pcs, _ = generate_branch_trace(profile, 6000)
+        unique = len(np.unique(pcs))
+        assert unique < 600  # far fewer statics than dynamic branches
+
+    def test_fp_profiles_predictable(self):
+        """Loop-dominated kernels must be highly predictable."""
+        profile = branch_profile_for(get_profile("swim"))
+        pcs, outcomes = generate_branch_trace(profile, 12_000)
+        rate = GsharePredictor(8192).run(pcs, outcomes)
+        assert rate < 0.12
+
+    def test_integer_profiles_harder(self):
+        easy = branch_profile_for(get_profile("swim"))
+        hard = branch_profile_for(get_profile("gcc"))
+        r_easy = GsharePredictor(8192).run(*generate_branch_trace(easy, 12_000))
+        r_hard = GsharePredictor(8192).run(*generate_branch_trace(hard, 12_000))
+        assert r_hard > r_easy
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            BranchProfile("x", 2, 0.5, 0.1, 1.2, 1)
+        with pytest.raises(WorkloadError):
+            BranchProfile("x", 100, 0.8, 0.4, 1.2, 1)
+        profile = branch_profile_for(get_profile("gcc"))
+        with pytest.raises(WorkloadError):
+            generate_branch_trace(profile, 0)
+
+
+class TestBranchTiming:
+    def test_monotone(self):
+        t = BranchTimingModel()
+        delays = [t.lookup_time_ns(s) for s in sorted(t.sizes)]
+        assert delays == sorted(delays)
+
+    def test_rejects_non_power_of_two_sizes(self):
+        with pytest.raises(ConfigurationError):
+            BranchTimingModel(sizes=(1000,))
+
+    def test_rejects_unknown_size(self):
+        with pytest.raises(ConfigurationError):
+            BranchTimingModel().lookup_time_ns(512)
+
+    def test_paper_sizes(self):
+        assert PREDICTOR_TABLE_SIZES == (1024, 2048, 4096, 8192, 16384)
+
+
+class TestBranchTpi:
+    def test_capacity_helps_aliased_apps(self):
+        model = BranchTpiModel()
+        profile = branch_profile_for(get_profile("li"))
+        sweep = model.sweep(profile, n_branches=12_000)
+        assert sweep[8192].misprediction_rate < sweep[1024].misprediction_rate
+
+    def test_tpi_composition(self):
+        model = BranchTpiModel()
+        profile = branch_profile_for(get_profile("swim"))
+        b = model.evaluate(profile, 1024, n_branches=8_000)
+        expected = b.cycle_time_ns * (
+            1 / model.base_ipc
+            + BRANCH_FRACTION * b.misprediction_rate * model.penalty_cycles
+        )
+        assert b.tpi_ns == pytest.approx(expected)
+
+    def test_biggest_table_costs_clock(self):
+        model = BranchTpiModel()
+        assert model.cycle_time_ns(16384) > model.cycle_time_ns(1024)
+
+    def test_rejects_empty(self):
+        model = BranchTpiModel()
+        profile = branch_profile_for(get_profile("swim"))
+        with pytest.raises(WorkloadError):
+            model.evaluate(profile, 1024, n_branches=0)
+
+
+class TestAdaptivePredictor:
+    def test_cas_interface(self):
+        cas = AdaptiveBranchPredictor()
+        assert cas.configuration == 16384
+        cost = cas.reconfigure(1024)
+        assert cost.cleanup_cycles == RETRAIN_CLEANUP_CYCLES
+        assert cost.requires_clock_switch
+        assert cas.configuration == 1024
+
+    def test_same_config_free(self):
+        cas = AdaptiveBranchPredictor(initial_entries=4096)
+        cost = cas.reconfigure(4096)
+        assert cost.cleanup_cycles == 0
+        assert not cost.requires_clock_switch
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveBranchPredictor().reconfigure(3000)

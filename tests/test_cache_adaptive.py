@@ -1,0 +1,70 @@
+"""Tests for the adaptive cache CAS wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.cache.adaptive import AdaptiveCacheHierarchy, CacheConfigurationSpace
+from repro.cache.hierarchy import AccessLevel
+from repro.errors import ConfigurationError
+
+
+class TestConfigurationSpace:
+    def test_paper_boundaries(self):
+        space = CacheConfigurationSpace()
+        assert space.boundaries == tuple(range(1, 9))
+
+    def test_l1_sizes(self):
+        space = CacheConfigurationSpace()
+        assert space.l1_sizes_kb() == tuple(float(8 * k) for k in range(1, 9))
+
+
+class TestCasInterface:
+    def test_configurations_ordered_fastest_first(self):
+        cas = AdaptiveCacheHierarchy()
+        configs = tuple(cas.configurations())
+        delays = [cas.delay_ns(c) for c in configs]
+        assert delays == sorted(delays)
+
+    def test_delay_matches_timing_model(self):
+        cas = AdaptiveCacheHierarchy()
+        for k in cas.configurations():
+            assert cas.delay_ns(k) == pytest.approx(cas.timing.l1_access_time_ns(k))
+
+    def test_initial_configuration(self):
+        cas = AdaptiveCacheHierarchy(initial_l1_increments=4)
+        assert cas.configuration == 4
+
+    def test_reconfigure_no_cleanup(self):
+        """The cache CAS needs no cleanup: exclusion + constant mapping."""
+        cas = AdaptiveCacheHierarchy()
+        cost = cas.reconfigure(6)
+        assert cost.cleanup_cycles == 0
+        assert cost.requires_clock_switch
+        assert cas.configuration == 6
+
+    def test_reconfigure_same_config_no_clock_switch(self):
+        cas = AdaptiveCacheHierarchy(initial_l1_increments=3)
+        cost = cas.reconfigure(3)
+        assert not cost.requires_clock_switch
+
+    def test_rejects_unknown_configuration(self):
+        cas = AdaptiveCacheHierarchy()
+        with pytest.raises(ConfigurationError):
+            cas.reconfigure(9)  # beyond the paper's 64 KB limit
+
+    def test_fastest_and_slowest(self):
+        cas = AdaptiveCacheHierarchy()
+        assert cas.fastest_configuration() == 1
+        assert cas.slowest_configuration() == 8
+
+
+class TestDataSurvivesReconfiguration:
+    def test_hits_preserved_across_moves(self, rng):
+        cas = AdaptiveCacheHierarchy(initial_l1_increments=2)
+        addrs = (rng.integers(0, 800, size=2000) * 32).astype(np.uint64)
+        cas.run(addrs)
+        cas.reconfigure(8)
+        cas.reconfigure(1)
+        # the most recently touched block is still in L1
+        last = int(addrs[-1])
+        assert cas.hierarchy.access(last) == AccessLevel.L1

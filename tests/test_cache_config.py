@@ -1,0 +1,80 @@
+"""Tests for repro.cache.config."""
+
+import pytest
+
+from repro.cache.config import (
+    CacheGeometry,
+    HierarchyConfig,
+    PAPER_GEOMETRY,
+    PAPER_MAX_L1_INCREMENTS,
+)
+from repro.errors import ConfigurationError
+
+
+class TestPaperGeometry:
+    def test_total_capacity_128kb(self):
+        assert PAPER_GEOMETRY.total_bytes == 128 * 1024
+
+    def test_sixteen_increments(self):
+        assert PAPER_GEOMETRY.n_increments == 16
+
+    def test_total_ways_32(self):
+        assert PAPER_GEOMETRY.total_ways == 32
+
+    def test_constant_set_count(self):
+        """The mapping-rule invariant: 128 sets at every boundary."""
+        assert PAPER_GEOMETRY.n_sets == 128
+
+    def test_boundary_positions_full(self):
+        assert PAPER_GEOMETRY.boundary_positions() == tuple(range(1, 16))
+
+    def test_boundary_positions_paper_limit(self):
+        assert PAPER_GEOMETRY.boundary_positions(PAPER_MAX_L1_INCREMENTS) == tuple(
+            range(1, 9)
+        )
+
+
+class TestGeometryValidation:
+    def test_rejects_single_increment(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(n_increments=1)
+
+    def test_rejects_timing_capacity_mismatch(self):
+        from repro.tech.cacti import CacheIncrementTiming
+
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(
+                increment_bytes=8192,
+                increment_timing=CacheIncrementTiming(bank_bytes=2048, n_banks=2),
+            )
+
+    def test_rejects_non_integral_sets(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(increment_bytes=1000)
+
+
+class TestHierarchyConfig:
+    def test_mapping_rule(self, geometry):
+        """Adding an increment grows L1 size AND associativity together."""
+        for k in range(1, 16):
+            cfg = HierarchyConfig(geometry, k)
+            assert cfg.l1_bytes == k * 8192
+            assert cfg.l1_ways == 2 * k
+            assert cfg.l1_bytes + cfg.l2_bytes == geometry.total_bytes
+            assert cfg.l1_ways + cfg.l2_ways == geometry.total_ways
+
+    def test_paper_best_conventional(self, boundary_config):
+        """The paper's best conventional config: 16 KB 4-way L1."""
+        assert boundary_config.l1_kb == 16
+        assert boundary_config.l1_ways == 4
+
+    def test_describe(self, boundary_config):
+        assert boundary_config.describe() == "L1 16KB 4-way / L2 112KB 28-way"
+
+    def test_rejects_boundary_zero(self, geometry):
+        with pytest.raises(ConfigurationError):
+            HierarchyConfig(geometry, 0)
+
+    def test_rejects_boundary_at_end(self, geometry):
+        with pytest.raises(ConfigurationError):
+            HierarchyConfig(geometry, 16)

@@ -1,0 +1,99 @@
+"""Tests for interval-level cache adaptivity."""
+
+import numpy as np
+import pytest
+
+from repro.cache.intervals import cache_interval_tpi_series
+from repro.core.policies import IntervalAdaptivePolicy, StaticPolicy, evaluate_policy
+from repro.core.predictor import ConfigurationPredictor
+from repro.errors import SimulationError, WorkloadError
+from repro.experiments.interval_study import cache_interval_study, predictor_study
+from repro.ooo.intervals import best_window_sequence
+from repro.workloads.phases import (
+    CACHE_PHASE_LARGE,
+    CACHE_PHASE_SMALL,
+    MemoryPhaseSegment,
+    PhasedMemoryWorkload,
+    cache_alternating_workload,
+)
+
+
+class TestPhasedMemoryWorkload:
+    def test_total_refs(self):
+        w = cache_alternating_workload(phase_refs=1000, n_phases=4)
+        assert w.n_refs == 4000
+        assert len(w.generate(1)) == 4000
+
+    def test_deterministic(self):
+        w = cache_alternating_workload(phase_refs=500, n_phases=2)
+        assert np.array_equal(w.generate(3), w.generate(3))
+
+    def test_alternation(self):
+        w = cache_alternating_workload(phase_refs=100, n_phases=4)
+        assert w.segments[0].memory == CACHE_PHASE_SMALL
+        assert w.segments[1].memory == CACHE_PHASE_LARGE
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            PhasedMemoryWorkload(name="x", segments=())
+        with pytest.raises(WorkloadError):
+            MemoryPhaseSegment(CACHE_PHASE_SMALL, 0)
+        with pytest.raises(WorkloadError):
+            cache_alternating_workload(n_phases=1)
+
+
+class TestCacheIntervalSeries:
+    def test_series_shapes(self):
+        trace = cache_alternating_workload(phase_refs=1800, n_phases=2).generate(5)
+        series = cache_interval_tpi_series(trace, 0.35, boundaries=(2, 6))
+        assert set(series) == {2, 6}
+        assert len(series[2]) == len(series[6]) == 3600 // 600
+
+    def test_small_phase_favours_fast_boundary(self):
+        """Once warm, the small phase must favour the 16 KB boundary and
+        the tiled phase the 48 KB one."""
+        study = cache_interval_study(phase_refs=9000, n_phases=6)
+        seq = best_window_sequence(study.series)
+        per_phase = 9000 // 600
+        # last small phase (phase index 4) and last large phase (5)
+        small = seq[4 * per_phase : 5 * per_phase]
+        large = seq[5 * per_phase :]
+        assert np.mean(small == 2) > 0.6
+        assert np.mean(large == 6) > 0.6
+
+    def test_rejects_short_trace(self):
+        with pytest.raises(SimulationError):
+            cache_interval_tpi_series(
+                np.zeros(10, dtype=np.uint64), 0.35, boundaries=(2,)
+            )
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(SimulationError):
+            cache_interval_tpi_series(
+                np.zeros(1000, dtype=np.uint64), 0.35, boundaries=(2,),
+                interval_refs=0,
+            )
+
+
+class TestCacheIntervalPolicy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return cache_interval_study()
+
+    def test_adaptive_beats_both_statics(self, study):
+        static = {
+            k: evaluate_policy(study.series, StaticPolicy(k)).tpi_ns
+            for k in study.windows
+        }
+        predictor = ConfigurationPredictor(
+            configurations=study.windows, history=4, confidence_threshold=0.7
+        )
+        adaptive = evaluate_policy(
+            study.series, IntervalAdaptivePolicy(predictor, initial=study.windows[0])
+        )
+        assert adaptive.tpi_ns < min(static.values())
+
+    def test_predictor_study_integration(self, study):
+        ps = predictor_study(study, confidence_threshold=0.7)
+        assert ps.adaptive.tpi_ns <= ps.best_static_tpi_ns * 1.02
+        assert ps.oracle.tpi_ns <= ps.adaptive.tpi_ns + 1e-9

@@ -1,0 +1,151 @@
+"""Tests for the stack-distance engine, including the equivalence
+property against the direct exclusive simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.config import HierarchyConfig
+from repro.cache.hierarchy import AccessLevel, TwoLevelExclusiveCache
+from repro.cache.stackdist import COLD_DEPTH, DepthHistogram, StackDistanceEngine
+from repro.errors import SimulationError
+
+
+class TestEngineBasics:
+    def test_first_touch_is_cold(self, geometry):
+        eng = StackDistanceEngine(geometry)
+        depths = eng.process(np.array([0], dtype=np.uint64))
+        assert depths[0] == COLD_DEPTH
+
+    def test_immediate_reuse_depth_zero(self, geometry):
+        eng = StackDistanceEngine(geometry)
+        depths = eng.process(np.array([64, 64], dtype=np.uint64))
+        assert depths[1] == 0
+
+    def test_depth_counts_distinct_blocks(self, geometry):
+        eng = StackDistanceEngine(geometry)
+        nsets, bs = geometry.n_sets, geometry.block_bytes
+        # four distinct blocks of set 0, then re-touch the first
+        trace = np.array([t * nsets * bs for t in (0, 1, 2, 3, 0)], dtype=np.uint64)
+        depths = eng.process(trace)
+        assert depths[4] == 3
+
+    def test_same_block_different_offset(self, geometry):
+        eng = StackDistanceEngine(geometry)
+        depths = eng.process(np.array([0, 31], dtype=np.uint64))
+        assert depths[1] == 0
+
+    def test_reset(self, geometry):
+        eng = StackDistanceEngine(geometry)
+        eng.process(np.array([0], dtype=np.uint64))
+        eng.reset()
+        depths = eng.process(np.array([0], dtype=np.uint64))
+        assert depths[0] == COLD_DEPTH
+
+    def test_beyond_capacity_is_cold(self, geometry):
+        eng = StackDistanceEngine(geometry)
+        nsets, bs = geometry.n_sets, geometry.block_bytes
+        tags = list(range(40)) + [0]  # 40 distinct > 32 ways
+        trace = np.array([t * nsets * bs for t in tags], dtype=np.uint64)
+        depths = eng.process(trace)
+        assert depths[-1] == COLD_DEPTH
+
+
+class TestDepthHistogram:
+    def test_accounting(self, geometry, rng):
+        eng = StackDistanceEngine(geometry)
+        addrs = (rng.integers(0, 10_000, size=5000) * 32).astype(np.uint64)
+        hist = DepthHistogram.from_depths(geometry, eng.process(addrs))
+        assert hist.n_references == 5000
+        for k in range(1, 9):
+            assert hist.l1_hits(k) + hist.l2_hits(k) + hist.misses(k) == 5000
+
+    def test_l1_hits_monotone_in_boundary(self, geometry, rng):
+        eng = StackDistanceEngine(geometry)
+        addrs = (rng.integers(0, 3000, size=5000) * 32).astype(np.uint64)
+        hist = DepthHistogram.from_depths(geometry, eng.process(addrs))
+        hits = [hist.l1_hits(k) for k in range(1, 16)]
+        assert hits == sorted(hits)
+
+    def test_misses_boundary_independent(self, geometry, rng):
+        eng = StackDistanceEngine(geometry)
+        addrs = (rng.integers(0, 3000, size=5000) * 32).astype(np.uint64)
+        hist = DepthHistogram.from_depths(geometry, eng.process(addrs))
+        assert len({hist.misses(k) for k in range(1, 16)}) == 1
+
+    def test_merge(self, geometry, rng):
+        addrs = (rng.integers(0, 1000, size=2000) * 32).astype(np.uint64)
+        eng = StackDistanceEngine(geometry)
+        h1 = DepthHistogram.from_depths(geometry, eng.process(addrs[:1000]))
+        h2 = DepthHistogram.from_depths(geometry, eng.process(addrs[1000:]))
+        merged = h1.merged(h2)
+        assert merged.n_references == 2000
+
+    def test_empty_trace_has_no_miss_ratio(self, geometry):
+        hist = DepthHistogram(geometry, np.zeros(32, dtype=np.int64), 0)
+        with pytest.raises(SimulationError):
+            hist.l1_miss_ratio(2)
+
+
+def _small_geometry():
+    from repro.cache.config import CacheGeometry
+    from repro.tech.cacti import CacheIncrementTiming
+
+    return CacheGeometry(
+        n_increments=4,
+        ways_per_increment=2,
+        block_bytes=32,
+        increment_bytes=2048,
+        increment_timing=CacheIncrementTiming(
+            bank_bytes=1024, n_banks=2, associativity=1, block_bytes=32
+        ),
+    )
+
+
+class TestEquivalenceWithDirectSimulator:
+    """The load-bearing property: one stack-distance pass must agree,
+    access by access, with the two-level exclusive simulator at every
+    boundary position."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        data=st.data(),
+        k=st.integers(min_value=1, max_value=3),
+    )
+    def test_levels_agree(self, data, k):
+        small_geometry = _small_geometry()
+        n_blocks = data.draw(st.integers(min_value=4, max_value=200))
+        trace_tags = data.draw(
+            st.lists(st.integers(min_value=0, max_value=n_blocks), min_size=1,
+                     max_size=300)
+        )
+        addrs = np.array(
+            [t * small_geometry.block_bytes for t in trace_tags], dtype=np.uint64
+        )
+        direct = TwoLevelExclusiveCache(HierarchyConfig(small_geometry, k))
+        levels = direct.run(addrs)
+
+        eng = StackDistanceEngine(small_geometry)
+        depths = eng.process(addrs)
+        ways = k * small_geometry.ways_per_increment
+        for lvl, depth in zip(levels, depths):
+            if depth < ways:
+                assert lvl == AccessLevel.L1
+            elif depth < small_geometry.total_ways:
+                assert lvl == AccessLevel.L2
+            else:
+                assert lvl == AccessLevel.MISS
+
+    def test_levels_agree_paper_geometry(self, geometry, rng):
+        addrs = (rng.integers(0, 6000, size=4000) * 32).astype(np.uint64)
+        eng = StackDistanceEngine(geometry)
+        depths = eng.process(addrs)
+        for k in (1, 4, 8):
+            direct = TwoLevelExclusiveCache(HierarchyConfig(geometry, k))
+            levels = direct.run(addrs)
+            ways = 2 * k
+            expected = np.where(
+                depths < ways, AccessLevel.L1,
+                np.where(depths < 32, AccessLevel.L2, AccessLevel.MISS),
+            )
+            assert np.array_equal(levels, expected)

@@ -1,0 +1,81 @@
+"""Tests for repro.cache.timing."""
+
+import pytest
+
+from repro.cache.timing import (
+    CacheTimingModel,
+    L1_LATENCY_CYCLES,
+    L2_MISS_LATENCY_NS,
+    LatencyMode,
+)
+from repro.errors import ConfigurationError
+
+
+class TestClockMode:
+    def test_cycle_grows_with_boundary(self):
+        t = CacheTimingModel()
+        cycles = [t.cycle_time_ns(k) for k in range(1, 9)]
+        assert cycles == sorted(cycles)
+
+    def test_l1_latency_constant(self):
+        """'The L1 cache latency is kept constant in terms of cycles;
+        the cycle time varies.'"""
+        t = CacheTimingModel()
+        assert {t.l1_latency_cycles(k) for k in range(1, 9)} == {L1_LATENCY_CYCLES}
+
+    def test_cycle_range_at_018(self):
+        t = CacheTimingModel()
+        assert 0.40 < t.cycle_time_ns(1) < 0.55
+        assert 1.0 < t.cycle_time_ns(8) < 1.35
+
+    def test_rejects_bad_boundary(self):
+        t = CacheTimingModel()
+        with pytest.raises(ConfigurationError):
+            t.cycle_time_ns(0)
+        with pytest.raises(ConfigurationError):
+            t.cycle_time_ns(16)
+
+
+class TestL2Latency:
+    def test_miss_is_2_to_3x_l2_hit(self):
+        """'The average L2 cache miss latency was 30ns, or 2-3 times the
+        L2 hit latency.'"""
+        t = CacheTimingModel()
+        ratio = L2_MISS_LATENCY_NS / t.l2_access_time_ns()
+        assert 2.0 < ratio < 3.2
+
+    def test_hit_latency_is_ceiling_of_access_over_cycle(self):
+        t = CacheTimingModel()
+        for k in range(1, 9):
+            cycles = t.l2_hit_latency_cycles(k)
+            assert (cycles - 1) * t.cycle_time_ns(k) < t.l2_access_time_ns()
+            assert cycles * t.cycle_time_ns(k) >= t.l2_access_time_ns()
+
+    def test_fewer_cycles_at_slower_clock(self):
+        t = CacheTimingModel()
+        assert t.l2_hit_latency_cycles(8) < t.l2_hit_latency_cycles(1)
+
+    def test_miss_latency_constant(self):
+        assert CacheTimingModel().miss_latency_ns() == 30.0
+
+
+class TestLatencyMode:
+    """Section 3.1's alternative: stretch latency, keep the clock."""
+
+    def test_clock_pinned_to_fastest(self):
+        t = CacheTimingModel(mode=LatencyMode.LATENCY)
+        clock = CacheTimingModel(mode=LatencyMode.CLOCK)
+        for k in range(1, 9):
+            assert t.cycle_time_ns(k) == pytest.approx(clock.cycle_time_ns(1))
+
+    def test_latency_stretches_instead(self):
+        t = CacheTimingModel(mode=LatencyMode.LATENCY)
+        lats = [t.l1_latency_cycles(k) for k in range(1, 9)]
+        assert lats[0] == L1_LATENCY_CYCLES
+        assert lats == sorted(lats)
+        assert lats[-1] > L1_LATENCY_CYCLES
+
+    def test_latency_stretch_matches_access_ratio(self):
+        t = CacheTimingModel(mode=LatencyMode.LATENCY)
+        stretch = t.l1_access_time_ns(8) / t.l1_access_time_ns(1)
+        assert t.l1_latency_cycles(8) >= L1_LATENCY_CYCLES * stretch - 1

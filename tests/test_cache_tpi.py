@@ -1,0 +1,124 @@
+"""Tests for repro.cache.tpi."""
+
+import numpy as np
+import pytest
+
+from repro.cache.stackdist import DepthHistogram
+from repro.cache.timing import CacheTimingModel
+from repro.cache.tpi import BASE_IPC, CacheTpiModel
+from repro.errors import WorkloadError
+
+
+def _histogram(geometry, l1_hits_at_depth0=0, l2_hits_at_depth10=0, cold=0):
+    counts = np.zeros(geometry.total_ways, dtype=np.int64)
+    counts[0] = l1_hits_at_depth0
+    counts[10] = l2_hits_at_depth10
+    return DepthHistogram(geometry=geometry, counts=counts, cold=cold)
+
+
+class TestTpiAlgebra:
+    def test_pure_hits_give_base_tpi(self, geometry):
+        """With no misses, TPI = cycle time / 2.67 exactly."""
+        model = CacheTpiModel()
+        hist = _histogram(geometry, l1_hits_at_depth0=1000)
+        r = model.evaluate(hist, 0.3, l1_increments=2)
+        assert r.tpi_miss_ns == 0.0
+        assert r.tpi_ns == pytest.approx(r.cycle_time_ns / BASE_IPC)
+
+    def test_miss_stall_accounting(self, geometry):
+        model = CacheTpiModel()
+        hist = _histogram(geometry, l1_hits_at_depth0=900, cold=100)
+        r = model.evaluate(hist, 0.5, l1_increments=2)
+        # 100 misses * 30 ns over (1000 / 0.5) instructions
+        assert r.tpi_miss_ns == pytest.approx(100 * 30.0 / 2000)
+
+    def test_l2_hit_stall_accounting(self, geometry):
+        model = CacheTpiModel()
+        hist = _histogram(geometry, l1_hits_at_depth0=900, l2_hits_at_depth10=100)
+        k = 2
+        r = model.evaluate(hist, 0.5, l1_increments=k)
+        expected = 100 * r.l2_hit_latency_cycles * r.cycle_time_ns / 2000
+        assert r.tpi_miss_ns == pytest.approx(expected)
+
+    def test_depth10_hits_move_to_l1_at_wide_boundary(self, geometry):
+        """Depth-10 blocks are L2 hits at k<=5 but L1 hits at k>=6."""
+        model = CacheTpiModel()
+        hist = _histogram(geometry, l1_hits_at_depth0=500, l2_hits_at_depth10=500)
+        narrow = model.evaluate(hist, 0.4, l1_increments=2)
+        wide = model.evaluate(hist, 0.4, l1_increments=6)
+        assert narrow.tpi_miss_ns > 0
+        assert wide.tpi_miss_ns == 0.0
+
+    def test_lower_ls_fraction_dilutes_stalls(self, geometry):
+        """compress's <10% loads/stores: big TPImiss cut, small TPI cut."""
+        model = CacheTpiModel()
+        hist = _histogram(geometry, l1_hits_at_depth0=900, cold=100)
+        dense = model.evaluate(hist, 0.5, l1_increments=2)
+        sparse = model.evaluate(hist, 0.05, l1_increments=2)
+        assert sparse.tpi_miss_ns < dense.tpi_miss_ns
+
+    def test_effective_ipc_below_base(self, geometry):
+        model = CacheTpiModel()
+        hist = _histogram(geometry, l1_hits_at_depth0=900, cold=100)
+        r = model.evaluate(hist, 0.3, l1_increments=2)
+        assert r.effective_ipc < BASE_IPC
+
+    def test_breakdown_base_component(self, geometry):
+        model = CacheTpiModel()
+        hist = _histogram(geometry, l1_hits_at_depth0=500, cold=500)
+        r = model.evaluate(hist, 0.3, l1_increments=3)
+        assert r.tpi_base_ns == pytest.approx(r.cycle_time_ns / BASE_IPC)
+
+
+class TestValidation:
+    def test_rejects_bad_ls_fraction(self, geometry):
+        model = CacheTpiModel()
+        hist = _histogram(geometry, l1_hits_at_depth0=10)
+        with pytest.raises(WorkloadError):
+            model.evaluate(hist, 0.0, 2)
+        with pytest.raises(WorkloadError):
+            model.evaluate(hist, 1.5, 2)
+
+    def test_rejects_empty_trace(self, geometry):
+        model = CacheTpiModel()
+        hist = _histogram(geometry)
+        with pytest.raises(WorkloadError):
+            model.evaluate(hist, 0.3, 2)
+
+
+class TestSweepAndBest:
+    def test_sweep_covers_boundaries(self, geometry):
+        model = CacheTpiModel()
+        hist = _histogram(geometry, l1_hits_at_depth0=1000)
+        results = model.sweep(hist, 0.3, tuple(range(1, 9)))
+        assert sorted(results) == list(range(1, 9))
+
+    def test_best_boundary_is_argmin(self, geometry):
+        model = CacheTpiModel()
+        hist = _histogram(geometry, l1_hits_at_depth0=1000)
+        best = model.best_boundary(hist, 0.3, tuple(range(1, 9)))
+        # pure hits: the fastest clock wins
+        assert best.l1_increments == 1
+
+    def test_best_boundary_prefers_capacity_when_it_pays(self, geometry):
+        model = CacheTpiModel()
+        # lots of depth-10 traffic: a 6-increment L1 captures it
+        hist = _histogram(geometry, l1_hits_at_depth0=100, l2_hits_at_depth10=900)
+        best = model.best_boundary(hist, 0.5, tuple(range(1, 9)))
+        assert best.l1_increments >= 6
+
+
+class TestLatencyModeInteraction:
+    def test_latency_mode_keeps_fast_base_tpi(self, geometry):
+        from repro.cache.timing import LatencyMode
+
+        clock_model = CacheTpiModel(timing=CacheTimingModel())
+        lat_model = CacheTpiModel(
+            timing=CacheTimingModel(mode=LatencyMode.LATENCY)
+        )
+        hist = _histogram(geometry, l1_hits_at_depth0=1000)
+        k = 6
+        assert (
+            lat_model.evaluate(hist, 0.3, k).tpi_ns
+            < clock_model.evaluate(hist, 0.3, k).tpi_ns
+        )

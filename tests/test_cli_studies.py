@@ -1,0 +1,76 @@
+"""CLI coverage for the study subcommands (slower paths).
+
+The cheap CLI paths live in test_cli.py; these exercise the subcommands
+that run real studies, plus the export command.
+"""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestAblationCommands:
+    def test_granularity(self, capsys):
+        assert main(["ablation", "granularity"]) == 0
+        out = capsys.readouterr().out
+        assert "8KB 2-way (paper)" in out
+        assert "4KB direct-mapped" in out
+
+    def test_latency_mode(self, capsys):
+        assert main(["ablation", "latency-mode"]) == 0
+        out = capsys.readouterr().out
+        assert "winner" in out
+        assert "latency" in out
+
+    def test_confidence(self, capsys):
+        assert main(["ablation", "confidence"]) == 0
+        assert "switches" in capsys.readouterr().out
+
+    def test_switch_cost(self, capsys):
+        assert main(["ablation", "switch-cost"]) == 0
+        assert "pause" in capsys.readouterr().out
+
+
+class TestExtensionCommands:
+    def test_tlb(self, capsys):
+        assert main(["extension", "tlb"]) == 0
+        out = capsys.readouterr().out
+        assert "fast section" in out
+        assert "average reduction" in out
+
+    def test_bpred(self, capsys):
+        assert main(["extension", "bpred"]) == 0
+        out = capsys.readouterr().out
+        assert "gshare" in out and "bimodal" in out
+
+    def test_concert(self, capsys):
+        assert main(["extension", "concert"]) == 0
+        out = capsys.readouterr().out
+        assert "conventional:" in out
+        assert "average joint reduction" in out
+
+    def test_cache_intervals(self, capsys):
+        assert main(["extension", "cache-intervals"]) == 0
+        out = capsys.readouterr().out
+        assert "best static" in out and "oracle" in out
+
+
+class TestFigureCommands:
+    @pytest.mark.parametrize("fig", ["7", "8", "10", "11", "12", "13a", "13b"])
+    def test_study_figures_print_tables(self, capsys, fig):
+        assert main(["figure", fig]) == 0
+        out = capsys.readouterr().out
+        assert "Figure" in out
+        assert len(out.splitlines()) > 5
+
+
+class TestExportCommand:
+    def test_export_single(self, capsys, tmp_path):
+        assert main(["export", "1b", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "figure1b.csv" in out
+        assert (tmp_path / "figure1b.csv").exists()
+
+    def test_export_all(self, capsys, tmp_path):
+        assert main(["export", "all", "--out", str(tmp_path)]) == 0
+        assert len(list(tmp_path.glob("*.csv"))) == 11

@@ -1,0 +1,147 @@
+"""Tests for the online (oracle-free) adaptive controller."""
+
+import numpy as np
+import pytest
+
+from repro.core.controller import (
+    ControllerConfig,
+    ControllerOutcome,
+    OnlineController,
+    run_online,
+)
+from repro.core.policies import StaticPolicy, evaluate_policy
+from repro.errors import ConfigurationError, SimulationError
+from repro.ooo.intervals import IntervalSeries
+
+
+def _series(tpis_by_window, interval=1000):
+    cycle = {16: 0.435, 64: 0.626}
+    return {
+        w: IntervalSeries(w, cycle[w], interval, np.array(t, dtype=float))
+        for w, t in tpis_by_window.items()
+    }
+
+
+class TestControllerConfig:
+    def test_defaults_valid(self):
+        ControllerConfig()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ControllerConfig(ewma_alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            ControllerConfig(probe_period=1)
+        with pytest.raises(ConfigurationError):
+            ControllerConfig(switch_margin=-0.1)
+        with pytest.raises(ConfigurationError):
+            ControllerConfig(probe_period=16, staleness_limit=8)
+
+
+class TestOnlineController:
+    def test_needs_two_configs(self):
+        with pytest.raises(ConfigurationError):
+            OnlineController((16,))
+
+    def test_observe_rejects_unknown(self):
+        ctrl = OnlineController((16, 64))
+        with pytest.raises(ConfigurationError):
+            ctrl.observe(32, 0.2, 1000)
+
+    def test_choose_rejects_unknown_home(self):
+        ctrl = OnlineController((16, 64))
+        with pytest.raises(ConfigurationError):
+            ctrl.choose(32)
+
+    def test_stays_home_without_evidence(self):
+        ctrl = OnlineController((16, 64))
+        ctrl.observe(16, 0.2, 1000)
+        nxt, probe = ctrl.choose(16)
+        assert (nxt, probe) == (16, False)
+
+    def test_switches_on_clear_advantage(self):
+        ctrl = OnlineController((16, 64), ControllerConfig(switch_margin=0.05))
+        for _ in range(3):
+            ctrl.observe(16, 0.4, 1000)
+            ctrl.observe(64, 0.2, 1000)
+        nxt, probe = ctrl.choose(16)
+        assert not probe
+        assert nxt == 64
+
+    def test_hysteresis_blocks_marginal_switch(self):
+        ctrl = OnlineController((16, 64), ControllerConfig(switch_margin=0.10))
+        for _ in range(3):
+            ctrl.observe(16, 0.21, 1000)
+            ctrl.observe(64, 0.20, 1000)  # only 4.7% better
+        nxt, _probe = ctrl.choose(16)
+        assert nxt == 16
+
+    def test_periodic_probe_fires(self):
+        ctrl = OnlineController((16, 64), ControllerConfig(probe_period=4))
+        probed = False
+        for _ in range(8):
+            ctrl.observe(16, 0.2, 1000)
+            nxt, probe = ctrl.choose(16)
+            probed |= probe and nxt == 64
+        assert probed
+
+    def test_change_detection_triggers_probe(self):
+        ctrl = OnlineController(
+            (16, 64),
+            ControllerConfig(probe_period=50, staleness_limit=200,
+                             change_threshold=0.10),
+        )
+        for _ in range(5):
+            ctrl.observe(16, 0.20, 1000)
+        ctrl.observe(16, 0.40, 1000)  # phase change
+        nxt, probe = ctrl.choose(16)
+        assert probe and nxt == 64
+
+    def test_monitor_records_everything(self):
+        ctrl = OnlineController((16, 64))
+        for i in range(5):
+            ctrl.observe(16, 0.2 + i * 0.01, 1000)
+        assert ctrl.monitor.total_instructions == 5000
+
+
+class TestRunOnline:
+    def test_tracks_stable_best(self):
+        series = _series({16: [0.4] * 30, 64: [0.2] * 30})
+        out = run_online(series, OnlineController((16, 64)), initial=16)
+        assert isinstance(out, ControllerOutcome)
+        # once probed, 64 becomes home and stays
+        assert out.chosen[-1] == 64
+        assert out.n_probes >= 1
+
+    def test_costs_accounted(self):
+        series = _series({16: [0.4] * 30, 64: [0.2] * 30})
+        out = run_online(series, OnlineController((16, 64)), initial=16)
+        assert out.switch_overhead_ns > 0
+        assert out.total_time_ns > out.switch_overhead_ns
+
+    def test_oracle_free_beats_static_on_phased_workload(self):
+        half = [0.2] * 40 + [0.5] * 40
+        other = [0.5] * 40 + [0.2] * 40
+        series = _series({16: half, 64: other})
+        out = run_online(series, OnlineController((16, 64)), initial=16)
+        static = min(
+            evaluate_policy(series, StaticPolicy(w)).tpi_ns for w in (16, 64)
+        )
+        assert out.tpi_ns < static
+
+    def test_bounded_loss_on_noise(self):
+        rng = np.random.default_rng(5)
+        flips = rng.random(120) < 0.5
+        series = _series({
+            16: np.where(flips, 0.2, 0.3).tolist(),
+            64: np.where(flips, 0.3, 0.2).tolist(),
+        })
+        out = run_online(series, OnlineController((16, 64)), initial=16)
+        static = min(
+            evaluate_policy(series, StaticPolicy(w)).tpi_ns for w in (16, 64)
+        )
+        assert out.tpi_ns <= static * 1.10  # bounded regret
+
+    def test_validation(self):
+        series = _series({16: [0.2], 64: [0.3]})
+        with pytest.raises(SimulationError):
+            run_online(series, OnlineController((16, 64)), initial=32)

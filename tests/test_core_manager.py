@@ -1,0 +1,102 @@
+"""Tests for the Configuration Manager and the performance monitor."""
+
+import pytest
+
+from repro.core.clock import DynamicClock
+from repro.core.manager import ConfigurationManager
+from repro.core.monitor import IntervalSample, PerformanceMonitor
+from repro.errors import ConfigurationError, SimulationError
+from tests.test_core_structure import FakeCas
+
+
+def _manager(cas=None):
+    cas = cas if cas is not None else FakeCas(configs=(1, 2, 4), initial=1)
+    clock = DynamicClock(adaptive_structures=(cas,), switch_pause_cycles=10)
+    return ConfigurationManager(clock=clock, structures=(cas,)), cas
+
+
+class TestProcessLevelSelection:
+    def test_picks_argmin(self):
+        manager, _ = _manager()
+        # TPI table: config 2 is best
+        table = {1: 0.5, 2: 0.3, 4: 0.9}
+        decision = manager.select_for_process("gcc", "fake", table.__getitem__)
+        assert decision.configuration == 2
+        assert decision.predicted_tpi_ns == 0.3
+        assert decision.evaluated == table
+
+    def test_decision_recorded(self):
+        manager, _ = _manager()
+        manager.select_for_process("gcc", "fake", lambda c: c * 0.1)
+        assert len(manager.decisions) == 1
+        assert manager.decisions[0].process == "gcc"
+
+    def test_saved_registers(self):
+        manager, _ = _manager()
+        manager.select_for_process("gcc", "fake", lambda c: c * 0.1)
+        assert manager.saved_configuration("gcc", "fake") == 1
+
+    def test_unknown_structure_rejected(self):
+        manager, _ = _manager()
+        with pytest.raises(ConfigurationError):
+            manager.select_for_process("gcc", "nope", lambda c: 0.1)
+
+    def test_missing_registers_rejected(self):
+        manager, _ = _manager()
+        with pytest.raises(ConfigurationError):
+            manager.context_switch("unknown-pid")
+        with pytest.raises(ConfigurationError):
+            manager.saved_configuration("gcc", "fake")
+
+
+class TestContextSwitch:
+    def test_restores_configuration_and_charges_overhead(self):
+        manager, cas = _manager()
+        manager.select_for_process("a", "fake", {1: 0.9, 2: 0.8, 4: 0.1}.__getitem__)
+        manager.select_for_process("b", "fake", {1: 0.1, 2: 0.8, 4: 0.9}.__getitem__)
+        overhead_a = manager.context_switch("a")
+        assert cas.configuration == 4
+        assert overhead_a > 0  # clock switched
+        overhead_same = manager.context_switch("a")
+        assert overhead_same == 0.0  # already configured
+
+    def test_duplicate_structure_names_rejected(self):
+        cas1, cas2 = FakeCas("x"), FakeCas("x")
+        clock = DynamicClock(adaptive_structures=(cas1, cas2))
+        with pytest.raises(ConfigurationError):
+            ConfigurationManager(clock=clock, structures=(cas1, cas2))
+
+    def test_needs_structures(self):
+        clock = DynamicClock(adaptive_structures=(FakeCas(),))
+        with pytest.raises(ConfigurationError):
+            ConfigurationManager(clock=clock, structures=())
+
+
+class TestPerformanceMonitor:
+    def test_record_and_read(self):
+        m = PerformanceMonitor(depth=3)
+        for i in range(5):
+            m.record(IntervalSample(i, 16, 0.2 + i * 0.1, 2000))
+        assert len(m.samples) == 3  # bounded window
+        assert m.last().index == 4
+        assert m.total_instructions == 10_000
+
+    def test_cumulative_tpi_weighs_instructions(self):
+        m = PerformanceMonitor()
+        m.record(IntervalSample(0, 16, 0.2, 1000))
+        m.record(IntervalSample(1, 16, 0.4, 3000))
+        assert m.cumulative_tpi_ns == pytest.approx((0.2 * 1000 + 0.4 * 3000) / 4000)
+
+    def test_empty_monitor_has_no_tpi(self):
+        with pytest.raises(SimulationError):
+            PerformanceMonitor().cumulative_tpi_ns
+
+    def test_rejects_bad_samples(self):
+        with pytest.raises(SimulationError):
+            IntervalSample(0, 16, 0.0, 100)
+        with pytest.raises(SimulationError):
+            IntervalSample(0, 16, 0.5, 0)
+
+    def test_rejects_bad_depth(self):
+        with pytest.raises(SimulationError):
+            PerformanceMonitor(depth=0)

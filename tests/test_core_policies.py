@@ -1,0 +1,112 @@
+"""Tests for configuration policies and the replay harness."""
+
+import numpy as np
+import pytest
+
+from repro.core.policies import (
+    IntervalAdaptivePolicy,
+    OraclePolicy,
+    StaticPolicy,
+    evaluate_policy,
+)
+from repro.core.predictor import ConfigurationPredictor
+from repro.errors import ConfigurationError, SimulationError
+from repro.ooo.intervals import IntervalSeries
+
+
+def _series(tpis_by_window, cycle=None, interval=1000):
+    cycle = cycle or {16: 0.435, 64: 0.626}
+    return {
+        w: IntervalSeries(
+            window=w,
+            cycle_time_ns=cycle[w],
+            interval_instructions=interval,
+            tpi_ns=np.array(tpis, dtype=float),
+        )
+        for w, tpis in tpis_by_window.items()
+    }
+
+
+class TestStaticPolicy:
+    def test_total_time_is_sum(self):
+        series = _series({16: [0.2, 0.3], 64: [0.1, 0.5]})
+        outcome = evaluate_policy(series, StaticPolicy(16))
+        assert outcome.total_time_ns == pytest.approx((0.2 + 0.3) * 1000)
+        assert outcome.n_switches == 0
+        assert list(outcome.chosen) == [16, 16]
+
+    def test_tpi_property(self):
+        series = _series({16: [0.2, 0.4], 64: [0.1, 0.5]})
+        outcome = evaluate_policy(series, StaticPolicy(16))
+        assert outcome.tpi_ns == pytest.approx(0.3)
+
+
+class TestOraclePolicy:
+    def test_follows_best_sequence(self):
+        series = _series({16: [0.2, 0.9, 0.2], 64: [0.9, 0.2, 0.9]})
+        schedule = np.array([16, 64, 16])
+        outcome = evaluate_policy(
+            series, OraclePolicy(schedule), switch_pause_cycles=0, drain_cycles=0
+        )
+        assert outcome.total_time_ns == pytest.approx(0.6 * 1000)
+        assert outcome.n_switches == 2
+
+    def test_switching_costs_charged(self):
+        series = _series({16: [0.2, 0.9], 64: [0.9, 0.2]})
+        outcome = evaluate_policy(
+            series, OraclePolicy(np.array([16, 64])),
+            switch_pause_cycles=30, drain_cycles=8,
+        )
+        expected_overhead = 30 * 0.626 + 8 * 0.435
+        assert outcome.switch_overhead_ns == pytest.approx(expected_overhead)
+
+    def test_rejects_empty_schedule(self):
+        with pytest.raises(ConfigurationError):
+            OraclePolicy(np.array([]))
+
+
+class TestIntervalAdaptivePolicy:
+    def _policy(self, threshold=0.75):
+        predictor = ConfigurationPredictor(
+            configurations=(16, 64), history=2, confidence_threshold=threshold
+        )
+        return IntervalAdaptivePolicy(predictor, initial=16)
+
+    def test_tracks_stable_best(self):
+        # 64 is always best; policy should lock onto it
+        series = _series({16: [0.9] * 20, 64: [0.2] * 20})
+        outcome = evaluate_policy(series, self._policy())
+        assert outcome.chosen[-1] == 64
+        assert outcome.n_switches == 1
+
+    def test_confidence_gate_suppresses_thrash(self):
+        rng = np.random.default_rng(3)
+        n = 60
+        flips = rng.random(n) < 0.5
+        t16 = np.where(flips, 0.2, 0.3)
+        t64 = np.where(flips, 0.3, 0.2)
+        series = _series({16: t16.tolist(), 64: t64.tolist()})
+        gated = evaluate_policy(series, self._policy(threshold=0.95))
+        ungated = evaluate_policy(series, self._policy(threshold=1e-9))
+        assert gated.n_switches < ungated.n_switches
+
+    def test_rejects_unknown_initial(self):
+        predictor = ConfigurationPredictor(configurations=(16, 64))
+        with pytest.raises(ConfigurationError):
+            IntervalAdaptivePolicy(predictor, initial=32)
+
+
+class TestEvaluateValidation:
+    def test_rejects_empty_series(self):
+        with pytest.raises(SimulationError):
+            evaluate_policy({}, StaticPolicy(16))
+
+    def test_rejects_length_mismatch(self):
+        series = _series({16: [0.2, 0.3], 64: [0.1]})
+        with pytest.raises(SimulationError):
+            evaluate_policy(series, StaticPolicy(16))
+
+    def test_rejects_unknown_policy_choice(self):
+        series = _series({16: [0.2], 64: [0.1]})
+        with pytest.raises(SimulationError):
+            evaluate_policy(series, StaticPolicy(32))

@@ -1,0 +1,71 @@
+"""Tests for the Section 4.1 power-mode model."""
+
+import pytest
+
+from repro.core.power import PowerModel, PowerMode
+from repro.errors import ConfigurationError
+from tests.test_core_structure import FakeCas
+
+
+def _model(**kw):
+    return PowerModel(structures=(FakeCas(configs=(1, 2, 4)),), **kw)
+
+
+class TestEstimate:
+    def test_power_scales_with_frequency(self):
+        m = _model()
+        slow = m.estimate({"fake": 4}, cycle_time_ns=0.8)
+        fast = m.estimate({"fake": 4}, cycle_time_ns=0.4)
+        assert fast.relative_power == pytest.approx(2 * slow.relative_power)
+
+    def test_power_scales_with_enabled_capacity(self):
+        m = _model(fixed_fraction=0.0)
+        small = m.estimate({"fake": 1}, cycle_time_ns=0.4)
+        large = m.estimate({"fake": 4}, cycle_time_ns=0.4)
+        assert large.relative_power == pytest.approx(4 * small.relative_power)
+
+    def test_cannot_overclock(self):
+        m = _model()
+        with pytest.raises(ConfigurationError):
+            m.estimate({"fake": 4}, cycle_time_ns=0.1)  # delay is 0.4
+
+    def test_missing_structure_config(self):
+        with pytest.raises(ConfigurationError):
+            _model().estimate({}, cycle_time_ns=0.5)
+
+    def test_frequency_property(self):
+        est = _model().estimate({"fake": 2}, cycle_time_ns=0.5)
+        assert est.frequency_ghz == pytest.approx(2.0)
+
+
+class TestModes:
+    def test_low_power_is_lowest(self):
+        """'The lowest-power mode can be enabled by setting all
+        complexity-adaptive structures to their minimum size, and
+        selecting the slowest clock.'"""
+        m = _model()
+        low = m.mode_estimate(PowerMode.LOW_POWER)
+        bal = m.mode_estimate(PowerMode.BALANCED)
+        high = m.mode_estimate(PowerMode.HIGH_PERFORMANCE)
+        assert low.relative_power < bal.relative_power < high.relative_power
+
+    def test_low_power_uses_min_config_and_slow_clock(self):
+        m = _model()
+        low = m.mode_estimate(PowerMode.LOW_POWER)
+        assert low.configs == {"fake": 1}
+        assert low.cycle_time_ns == pytest.approx(0.4)  # slowest point
+
+    def test_high_performance_uses_max_config(self):
+        m = _model()
+        high = m.mode_estimate(PowerMode.HIGH_PERFORMANCE)
+        assert high.configs == {"fake": 4}
+
+
+class TestValidation:
+    def test_needs_structures(self):
+        with pytest.raises(ConfigurationError):
+            PowerModel(structures=())
+
+    def test_rejects_bad_fixed_fraction(self):
+        with pytest.raises(ConfigurationError):
+            _model(fixed_fraction=1.0)

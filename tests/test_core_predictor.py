@@ -1,0 +1,122 @@
+"""Tests for the pattern predictor with confidence."""
+
+import pytest
+
+from repro.core.predictor import ConfigurationPredictor, Prediction
+from repro.errors import ConfigurationError
+
+
+def _predictor(**kw):
+    defaults = dict(configurations=(16, 64), history=4, confidence_threshold=0.75)
+    defaults.update(kw)
+    return ConfigurationPredictor(**defaults)
+
+
+class TestConstruction:
+    def test_needs_two_configs(self):
+        with pytest.raises(ConfigurationError):
+            ConfigurationPredictor(configurations=(16,))
+
+    def test_rejects_bad_history(self):
+        with pytest.raises(ConfigurationError):
+            _predictor(history=0)
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ConfigurationError):
+            _predictor(confidence_threshold=0.0)
+
+
+class TestLearning:
+    def test_cold_prediction_has_zero_confidence(self):
+        p = _predictor()
+        pred = p.predict()
+        assert isinstance(pred, Prediction)
+        assert pred.confidence == 0.0
+
+    def test_learns_constant_sequence(self):
+        p = _predictor()
+        for _ in range(20):
+            p.update(64)
+        pred = p.predict()
+        assert pred.configuration == 64
+        assert pred.confidence > 0.9
+
+    def test_learns_alternation(self):
+        """The Figure 13a behaviour: regular alternation is learnable."""
+        p = _predictor(history=2)
+        seq = [16, 64] * 30
+        correct = 0
+        for label in seq:
+            if p.predict().configuration == label:
+                correct += 1
+            p.update(label)
+        assert correct / len(seq) > 0.8
+
+    def test_learns_period_pattern(self):
+        p = _predictor(history=4)
+        seq = ([16] * 3 + [64] * 3) * 20
+        hits = 0
+        for label in seq[: len(seq) // 2]:
+            p.update(label)
+        for label in seq[len(seq) // 2 :]:
+            if p.predict().configuration == label:
+                hits += 1
+            p.update(label)
+        assert hits / (len(seq) // 2) > 0.75
+
+    def test_random_sequence_gets_low_confident_accuracy(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        p = _predictor()
+        for _ in range(200):
+            label = 16 if rng.random() < 0.5 else 64
+            p.should_switch(16)
+            p.update(label)
+        stats = p.stats
+        assert stats.accuracy < 0.75
+
+    def test_rejects_unknown_label(self):
+        with pytest.raises(ConfigurationError):
+            _predictor().update(32)
+
+
+class TestConfidenceGate:
+    def test_no_switch_when_same(self):
+        p = _predictor()
+        for _ in range(10):
+            p.update(16)
+        assert p.should_switch(16) is None
+
+    def test_switch_when_confident_and_different(self):
+        p = _predictor()
+        for _ in range(10):
+            p.update(64)
+        decision = p.should_switch(16)
+        assert decision is not None
+        assert decision.configuration == 64
+
+    def test_no_switch_when_unconfident(self):
+        p = _predictor(confidence_threshold=0.99)
+        # mixed history: confidence stays below the bar
+        for label in [16, 64, 16, 64, 64, 16, 16, 64]:
+            p.update(label)
+        assert p.should_switch(16) is None
+
+
+class TestStats:
+    def test_accuracy_accounting(self):
+        p = _predictor()
+        for _ in range(10):
+            p.should_switch(16)
+            p.update(64)
+        stats = p.stats
+        assert stats.predictions == 10
+        assert 0 <= stats.correct <= 10
+        assert stats.confident_predictions <= stats.predictions
+        assert stats.confident_accuracy <= 1.0
+
+    def test_empty_stats(self):
+        stats = _predictor().stats
+        assert stats.accuracy == 0.0
+        assert stats.confident_accuracy == 0.0

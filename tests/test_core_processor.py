@@ -1,0 +1,64 @@
+"""Tests for the top-level CapProcessor composition."""
+
+import pytest
+
+from repro import CapProcessor
+from repro.core.structure import FixedStructure
+
+
+class TestCapProcessor:
+    def test_default_structures(self):
+        cpu = CapProcessor()
+        assert cpu.dcache.name == "dcache"
+        assert cpu.iqueue.name == "iqueue"
+
+    def test_cycle_follows_slowest_structure(self):
+        cpu = CapProcessor()
+        cpu.dcache.reconfigure(1)
+        cpu.iqueue.reconfigure(16)
+        fast = cpu.cycle_time_ns()
+        cpu.iqueue.reconfigure(128)
+        slow = cpu.cycle_time_ns()
+        assert slow > fast
+
+    def test_fixed_structure_floors_clock(self):
+        cpu = CapProcessor(fixed_structures=(FixedStructure("fpu", 2.0),))
+        assert cpu.cycle_time_ns() == pytest.approx(2.0)
+
+    def test_current_configuration(self):
+        cpu = CapProcessor()
+        cpu.dcache.reconfigure(3)
+        cpu.iqueue.reconfigure(48)
+        assert cpu.current_configuration() == {"dcache": 3, "iqueue": 48}
+
+    def test_effective_configurations_collapse_under_floor(self):
+        """With a huge queue enabled, small cache boundaries share one
+        cycle time: the Section 5.4 interaction."""
+        cpu = CapProcessor()
+        cpu.iqueue.reconfigure(128)  # 0.852 ns floors the clock
+        effective = cpu.effective_configurations("dcache")
+        # several boundaries run under the queue's floor: only the
+        # largest of each shared-period group remains
+        assert len(effective) < len(tuple(cpu.dcache.configurations()))
+
+    def test_effective_configurations_all_distinct_when_dominant(self):
+        cpu = CapProcessor()
+        cpu.iqueue.reconfigure(16)
+        effective = cpu.effective_configurations("dcache")
+        assert len(effective) >= 7
+
+    def test_describe_mentions_key_facts(self):
+        cpu = CapProcessor()
+        text = cpu.describe()
+        assert "Cycle time" in text
+        assert "Issue queue" in text
+
+    def test_manager_wired_to_both_structures(self):
+        cpu = CapProcessor()
+        assert set(cpu.manager.structures) == {"dcache", "iqueue"}
+
+    def test_manager_apply_reconfigures(self):
+        cpu = CapProcessor()
+        overhead = cpu.manager.apply("iqueue", 32)
+        assert cpu.iqueue.configuration == 32
+        assert overhead >= 0

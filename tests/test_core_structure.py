@@ -1,0 +1,120 @@
+"""Tests for the CAS/FS abstractions and the dynamic clock."""
+
+import pytest
+
+from repro.core.clock import ClockSwitch, DynamicClock
+from repro.core.structure import (
+    ComplexityAdaptiveStructure,
+    FixedStructure,
+    ReconfigurationCost,
+)
+from repro.errors import ConfigurationError
+
+
+class FakeCas(ComplexityAdaptiveStructure[int]):
+    """Minimal CAS: delay = config / 10 ns."""
+
+    def __init__(self, name="fake", configs=(1, 2, 4), initial=1):
+        self.name = name
+        self._configs = tuple(configs)
+        self._current = initial
+
+    def configurations(self):
+        return self._configs
+
+    def delay_ns(self, config):
+        self.validate(config)
+        return config / 10.0
+
+    @property
+    def configuration(self):
+        return self._current
+
+    def reconfigure(self, config):
+        self.validate(config)
+        changed = config != self._current
+        self._current = config
+        return ReconfigurationCost(cleanup_cycles=0, requires_clock_switch=changed)
+
+
+class TestFixedStructure:
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ConfigurationError):
+            FixedStructure(name="alu", delay_ns=-1.0)
+
+    def test_holds_delay(self):
+        assert FixedStructure("alu", 0.4).delay_ns == 0.4
+
+
+class TestCasBase:
+    def test_validate_accepts_known(self):
+        FakeCas().validate(2)
+
+    def test_validate_rejects_unknown(self):
+        with pytest.raises(ConfigurationError):
+            FakeCas().validate(3)
+
+    def test_fastest_slowest(self):
+        cas = FakeCas()
+        assert cas.fastest_configuration() == 1
+        assert cas.slowest_configuration() == 4
+
+
+class TestDynamicClock:
+    def test_cycle_is_max_delay(self):
+        clock = DynamicClock(
+            fixed_structures=(FixedStructure("alu", 0.15),),
+            adaptive_structures=(FakeCas(initial=2),),
+        )
+        assert clock.cycle_time_ns() == pytest.approx(0.2)
+
+    def test_fixed_structure_floors_cycle(self):
+        clock = DynamicClock(
+            fixed_structures=(FixedStructure("alu", 0.35),),
+            adaptive_structures=(FakeCas(initial=1),),
+        )
+        assert clock.cycle_time_ns() == pytest.approx(0.35)
+
+    def test_hypothetical_configuration(self):
+        clock = DynamicClock(adaptive_structures=(FakeCas(initial=1),))
+        assert clock.cycle_time_ns({"fake": 4}) == pytest.approx(0.4)
+        # current config untouched
+        assert clock.cycle_time_ns() == pytest.approx(0.1)
+
+    def test_rejects_unknown_structure(self):
+        clock = DynamicClock(adaptive_structures=(FakeCas(),))
+        with pytest.raises(ConfigurationError):
+            clock.cycle_time_ns({"nope": 1})
+
+    def test_rejects_empty_clock(self):
+        with pytest.raises(ConfigurationError):
+            DynamicClock().cycle_time_ns()
+
+    def test_available_speeds_enumerates_product(self):
+        clock = DynamicClock(
+            adaptive_structures=(FakeCas("a", (1, 2)), FakeCas("b", (2, 4))),
+        )
+        # cycle = max(a, b)/10: combos (1,2),(1,4),(2,2),(2,4) -> 0.2, 0.4
+        assert clock.available_speeds_ns() == (0.2, 0.4)
+
+    def test_switch_costs_pause(self):
+        clock = DynamicClock(adaptive_structures=(FakeCas(),), switch_pause_cycles=30)
+        event = clock.switch(0.1, 0.4)
+        assert isinstance(event, ClockSwitch)
+        assert event.pause_cycles == 30
+        assert event.pause_ns == pytest.approx(12.0)
+
+    def test_same_period_switch_is_free(self):
+        clock = DynamicClock(adaptive_structures=(FakeCas(),))
+        assert clock.switch(0.2, 0.2).pause_cycles == 0
+        assert clock.switch_history == ()
+
+    def test_overhead_accumulates(self):
+        clock = DynamicClock(adaptive_structures=(FakeCas(),), switch_pause_cycles=10)
+        clock.switch(0.1, 0.2)
+        clock.switch(0.2, 0.1)
+        assert clock.total_switch_overhead_ns == pytest.approx(10 * 0.2 + 10 * 0.1)
+
+    def test_rejects_negative_pause(self):
+        with pytest.raises(ConfigurationError):
+            DynamicClock(switch_pause_cycles=-1)

@@ -1,0 +1,103 @@
+"""Documentation consistency: the docs must describe the tree that exists."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[1]
+
+
+def _read(name: str) -> str:
+    return (ROOT / name).read_text()
+
+
+class TestDesignInventory:
+    def test_every_inventory_module_exists(self):
+        """Each `x.py` in DESIGN.md's module-map blocks must exist."""
+        design = _read("DESIGN.md")
+        blocks = re.findall(r"```\n(src/repro/.*?)```", design, re.S)
+        assert blocks, "DESIGN.md lost its module map"
+        missing = []
+        for block in blocks:
+            current_pkg = ""
+            for line in block.splitlines():
+                stripped = line.strip()
+                if stripped.startswith("src/repro/"):
+                    continue
+                pkg = re.match(r"^([a-z_]+)/$", stripped.split()[0] if stripped else "")
+                if pkg:
+                    current_pkg = pkg.group(1)
+                    continue
+                m = re.match(r"^([a-z_]+(?:/[a-z_]+)*\.py)\b", stripped)
+                if not m:
+                    continue
+                rel = m.group(1)
+                if "/" in rel:
+                    path = ROOT / "src" / "repro" / rel
+                else:
+                    path = ROOT / "src" / "repro" / current_pkg / rel
+                if not path.exists():
+                    missing.append(str(path))
+        assert not missing, f"DESIGN.md references missing modules: {missing}"
+
+    def test_every_bench_in_index_exists(self):
+        design = _read("DESIGN.md")
+        benches = set(re.findall(r"`(benchmarks/[a-z0-9_]+\.py)`", design))
+        assert benches
+        for bench in benches:
+            assert (ROOT / bench).exists(), bench
+
+    def test_paper_check_present(self):
+        assert "Paper check" in _read("DESIGN.md")
+
+
+class TestExperimentsDoc:
+    def test_mentions_every_figure(self):
+        text = _read("EXPERIMENTS.md")
+        for fig in ("Figure 1", "Figure 2", "Figure 7", "Figures 8 & 9",
+                    "Figure 10", "Figure 11", "Figure 12", "Figure 13"):
+            assert fig in text, fig
+
+    def test_mentions_extensions(self):
+        text = _read("EXPERIMENTS.md")
+        for term in ("TLB", "branch predictor", "concert", "granularity"):
+            assert term in text, term
+
+
+class TestReadme:
+    def test_quickstart_code_runs(self):
+        """The README's quickstart snippet must actually work."""
+        from repro import CapProcessor
+
+        cpu = CapProcessor()
+        cpu.iqueue.reconfigure(16)
+        cpu.dcache.reconfigure(1)
+        assert cpu.cycle_time_ns() < 0.6
+        cpu.manager.apply("iqueue", 64)
+        assert cpu.iqueue.configuration == 64
+
+    def test_mentions_all_examples(self):
+        readme = _read("README.md")
+        for example in (ROOT / "examples").glob("*.py"):
+            assert example.name in readme, example.name
+
+    def test_install_instructions(self):
+        readme = _read("README.md")
+        assert "pip install -e ." in readme
+
+
+class TestPackageDoctests:
+    def test_module_docstring_examples(self):
+        """Doctests embedded in package docstrings must hold."""
+        import doctest
+
+        import repro.units
+        import repro.core.metrics
+        import repro.tech.cacti
+        import repro.tech.palacharla
+
+        for module in (repro.units, repro.core.metrics, repro.tech.cacti,
+                       repro.tech.palacharla):
+            results = doctest.testmod(module, verbose=False)
+            assert results.failed == 0, module.__name__

@@ -1,0 +1,110 @@
+"""Tests for the ablation studies."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    FlushAblation,
+    LOAD_USE_SENSITIVITY,
+    confidence_threshold_sweep,
+    fine_grained_geometry,
+    flush_reconfiguration_ablation,
+    increment_granularity_ablation,
+    latency_mode_ablation,
+    switch_cost_sensitivity,
+)
+from repro.experiments.interval_study import figure13
+
+
+@pytest.fixture(scope="module")
+def irregular():
+    return figure13(regular=False)
+
+
+@pytest.fixture(scope="module")
+def regular():
+    return figure13(regular=True)
+
+
+class TestFineGrainedGeometry:
+    def test_same_total_capacity_and_sets(self):
+        g = fine_grained_geometry()
+        assert g.total_bytes == 128 * 1024
+        assert g.n_sets == 128
+        assert g.total_ways == 32
+
+    def test_finer_increment(self):
+        g = fine_grained_geometry()
+        assert g.increment_bytes == 4096
+        assert g.ways_per_increment == 1
+
+
+class TestGranularityAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return increment_granularity_ablation()
+
+    def test_paper_design_wins(self, result):
+        """Sec 5.2.1: the 8 KB design 'appeared to offer a better
+        tradeoff between increment granularity and overall delay'."""
+        assert result.paper_design_wins
+
+    def test_fine_design_has_slower_16kb_point(self, result):
+        """Four 4 KB increments span more bus than two 8 KB ones."""
+        assert result.fine_cycle_at_16kb > result.paper_cycle_at_16kb
+
+    def test_adaptive_beats_conventional_in_both_designs(self, result):
+        assert result.paper_adaptive_tpi_ns < result.paper_suite_tpi_ns
+        assert result.fine_adaptive_tpi_ns < result.fine_suite_tpi_ns
+
+
+class TestLatencyModeAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return latency_mode_ablation()
+
+    def test_latency_mode_competitive_for_dcache(self, result):
+        """Sec 3.1 suggests latency adaptation for the D-cache; under
+        first-order assumptions it should win for most applications."""
+        winners = result.winners()
+        latency = sum(1 for w in winners.values() if w == "latency")
+        assert latency > len(winners) / 2
+
+    def test_sensitivity_constant_positive(self):
+        assert 0.0 < LOAD_USE_SENSITIVITY < 1.0
+
+    def test_all_apps_covered(self, result):
+        assert len(result.clock_mode_tpi) == 21
+
+
+class TestFlushAblation:
+    def test_flush_always_costs(self):
+        result = flush_reconfiguration_ablation()
+        assert isinstance(result, FlushAblation)
+        assert result.extra_misses > 0
+        assert result.extra_miss_ns == result.extra_misses * 30.0
+
+    def test_other_app(self):
+        result = flush_reconfiguration_ablation(app="swim", n_refs=20_000)
+        assert result.extra_misses >= 0
+
+
+class TestPolicySensitivity:
+    def test_confidence_reduces_switching(self, irregular):
+        sweep = confidence_threshold_sweep(irregular, thresholds=(0.3, 0.95))
+        assert sweep[0.95].n_switches <= sweep[0.3].n_switches
+
+    def test_switch_cost_monotone(self, regular):
+        sweep = switch_cost_sensitivity(regular, pauses=(0, 100, 1000))
+        assert (
+            sweep[0].tpi_ns <= sweep[100].tpi_ns <= sweep[1000].tpi_ns
+        )
+
+    def test_zero_cost_switching_beats_static(self, regular):
+        sweep = switch_cost_sensitivity(regular, pauses=(0,))
+        from repro.core.policies import StaticPolicy, evaluate_policy
+
+        static = min(
+            evaluate_policy(regular.series, StaticPolicy(w)).tpi_ns
+            for w in regular.windows
+        )
+        assert sweep[0].tpi_ns < static

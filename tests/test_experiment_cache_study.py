@@ -1,0 +1,141 @@
+"""Figure 7/8/9 shape assertions — the cache study headline results.
+
+These run the full (default-size) experiment once per module and check
+every qualitative claim the paper makes about the cache evaluation.
+"""
+
+import pytest
+
+from repro.experiments.cache_study import cache_tpi_table, figure7, figure8_9
+
+
+@pytest.fixture(scope="module")
+def study():
+    return figure8_9()
+
+
+@pytest.fixture(scope="module")
+def fig7():
+    return figure7()
+
+
+class TestFigure7Shapes:
+    def test_panels_cover_suite(self, fig7):
+        assert len(fig7["integer"]) == 7  # SPECint minus go
+        assert len(fig7["floating"]) == 14
+
+    def test_curves_cover_8_to_64kb(self, fig7):
+        for panel in fig7.values():
+            for curve in panel.values():
+                assert sorted(curve) == [8.0, 16.0, 24.0, 32.0, 40.0, 48.0, 56.0, 64.0]
+
+    def test_most_apps_favor_small_l1(self, fig7):
+        """'The vast majority of the applications perform best with an
+        8KB or 16KB L1 Dcache.'"""
+        small = 0
+        total = 0
+        for panel in fig7.values():
+            for curve in panel.values():
+                total += 1
+                if min(curve, key=curve.get) <= 16:
+                    small += 1
+        assert small >= total * 0.55
+
+    def test_compress_only_integer_app_improving_past_16kb(self, fig7):
+        winners = {
+            app: min(curve, key=curve.get) for app, curve in fig7["integer"].items()
+        }
+        beyond = {app for app, best in winners.items() if best > 16}
+        assert beyond == {"compress"}
+
+    def test_stereo_flattens_only_past_40kb(self, fig7):
+        """'Stereo's curve does not flatten out until the 48KB L1 cache
+        point.'"""
+        curve = fig7["floating"]["stereo"]
+        assert min(curve, key=curve.get) >= 48
+        assert curve[16] > 1.3 * curve[56]
+
+    def test_appcg_sharp_drop_past_48kb(self, fig7):
+        """'Appcg experiences a sharp drop once L1 cache size is
+        increased beyond 48KB.'"""
+        curve = fig7["floating"]["appcg"]
+        assert curve[56] < 0.85 * curve[48]
+
+    def test_applu_flat_and_small_is_best(self, fig7):
+        """128 KB is too small for applu: bigger L1 buys nothing."""
+        curve = fig7["floating"]["applu"]
+        assert min(curve, key=curve.get) <= 16
+        assert curve[64] > curve[8]  # slower clock, no fewer misses
+
+    def test_swim_gains_from_larger_l1(self, fig7):
+        curve = fig7["floating"]["swim"]
+        assert min(curve.values()) < 0.85 * curve[16]
+
+    def test_tpi_magnitudes_in_paper_range(self, fig7):
+        for app, curve in fig7["integer"].items():
+            for tpi in curve.values():
+                assert 0.1 < tpi < 1.0, (app, tpi)
+
+
+class TestFigure8And9Headlines:
+    def test_best_conventional_is_16kb(self, study):
+        """The paper's best conventional configuration: 16 KB 4-way."""
+        assert study.conventional_boundary == 2
+        assert study.conventional_l1_kb == 16
+
+    def test_average_tpi_reduction_high_single_digits(self, study):
+        """Paper: 9% average TPI reduction."""
+        assert 5.0 < study.tpi.average_reduction_percent() < 18.0
+
+    def test_average_tpimiss_reduction_larger(self, study):
+        """Paper: 26% average TPImiss reduction — several times the TPI
+        reduction."""
+        miss = study.tpi_miss.average_reduction_percent()
+        assert 18.0 < miss < 50.0
+        assert miss > study.tpi.average_reduction_percent()
+
+    def test_adaptive_never_loses(self, study):
+        assert study.tpi.never_worse()
+
+    def test_stereo_and_appcg_biggest_winners(self, study):
+        winners = set(study.tpi.biggest_winners(3))
+        assert "stereo" in winners
+        assert "appcg" in winners
+
+    def test_stereo_reduction_magnitude(self, study):
+        """Paper: stereo TPI -46%, TPImiss -65%."""
+        assert study.tpi.per_app_reduction_percent()["stereo"] > 25.0
+        assert study.tpi_miss.per_app_reduction_percent()["stereo"] > 45.0
+
+    def test_compress_tpimiss_cut_but_tpi_barely(self, study):
+        """Paper: compress TPImiss -43% but little TPI impact because
+        loads/stores are <10% of the workload."""
+        miss_cut = study.tpi_miss.per_app_reduction_percent()["compress"]
+        tpi_cut = study.tpi.per_app_reduction_percent()["compress"]
+        assert miss_cut > 25.0
+        assert tpi_cut < miss_cut / 2
+
+    def test_some_apps_trade_tpimiss_for_clock(self, study):
+        """'The TPImiss of the adaptive approach is in some cases higher
+        than that of the conventional design' — clock beats misses."""
+        reductions = study.tpi_miss.per_app_reduction_percent()
+        assert any(r < 0 for r in reductions.values())
+
+    def test_lesser_winners_present(self, study):
+        """wave5, airshed, radar gain 'to a lesser extent'."""
+        red = study.tpi.per_app_reduction_percent()
+        for app in ("wave5", "airshed", "radar"):
+            assert red[app] > 2.0
+
+
+class TestDeterminismAndCache:
+    def test_repeated_runs_identical(self):
+        a = figure8_9()
+        b = figure8_9()
+        assert a.tpi.adaptive == b.tpi.adaptive
+
+    def test_table_indexed_by_all_apps_and_boundaries(self):
+        table = cache_tpi_table()
+        assert len(table) == 21
+        for rows in table.values():
+            assert sorted(rows) == list(range(1, 9))

@@ -1,0 +1,78 @@
+"""Tests for the TLB / branch-predictor / concert extension studies."""
+
+import pytest
+
+from repro.branch.predictors import PredictorKind
+from repro.experiments.extended_structures import (
+    branch_study,
+    concert_study,
+    tlb_study,
+)
+
+
+@pytest.fixture(scope="module")
+def tlb():
+    return tlb_study()
+
+
+@pytest.fixture(scope="module")
+def gshare():
+    return branch_study(PredictorKind.GSHARE)
+
+
+@pytest.fixture(scope="module")
+def concert():
+    return concert_study()
+
+
+class TestTlbStudy:
+    def test_covers_cache_suite(self, tlb):
+        assert len(tlb.tpi.applications) == 21
+
+    def test_adaptive_never_loses(self, tlb):
+        assert tlb.tpi.never_worse()
+
+    def test_diverse_demands(self, tlb):
+        """The backup TLB must expose real application diversity."""
+        assert len(set(tlb.best_configs.values())) >= 3
+
+    def test_conventional_is_interior(self, tlb):
+        """The suite-best fast section is neither extreme."""
+        assert 16 < tlb.conventional_config < 128
+
+
+class TestBranchStudy:
+    def test_adaptive_never_loses(self, gshare):
+        assert gshare.tpi.never_worse()
+
+    def test_predictor_organisation_diversity(self, gshare):
+        """History pays where pattern contexts fit (li) and hurts where
+        they explode past the table (gcc) — organisation is itself a
+        tradeoff, like size."""
+        bimodal = branch_study(PredictorKind.BIMODAL)
+        assert gshare.tpi.adaptive["li"] < bimodal.tpi.adaptive["li"]
+        assert gshare.tpi.adaptive["gcc"] > bimodal.tpi.adaptive["gcc"]
+
+    def test_loop_kernels_are_easy(self, gshare):
+        assert gshare.tpi.adaptive["swim"] < gshare.tpi.adaptive["gcc"]
+
+
+class TestConcertStudy:
+    def test_adaptive_never_loses(self, concert):
+        assert concert.tpi.never_worse()
+
+    def test_joint_gain_positive(self, concert):
+        assert concert.tpi.average_reduction_percent() > 2.0
+
+    def test_known_structure_preferences_survive_jointly(self, concert):
+        """Per-structure preferences must persist in the joint space."""
+        assert concert.best_configs["compress"].queue_entries >= 96
+        assert concert.best_configs["fpppp"].queue_entries <= 48
+
+    def test_section_5_4_interaction_present(self, concert):
+        """Some cache boundaries must be clock-dominated by the
+        conventional queue — the interaction the paper warns about."""
+        assert 0.0 < concert.dominated_fraction < 1.0
+
+    def test_every_app_has_a_config(self, concert):
+        assert set(concert.best_configs) == set(concert.tpi.applications)

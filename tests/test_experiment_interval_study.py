@@ -1,0 +1,106 @@
+"""Figure 12/13 and Section 6 predictor-evaluation assertions."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.interval_study import figure12, figure13, predictor_study
+
+
+@pytest.fixture(scope="module")
+def fig12():
+    return figure12(intervals_per_phase=40)
+
+
+@pytest.fixture(scope="module")
+def fig13a():
+    return figure13(regular=True)
+
+
+@pytest.fixture(scope="module")
+def fig13b():
+    return figure13(regular=False)
+
+
+class TestFigure12:
+    def test_compares_64_and_128(self, fig12):
+        assert fig12.windows == (64, 128)
+
+    def test_phase_a_favours_64(self, fig12):
+        """Figure 12a: 64-entry ~10% better throughout the phase."""
+        half = len(fig12.series[64]) // 2
+        t64 = fig12.series[64].tpi_ns[:half].mean()
+        t128 = fig12.series[128].tpi_ns[:half].mean()
+        assert 1.05 < t128 / t64 < 1.6
+
+    def test_phase_b_favours_128(self, fig12):
+        """Figure 12b: 128-entry ~20% better."""
+        half = len(fig12.series[64]) // 2
+        t64 = fig12.series[64].tpi_ns[half:].mean()
+        t128 = fig12.series[128].tpi_ns[half:].mean()
+        assert 1.1 < t64 / t128 < 1.6
+
+    def test_long_stable_runs(self, fig12):
+        """'Long periods of execution in which one configuration clearly
+        performs best' — easy to exploit."""
+        runs = fig12.stability_runs()
+        assert max(length for _w, length in runs) >= 25
+
+
+class TestFigure13Regular:
+    def test_compares_16_and_64(self, fig13a):
+        assert fig13a.windows == (16, 64)
+
+    def test_alternation_period_about_15_intervals(self, fig13a):
+        """'The best-performing configuration alternates roughly every
+        15 intervals in a fairly regular fashion.'"""
+        runs = [length for _w, length in fig13a.stability_runs()]
+        long_runs = [r for r in runs if r >= 5]
+        assert long_runs, "expected sustained alternation runs"
+        assert 10 <= float(np.median(long_runs)) <= 20
+
+    def test_both_configurations_take_turns(self, fig13a):
+        winners = {w for w, _len in fig13a.stability_runs()}
+        assert winners == {16, 64}
+
+
+class TestFigure13Irregular:
+    def test_best_flips_frequently(self, fig13b):
+        seq = fig13b.best_sequence()
+        flips = int((seq[1:] != seq[:-1]).sum())
+        assert flips > len(seq) * 0.1
+
+    def test_averages_nearly_equal(self, fig13b):
+        """'The average performance of both configurations is about the
+        same over this period.'"""
+        m16 = fig13b.series[16].mean_tpi_ns()
+        m64 = fig13b.series[64].mean_tpi_ns()
+        assert abs(m16 - m64) / max(m16, m64) < 0.10
+
+
+class TestPredictorStudy:
+    def test_beats_static_on_stable_phases(self, fig12):
+        ps = predictor_study(fig12)
+        assert ps.adaptive.tpi_ns < ps.best_static_tpi_ns
+
+    def test_beats_static_on_regular_alternation(self, fig13a):
+        ps = predictor_study(fig13a)
+        assert ps.adaptive_gain_percent > 3.0
+
+    def test_oracle_is_upper_bound(self, fig13a):
+        ps = predictor_study(fig13a)
+        assert ps.oracle.tpi_ns <= ps.adaptive.tpi_ns + 1e-9
+
+    def test_confidence_gate_limits_switching_on_noise(self, fig13b):
+        ps = predictor_study(fig13b, confidence_threshold=0.9)
+        assert ps.adaptive.n_switches <= ps.adaptive_ungated.n_switches
+
+    def test_gated_not_worse_than_static_on_noise(self, fig13b):
+        """The Section 6 design goal: confidence avoids losing to the
+        do-nothing policy when switching cannot pay."""
+        ps = predictor_study(fig13b, confidence_threshold=0.9)
+        assert ps.adaptive.tpi_ns <= ps.best_static_tpi_ns * 1.05
+
+    def test_switch_overhead_accounted(self, fig13a):
+        ps = predictor_study(fig13a)
+        assert ps.adaptive.switch_overhead_ns > 0
+        assert ps.adaptive.total_time_ns > 0

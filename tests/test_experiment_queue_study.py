@@ -1,0 +1,86 @@
+"""Figure 10/11 shape assertions — the queue study headline results."""
+
+import pytest
+
+from repro.experiments.queue_study import figure10, figure11
+
+
+@pytest.fixture(scope="module")
+def study():
+    return figure11()
+
+
+@pytest.fixture(scope="module")
+def fig10():
+    return figure10()
+
+
+class TestFigure10Shapes:
+    def test_panels_cover_suite(self, fig10):
+        assert len(fig10["integer"]) == 8  # includes go
+        assert len(fig10["floating"]) == 14
+
+    def test_sizes_16_to_128(self, fig10):
+        for panel in fig10.values():
+            for curve in panel.values():
+                assert sorted(curve) == list(range(16, 129, 16))
+
+    def test_most_apps_favor_64(self, fig10):
+        """'Most applications perform best with the 64-entry
+        instruction queue, although there are several exceptions.'"""
+        best = {}
+        for panel in fig10.values():
+            for app, curve in panel.items():
+                best[app] = min(curve, key=curve.get)
+        favour_64 = sum(1 for b in best.values() if 48 <= b <= 64)
+        assert favour_64 >= 15
+
+    def test_compress_favours_128(self, fig10):
+        curve = fig10["integer"]["compress"]
+        assert min(curve, key=curve.get) == 128
+
+    def test_radar_fpppp_appcg_favour_16(self, fig10):
+        for app in ("radar", "fpppp", "appcg"):
+            panel = fig10["floating"]
+            assert min(panel[app], key=panel[app].get) == 16
+
+    def test_tpi_magnitudes_in_paper_range(self, fig10):
+        for panel in fig10.values():
+            for app, curve in panel.items():
+                for tpi in curve.values():
+                    assert 0.05 < tpi < 0.8, (app, tpi)
+
+
+class TestFigure11Headlines:
+    def test_best_conventional_is_64(self, study):
+        assert study.conventional_size == 64
+
+    def test_average_reduction_around_7_percent(self, study):
+        """Paper: 7% average TPI reduction."""
+        assert 4.0 < study.tpi.average_reduction_percent() < 12.0
+
+    def test_adaptive_never_loses(self, study):
+        assert study.tpi.never_worse()
+
+    def test_appcg_and_fpppp_biggest_winners(self, study):
+        """Paper: appcg -28%, fpppp -21%."""
+        red = study.tpi.per_app_reduction_percent()
+        assert red["appcg"] > 20.0
+        assert red["fpppp"] > 15.0
+
+    def test_solid_secondary_winners(self, study):
+        """Paper: radar -10%, compress -8%, ijpeg -8%."""
+        red = study.tpi.per_app_reduction_percent()
+        for app in ("radar", "compress", "ijpeg"):
+            assert red[app] > 4.0, app
+
+    def test_most_apps_unchanged(self, study):
+        """Apps already matched to 64 entries gain nothing."""
+        red = study.tpi.per_app_reduction_percent()
+        unchanged = sum(1 for r in red.values() if r < 1.0)
+        assert unchanged >= 12
+
+    def test_repeatable(self):
+        a = figure11()
+        b = figure11()
+        assert a.best_sizes == b.best_sizes

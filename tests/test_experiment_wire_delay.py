@@ -1,0 +1,73 @@
+"""Tests for the Figure 1/2 experiment harness."""
+
+import pytest
+
+from repro.experiments.wire_delay import figure1, figure2
+
+
+@pytest.fixture(scope="module")
+def fig1a():
+    return figure1(subarray_kb=2)
+
+
+@pytest.fixture(scope="module")
+def fig1b():
+    return figure1(subarray_kb=4)
+
+
+@pytest.fixture(scope="module")
+def fig2():
+    return figure2()
+
+
+class TestFigure1:
+    def test_x_axis(self, fig1a):
+        assert fig1a.x_values == tuple(range(4, 17))
+
+    def test_unbuffered_grows_quadratically(self, fig1a):
+        u = fig1a.unbuffered_ns
+        assert u[-1] / u[0] == pytest.approx((16 / 4) ** 2, rel=0.01)
+
+    def test_buffered_ordering_by_feature(self, fig1a):
+        """Smaller features always give faster buffered wires."""
+        for i in range(len(fig1a.x_values)):
+            assert (
+                fig1a.buffered_ns[0.25][i]
+                > fig1a.buffered_ns[0.18][i]
+                > fig1a.buffered_ns[0.12][i]
+            )
+
+    def test_crossovers_shift_left_with_smaller_features(self, fig1a):
+        c25 = fig1a.crossover(0.25)
+        c12 = fig1a.crossover(0.12)
+        assert c25 is not None and c12 is not None
+        assert c12 <= c25
+
+    def test_panel_b_delays_larger(self, fig1a, fig1b):
+        for i in range(len(fig1a.x_values)):
+            assert fig1b.unbuffered_ns[i] > fig1a.unbuffered_ns[i]
+
+    def test_series_dict_has_four_curves(self, fig1a):
+        series = fig1a.as_series_dict()
+        assert list(series) == [
+            "Unbuffered", "Buffers, 0.25u", "Buffers, 0.18u", "Buffers, 0.12u",
+        ]
+
+
+class TestFigure2:
+    def test_x_axis_covers_paper_range(self, fig2):
+        assert fig2.x_values[0] == 16
+        assert fig2.x_values[-1] == 64
+
+    def test_012_crossover_by_32_entries(self, fig2):
+        """'Buffering performs better for a 32-entry queue with 0.12u.'"""
+        c = fig2.crossover(0.12)
+        assert c is not None and c <= 32
+
+    def test_018_crossover_between_32_and_48(self, fig2):
+        c = fig2.crossover(0.18)
+        assert c is not None and 32 < c <= 48
+
+    def test_unbuffered_magnitude(self, fig2):
+        # paper's Figure 2 tops out around 1.3 ns at 64 entries
+        assert 1.0 < fig2.unbuffered_ns[-1] < 2.0

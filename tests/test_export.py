@@ -1,0 +1,68 @@
+"""Tests for CSV export."""
+
+import csv
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.export import export_all, export_figure, exportable_figures
+
+
+def _read(path):
+    with open(path, newline="") as f:
+        return list(csv.reader(f))
+
+
+class TestExportFigure:
+    def test_exportable_matches_cli_figures(self):
+        from repro.cli import _FIGURES
+
+        assert set(exportable_figures()) == set(_FIGURES)
+
+    def test_wire_figure(self, tmp_path):
+        path = export_figure("2", tmp_path)
+        rows = _read(path)
+        assert rows[0][0] == "Number of Instruction Queue Entries"
+        assert len(rows) > 5
+        assert float(rows[1][1]) > 0
+
+    def test_panel_figure(self, tmp_path):
+        path = export_figure("7", tmp_path)
+        rows = _read(path)
+        assert rows[0] == ["domain", "app", "l1_kb", "tpi_ns"]
+        apps = {r[1] for r in rows[1:]}
+        assert len(apps) == 21
+        assert len(rows) == 1 + 21 * 8
+
+    def test_comparison_figure(self, tmp_path):
+        path = export_figure("9", tmp_path)
+        rows = _read(path)
+        assert rows[0] == ["app", "adaptive_l1_kb", "conventional_ns", "adaptive_ns"]
+        assert len(rows) == 22  # header + 21 apps
+
+    def test_queue_comparison(self, tmp_path):
+        path = export_figure("11", tmp_path)
+        rows = _read(path)
+        assert len(rows) == 23  # header + 22 apps
+
+    def test_interval_figure(self, tmp_path):
+        path = export_figure("13a", tmp_path)
+        rows = _read(path)
+        assert rows[0] == ["interval", "tpi_ns_16_entries", "tpi_ns_64_entries"]
+
+    def test_unknown_figure_rejected(self, tmp_path):
+        with pytest.raises(ReproError):
+            export_figure("99", tmp_path)
+
+    def test_creates_directories(self, tmp_path):
+        path = export_figure("2", tmp_path / "a" / "b")
+        assert path.exists()
+
+
+class TestExportAll:
+    def test_every_figure_written(self, tmp_path):
+        paths = export_all(tmp_path)
+        assert len(paths) == len(exportable_figures())
+        for path in paths:
+            assert path.exists()
+            assert len(_read(path)) > 1

@@ -1,0 +1,135 @@
+"""End-to-end integration tests across subsystem boundaries."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AdaptiveCacheHierarchy,
+    AdaptiveInstructionQueue,
+    CapProcessor,
+    ConfigurationManager,
+    DynamicClock,
+)
+from repro.cache import CacheTpiModel, DepthHistogram, PAPER_GEOMETRY, StackDistanceEngine
+from repro.ooo import QueueTimingModel
+from repro.ooo.machine import run_window_sweep
+from repro.workloads import (
+    generate_address_trace,
+    generate_instruction_trace,
+    get_profile,
+)
+
+
+class TestProcessLevelEndToEnd:
+    """The full paper flow: trace -> measure -> select -> reconfigure."""
+
+    @pytest.fixture(scope="class")
+    def configured(self):
+        dcache = AdaptiveCacheHierarchy()
+        iqueue = AdaptiveInstructionQueue()
+        clock = DynamicClock(adaptive_structures=(dcache, iqueue))
+        manager = ConfigurationManager(clock=clock, structures=(dcache, iqueue))
+        tpi_model = CacheTpiModel()
+        queue_timing = QueueTimingModel()
+        cycles = queue_timing.cycle_table()
+
+        for app in ("perl", "stereo", "appcg"):
+            profile = get_profile(app)
+            addrs = generate_address_trace(profile.memory, 20_000, profile.seed)
+            engine = StackDistanceEngine(PAPER_GEOMETRY)
+            engine.process(addrs[:6000])
+            hist = DepthHistogram.from_depths(
+                PAPER_GEOMETRY, engine.process(addrs[6000:])
+            )
+            manager.select_for_process(
+                app, "dcache",
+                lambda k: tpi_model.evaluate(
+                    hist, profile.memory.load_store_fraction, k
+                ).tpi_ns,
+            )
+            trace = generate_instruction_trace(profile.ilp, 6_000, profile.seed)
+            sweep = run_window_sweep(trace, queue_timing.sizes)
+            manager.select_for_process(
+                app, "iqueue", lambda w: sweep[w].tpi_ns(cycles[w])
+            )
+        return manager, clock, dcache, iqueue
+
+    def test_decisions_cover_both_structures(self, configured):
+        manager, *_ = configured
+        assert len(manager.decisions) == 6
+
+    def test_capacity_hungry_apps_get_big_l1(self, configured):
+        manager, *_ = configured
+        assert manager.saved_configuration("stereo", "dcache") > \
+            manager.saved_configuration("perl", "dcache")
+
+    def test_chain_bound_app_gets_small_queue(self, configured):
+        manager, *_ = configured
+        assert manager.saved_configuration("appcg", "iqueue") == 16
+
+    def test_context_switches_reconfigure_and_cost(self, configured):
+        manager, clock, dcache, iqueue = configured
+        manager.context_switch("perl")
+        perl_cycle = clock.cycle_time_ns()
+        manager.context_switch("stereo")
+        stereo_cycle = clock.cycle_time_ns()
+        assert stereo_cycle > perl_cycle  # bigger L1 -> slower clock
+        assert clock.total_switch_overhead_ns > 0
+        assert dcache.configuration == manager.saved_configuration("stereo", "dcache")
+        assert iqueue.configuration == manager.saved_configuration("stereo", "iqueue")
+
+
+class TestCapProcessorIntegration:
+    def test_clock_tracks_manager_actions(self):
+        cpu = CapProcessor()
+        cpu.manager.apply("dcache", 1)
+        cpu.manager.apply("iqueue", 16)
+        fast = cpu.cycle_time_ns()
+        cpu.manager.apply("dcache", 8)
+        assert cpu.cycle_time_ns() > fast
+        assert len(cpu.clock.switch_history) >= 1
+
+    def test_data_survives_whole_session(self):
+        cpu = CapProcessor()
+        addrs = (np.arange(2000, dtype=np.uint64) % 500) * 32
+        cpu.dcache.run(addrs)
+        cpu.manager.apply("dcache", 1)
+        cpu.manager.apply("dcache", 8)
+        from repro.cache.hierarchy import AccessLevel
+
+        # the hottest block is still resident after two boundary moves
+        assert cpu.dcache.hierarchy.access(int(addrs[-1])) in (
+            AccessLevel.L1, AccessLevel.L2,
+        )
+
+
+class TestExperimentCoherence:
+    """Cross-checks between independently-computed experiment views."""
+
+    def test_figure7_and_figure9_agree(self):
+        from repro.experiments.cache_study import figure7, figure8_9
+
+        fig7 = figure7()
+        study = figure8_9()
+        for domain in ("integer", "floating"):
+            for app, curve in fig7[domain].items():
+                conv = curve[study.conventional_l1_kb]
+                assert conv == pytest.approx(study.tpi.conventional[app])
+
+    def test_figure10_and_figure11_agree(self):
+        from repro.experiments.queue_study import figure10, figure11
+
+        fig10 = figure10()
+        study = figure11()
+        for domain in ("integer", "floating"):
+            for app, curve in fig10[domain].items():
+                assert curve[study.conventional_size] == pytest.approx(
+                    study.tpi.conventional[app]
+                )
+
+    def test_adaptive_column_is_row_minimum(self):
+        from repro.experiments.queue_study import figure11
+
+        study = figure11()
+        for app, row in study.table.items():
+            assert study.tpi.adaptive[app] == pytest.approx(min(row.values()))

@@ -1,0 +1,97 @@
+"""Tests for the multiprogramming and asynchronous models."""
+
+import pytest
+
+from repro.cache.config import PAPER_GEOMETRY
+from repro.cache.stackdist import DepthHistogram, StackDistanceEngine
+from repro.core.asynchronous import async_cache_profile
+from repro.core.multiprogram import (
+    MultiprogramResult,
+    ProcessSpec,
+    adaptive_vs_conventional_mix,
+    run_multiprogrammed,
+)
+from repro.errors import SimulationError, WorkloadError
+from repro.workloads import generate_address_trace, get_profile
+
+
+@pytest.fixture(scope="module")
+def mixed_run():
+    return adaptive_vs_conventional_mix(
+        {"perl": 2, "stereo": 6, "appcg": 7},
+        timeslice_refs=2000,
+        total_refs_per_process=12_000,
+    )
+
+
+class TestMultiprogramming:
+    def test_conservation(self, mixed_run):
+        adaptive, _ = mixed_run
+        assert isinstance(adaptive, MultiprogramResult)
+        assert adaptive.total_time_ns == pytest.approx(
+            sum(adaptive.per_process_time_ns.values())
+            + adaptive.reconfiguration_overhead_ns
+        )
+
+    def test_adaptive_mix_beats_conventional(self, mixed_run):
+        """Per-process boundaries must win even with every switch cost
+        charged and processes evicting each other's data."""
+        adaptive, conventional = mixed_run
+        assert adaptive.tpi_ns < conventional.tpi_ns
+
+    def test_switch_overhead_not_noticeable(self, mixed_run):
+        """The paper's claim: context-switch reconfiguration overhead is
+        negligible at OS timeslice granularity."""
+        adaptive, _ = mixed_run
+        assert adaptive.overhead_fraction < 0.01
+
+    def test_conventional_mix_never_switches_clock(self, mixed_run):
+        _, conventional = mixed_run
+        assert conventional.reconfiguration_overhead_ns == 0.0
+
+    def test_round_robin_counts(self, mixed_run):
+        adaptive, _ = mixed_run
+        # 3 processes x 6 slices each
+        assert adaptive.n_context_switches == 18
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            run_multiprogrammed(())
+        with pytest.raises(WorkloadError):
+            run_multiprogrammed(
+                (ProcessSpec("perl", 2), ProcessSpec("perl", 3))
+            )
+        with pytest.raises(SimulationError):
+            run_multiprogrammed(
+                (ProcessSpec("perl", 2),), timeslice_refs=0
+            )
+
+
+class TestAsynchronousAdvantage:
+    def _histogram(self, app: str):
+        profile = get_profile(app)
+        addrs = generate_address_trace(profile.memory, 20_000, profile.seed)
+        engine = StackDistanceEngine(PAPER_GEOMETRY)
+        engine.process(addrs[:6000])
+        return DepthHistogram.from_depths(
+            PAPER_GEOMETRY, engine.process(addrs[6000:])
+        )
+
+    def test_average_much_below_worst(self):
+        """Hot data lives near: the self-timed average access must be
+        far below the worst-case (synchronous) delay."""
+        profile = async_cache_profile(self._histogram("perl"))
+        assert profile.speedup_over_worst_case > 1.5
+
+    def test_delays_monotone_with_position(self):
+        profile = async_cache_profile(self._histogram("perl"))
+        d = profile.per_increment_delay_ns
+        assert list(d) == sorted(d)
+        assert profile.worst_delay_ns == d[-1]
+
+    def test_capacity_hungry_app_averages_higher(self):
+        """An app that actually uses far increments pays more on
+        average — stage delays adjust to the location of elements."""
+        near = async_cache_profile(self._histogram("perl"))
+        far = async_cache_profile(self._histogram("stereo"))
+        assert far.average_delay_ns > near.average_delay_ns

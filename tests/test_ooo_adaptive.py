@@ -1,0 +1,59 @@
+"""Tests for the adaptive instruction queue CAS wrapper."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ooo.adaptive import AdaptiveInstructionQueue, QueueConfigurationSpace
+
+
+class TestCasInterface:
+    def test_configurations(self):
+        cas = AdaptiveInstructionQueue()
+        assert tuple(cas.configurations()) == tuple(range(16, 129, 16))
+
+    def test_delays_match_timing(self):
+        cas = AdaptiveInstructionQueue()
+        for w in cas.configurations():
+            assert cas.delay_ns(w) == pytest.approx(cas.timing.cycle_time_ns(w))
+
+    def test_initial_defaults_to_largest(self):
+        assert AdaptiveInstructionQueue().configuration == 128
+
+    def test_initial_override(self):
+        assert AdaptiveInstructionQueue(initial_entries=64).configuration == 64
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveInstructionQueue().reconfigure(24)
+
+    def test_fastest_is_smallest(self):
+        cas = AdaptiveInstructionQueue()
+        assert cas.fastest_configuration() == 16
+        assert cas.slowest_configuration() == 128
+
+
+class TestReconfigurationCost:
+    def test_grow_is_free_of_drain(self):
+        cas = AdaptiveInstructionQueue(initial_entries=32)
+        cost = cas.reconfigure(128)
+        assert cost.cleanup_cycles == 0
+        assert cost.requires_clock_switch
+
+    def test_shrink_charges_drain(self):
+        cas = AdaptiveInstructionQueue(initial_entries=64)
+        cas.queue.fill([16, 16, 16, 16, 0, 0, 0, 0])
+        cost = cas.reconfigure(32)
+        assert cost.cleanup_cycles == 4  # 32 entries at 8 per cycle
+        assert cas.configuration == 32
+
+    def test_same_config_no_switch(self):
+        cas = AdaptiveInstructionQueue(initial_entries=48)
+        assert not cas.reconfigure(48).requires_clock_switch
+
+
+class TestConfigurationSpace:
+    def test_cycle_table(self):
+        space = QueueConfigurationSpace()
+        table = space.cycle_table()
+        assert set(table) == set(range(16, 129, 16))
+        assert table[16] < table[128]

@@ -1,0 +1,87 @@
+"""Tests for per-interval TPI sampling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.ooo.intervals import (
+    IntervalSeries,
+    best_window_sequence,
+    interval_tpi_series,
+)
+from repro.ooo.machine import MachineConfig, MachineResult, OutOfOrderMachine
+from repro.workloads.instruction_trace import NO_DEP, InstructionTrace
+
+
+def _result(issue_times, window=16):
+    n = len(issue_times)
+    return MachineResult(
+        config=MachineConfig(window=window),
+        n_instructions=n,
+        cycles=int(max(issue_times)) + 2,
+        issue_times=np.array(issue_times, dtype=np.int64),
+    )
+
+
+class TestIntervalSeries:
+    def test_uniform_progress(self):
+        # one instruction per cycle, intervals of 10 -> 10 cycles each
+        result = _result(list(range(100)))
+        series = interval_tpi_series(result, cycle_time_ns=0.5, interval_instructions=10)
+        assert len(series) == 10
+        # first interval ends at cycle 9 (9 cycles from 0), rest exactly 10
+        assert series.tpi_ns[1] == pytest.approx(0.5 * 10 / 10)
+
+    def test_out_of_order_issue_handled(self):
+        # younger instructions issuing before older ones must not
+        # produce negative interval durations
+        issue = [0, 5, 3, 2, 8, 6, 7, 4, 9, 10]
+        series = interval_tpi_series(_result(issue), 1.0, interval_instructions=5)
+        assert np.all(series.tpi_ns > 0)
+
+    def test_partial_interval_dropped(self):
+        result = _result(list(range(25)))
+        series = interval_tpi_series(result, 1.0, interval_instructions=10)
+        assert len(series) == 2
+
+    def test_too_short_trace_rejected(self):
+        with pytest.raises(SimulationError):
+            interval_tpi_series(_result([0, 1]), 1.0, interval_instructions=10)
+
+    def test_mean(self):
+        series = IntervalSeries(
+            window=16, cycle_time_ns=1.0, interval_instructions=10,
+            tpi_ns=np.array([1.0, 3.0]),
+        )
+        assert series.mean_tpi_ns() == pytest.approx(2.0)
+
+
+class TestBestWindowSequence:
+    def test_argmin_per_interval(self):
+        a = IntervalSeries(16, 0.4, 10, np.array([1.0, 3.0, 1.0]))
+        b = IntervalSeries(64, 0.6, 10, np.array([2.0, 2.0, 0.5]))
+        seq = best_window_sequence({16: a, 64: b})
+        assert list(seq) == [16, 64, 64]
+
+    def test_rejects_mismatched_lengths(self):
+        a = IntervalSeries(16, 0.4, 10, np.array([1.0, 3.0]))
+        b = IntervalSeries(64, 0.6, 10, np.array([2.0]))
+        with pytest.raises(SimulationError):
+            best_window_sequence({16: a, 64: b})
+
+    def test_rejects_empty(self):
+        with pytest.raises(SimulationError):
+            best_window_sequence({})
+
+
+class TestEndToEndIntervals:
+    def test_real_machine_run(self, simple_ilp_profile):
+        from repro.workloads.instruction_trace import generate_instruction_trace
+
+        trace = generate_instruction_trace(simple_ilp_profile, 8000, 11)
+        result = OutOfOrderMachine(MachineConfig(window=32)).run(trace)
+        series = interval_tpi_series(result, 0.556, interval_instructions=2000)
+        assert len(series) == 4
+        total_time = series.tpi_ns.sum() * 2000
+        # interval accounting must match the overall run closely
+        assert total_time == pytest.approx(result.cycles * 0.556, rel=0.05)

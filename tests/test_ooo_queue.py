@@ -1,0 +1,104 @@
+"""Tests for the instruction queue structure and its timing model."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.ooo.queue import InstructionQueue
+from repro.ooo.timing import PAPER_QUEUE_SIZES, QUEUE_INCREMENT, QueueTimingModel
+
+
+class TestQueueConstruction:
+    def test_defaults_to_fully_enabled(self):
+        q = InstructionQueue(128)
+        assert q.enabled_entries == 128
+        assert q.enabled_increments() == 8
+
+    def test_partial_enable(self):
+        q = InstructionQueue(128, enabled_entries=48)
+        assert q.enabled_entries == 48
+
+    def test_rejects_non_multiple(self):
+        with pytest.raises(ConfigurationError):
+            InstructionQueue(100)
+        with pytest.raises(ConfigurationError):
+            InstructionQueue(128, enabled_entries=40)
+
+    def test_rejects_zero_enabled(self):
+        with pytest.raises(ConfigurationError):
+            InstructionQueue(128, enabled_entries=0)
+
+
+class TestOccupancy:
+    def test_fill_and_total(self):
+        q = InstructionQueue(64)
+        q.fill([10, 5, 0, 3])
+        assert q.occupancy == 18
+
+    def test_fill_rejects_overfull_increment(self):
+        q = InstructionQueue(64)
+        with pytest.raises(SimulationError):
+            q.fill([17, 0, 0, 0])
+
+    def test_fill_rejects_disabled_increment(self):
+        q = InstructionQueue(64, enabled_entries=32)
+        with pytest.raises(SimulationError):
+            q.fill([5, 5, 1, 0])
+
+    def test_fill_rejects_wrong_length(self):
+        q = InstructionQueue(64)
+        with pytest.raises(SimulationError):
+            q.fill([1, 2])
+
+
+class TestDrain:
+    def test_growing_is_free(self):
+        q = InstructionQueue(128, enabled_entries=64)
+        assert q.drain_cost_cycles(128) == 0
+
+    def test_shrink_drains_disabled_portion(self):
+        """'Entries in the portion of the queue to be disabled must
+        first issue' (paper Sec 5.1)."""
+        q = InstructionQueue(64)
+        q.fill([16, 16, 12, 8])
+        # shrinking to 32 drains increments 2,3: 20 entries at 8/cycle
+        assert q.drain_cost_cycles(32) == 3
+
+    def test_shrink_empty_is_free(self):
+        q = InstructionQueue(64)
+        assert q.drain_cost_cycles(16) == 0
+
+    def test_resize_clears_disabled_occupancy(self):
+        q = InstructionQueue(64)
+        q.fill([16, 16, 12, 8])
+        cost = q.resize(32)
+        assert cost == 3
+        assert q.enabled_entries == 32
+        assert q.occupancy == 32
+
+    def test_resize_then_grow_again(self):
+        q = InstructionQueue(64)
+        q.resize(16)
+        q.resize(64)
+        assert q.enabled_entries == 64
+
+
+class TestQueueTimingModel:
+    def test_paper_sizes(self):
+        assert PAPER_QUEUE_SIZES == (16, 32, 48, 64, 80, 96, 112, 128)
+
+    def test_cycle_table_monotone(self):
+        table = QueueTimingModel().cycle_table()
+        values = [table[w] for w in PAPER_QUEUE_SIZES]
+        assert values == sorted(values)
+
+    def test_rejects_unknown_size(self):
+        with pytest.raises(ConfigurationError):
+            QueueTimingModel().cycle_time_ns(24)
+
+    def test_rejects_bad_size_set(self):
+        with pytest.raises(ConfigurationError):
+            QueueTimingModel(sizes=(10, 20))
+
+    def test_increment_is_buffering_interval(self):
+        """The 16-entry increment matches the tag-line buffering group."""
+        assert QUEUE_INCREMENT == 16

@@ -1,0 +1,59 @@
+"""Tests for the text-table reporting helpers and error hierarchy."""
+
+import pytest
+
+from repro import errors
+from repro.experiments.reporting import format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [30, 4.125]])
+        lines = out.split("\n")
+        assert len(lines) == 4  # header, rule, two rows
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[1.23456]])
+        assert "1.235" in out
+
+    def test_custom_float_format(self):
+        out = format_table(["x"], [[1.23456]], float_format="{:.1f}")
+        assert "1.2" in out
+
+    def test_non_floats_stringified(self):
+        out = format_table(["n", "s"], [[7, "hello"]])
+        assert "hello" in out
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(errors.ReproError):
+            format_table(["a", "b"], [[1]])
+
+
+class TestFormatSeries:
+    def test_columns_per_series(self):
+        out = format_series("x", [1, 2], {"s1": [0.1, 0.2], "s2": [0.3, 0.4]})
+        header = out.split("\n")[0]
+        assert "x" in header and "s1" in header and "s2" in header
+
+    def test_rows_match_xs(self):
+        out = format_series("x", [10, 20, 30], {"s": [1.0, 2.0, 3.0]})
+        assert len(out.split("\n")) == 5
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            errors.ConfigurationError,
+            errors.SimulationError,
+            errors.WorkloadError,
+            errors.TimingModelError,
+        ):
+            assert issubclass(exc, errors.ReproError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.ConfigurationError("x")
+
+    def test_base_is_exception(self):
+        assert issubclass(errors.ReproError, Exception)

@@ -1,0 +1,47 @@
+"""Tests for the robustness study (small scales for speed)."""
+
+import pytest
+
+from repro.experiments.sensitivity import (
+    RobustnessResult,
+    cache_length_robustness,
+    queue_length_robustness,
+)
+
+
+@pytest.fixture(scope="module")
+def cache_result():
+    return cache_length_robustness(scales=(0.5, 1.0))
+
+
+@pytest.fixture(scope="module")
+def queue_result():
+    return queue_length_robustness(scales=(0.5, 1.0))
+
+
+class TestCacheRobustness:
+    def test_structure(self, cache_result):
+        assert isinstance(cache_result, RobustnessResult)
+        assert len(cache_result.points) == 2
+        assert cache_result.points[0].length < cache_result.points[1].length
+
+    def test_conventional_stable(self, cache_result):
+        assert cache_result.conventional_stable
+
+    def test_winners_stable(self, cache_result):
+        assert cache_result.winner_agreement() >= 0.9
+
+    def test_reduction_spread_small(self, cache_result):
+        assert cache_result.reduction_spread_percent < 4.0
+
+
+class TestQueueRobustness:
+    def test_conventional_stable(self, queue_result):
+        assert queue_result.conventional_stable
+        assert queue_result.points[0].conventional == 64
+
+    def test_winners_stable(self, queue_result):
+        assert queue_result.winner_agreement() >= 0.9
+
+    def test_reduction_spread_small(self, queue_result):
+        assert queue_result.reduction_spread_percent < 3.0

@@ -1,0 +1,84 @@
+"""Per-application coverage: every profile must drive every generator.
+
+Parametrized across the full 22-application suite so a profile edit
+that breaks one application's generation or simulation names itself.
+"""
+
+import numpy as np
+import pytest
+
+from repro.branch.predictors import GsharePredictor
+from repro.branch.workloads import branch_profile_for, generate_branch_trace
+from repro.cache.config import PAPER_GEOMETRY
+from repro.cache.stackdist import StackDistanceEngine
+from repro.ooo.machine import MachineConfig, OutOfOrderMachine
+from repro.tlb.workloads import generate_page_trace, tlb_profile_for
+from repro.workloads.address_trace import generate_address_trace
+from repro.workloads.instruction_trace import generate_instruction_trace
+from repro.workloads.suite import all_profiles, cache_study_profiles
+
+ALL = [p.name for p in all_profiles()]
+CACHE = [p.name for p in cache_study_profiles()]
+
+
+def _profile(name):
+    from repro.workloads.suite import get_profile
+
+    return get_profile(name)
+
+
+@pytest.mark.parametrize("app", ALL)
+class TestInstructionSide:
+    def test_trace_valid(self, app):
+        profile = _profile(app)
+        trace = generate_instruction_trace(profile.ilp, 1200, profile.seed)
+        trace.validate()
+        assert len(trace) == 1200
+
+    def test_machine_runs_and_window_helps_or_ties(self, app):
+        profile = _profile(app)
+        trace = generate_instruction_trace(profile.ilp, 1500, profile.seed)
+        small = OutOfOrderMachine(MachineConfig(window=16)).run(trace)
+        large = OutOfOrderMachine(MachineConfig(window=128)).run(trace)
+        assert 0 < small.ipc <= 8.0 + 1e-9
+        assert large.cycles <= small.cycles
+
+    def test_branch_stream_predictable_but_not_trivial(self, app):
+        profile = branch_profile_for(_profile(app))
+        pcs, outcomes = generate_branch_trace(profile, 6000)
+        rate = GsharePredictor(8192).run(pcs, outcomes)
+        assert 0.0 < rate < 0.55
+
+    def test_recurrence_bound_respected(self, app):
+        profile = _profile(app)
+        bound = profile.ilp.recurrence_ipc_bound
+        if bound == float("inf") or profile.ilp.deep_fraction > 0:
+            pytest.skip("no tight bound for mixed/unbounded profiles")
+        trace = generate_instruction_trace(profile.ilp, 3000, profile.seed)
+        result = OutOfOrderMachine(MachineConfig(window=128)).run(trace)
+        assert result.ipc <= bound * 1.35
+
+
+@pytest.mark.parametrize("app", CACHE)
+class TestMemorySide:
+    def test_address_trace_block_population(self, app):
+        profile = _profile(app)
+        addrs = generate_address_trace(profile.memory, 4000, profile.seed)
+        assert len(addrs) == 4000
+        # all three source classes produce sane 64-bit addresses
+        assert int(addrs.max()) < 2**50
+
+    def test_stack_engine_digests_trace(self, app):
+        profile = _profile(app)
+        addrs = generate_address_trace(profile.memory, 4000, profile.seed)
+        depths = StackDistanceEngine(PAPER_GEOMETRY).process(addrs)
+        assert len(depths) == 4000
+        # every application has SOME reuse within 32 ways
+        assert int(np.sum(depths < 32)) > 1000
+
+    def test_tlb_profile_derivable(self, app):
+        profile = tlb_profile_for(_profile(app))
+        trace = generate_page_trace(profile, 2000)
+        assert len(trace) == 2000
+        # footprints scaled up: multiple distinct pages touched
+        assert len(np.unique(trace >> 12)) > 4

@@ -1,0 +1,98 @@
+"""Tests for repro.tech.cacti."""
+
+import pytest
+
+from repro.errors import TimingModelError
+from repro.tech.cacti import (
+    CacheIncrementTiming,
+    best_bus_delay_ns,
+    cache_bus_length_mm,
+    structure_height_mm,
+)
+from repro.tech.parameters import technology
+from repro.tech.repeaters import buffered_wire_delay_ns
+from repro.tech.wires import unbuffered_wire_delay_ns
+
+
+class TestStructureHeight:
+    def test_reference_subarray(self):
+        assert structure_height_mm(2048) == pytest.approx(0.75)
+
+    def test_sqrt_area_rule(self):
+        assert structure_height_mm(8192) == pytest.approx(1.5)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(TimingModelError):
+            structure_height_mm(0)
+
+    def test_monotone_in_capacity(self):
+        hs = [structure_height_mm(2**i) for i in range(8, 16)]
+        assert hs == sorted(hs)
+
+
+class TestCacheBusLength:
+    def test_linear_in_arrays(self):
+        assert cache_bus_length_mm(8, 2048) == pytest.approx(
+            2 * cache_bus_length_mm(4, 2048)
+        )
+
+    def test_rejects_zero_arrays(self):
+        with pytest.raises(TimingModelError):
+            cache_bus_length_mm(0, 2048)
+
+
+class TestBestBusDelay:
+    def test_zero_length(self, tech18):
+        assert best_bus_delay_ns(0.0, tech18) == 0.0
+
+    def test_picks_minimum(self, tech18):
+        for length in (0.5, 2.0, 5.0, 12.0):
+            d = best_bus_delay_ns(length, tech18)
+            assert d == pytest.approx(
+                min(
+                    buffered_wire_delay_ns(length, tech18),
+                    unbuffered_wire_delay_ns(length, tech18),
+                )
+            )
+
+
+class TestCacheIncrementTiming:
+    def test_paper_increment_properties(self):
+        inc = CacheIncrementTiming(bank_bytes=4096, n_banks=2, associativity=1)
+        assert inc.increment_bytes == 8192
+        assert inc.n_sets == 128
+        assert inc.height_mm == pytest.approx(structure_height_mm(4096))
+
+    def test_bank_access_scales_with_feature(self):
+        inc = CacheIncrementTiming(bank_bytes=4096)
+        a25 = inc.bank_access_ns(technology(0.25))
+        a18 = inc.bank_access_ns(technology(0.18))
+        assert a18 == pytest.approx(a25 * 0.18 / 0.25)
+
+    def test_bank_access_in_calibrated_range(self, tech18):
+        inc = CacheIncrementTiming(bank_bytes=4096, n_banks=2, associativity=1)
+        assert 0.35 < inc.bank_access_ns(tech18) < 0.55
+
+    def test_access_time_grows_with_position(self, tech18):
+        inc = CacheIncrementTiming(bank_bytes=4096)
+        delays = [inc.access_time_ns(p, tech18) for p in range(1, 17)]
+        assert delays == sorted(delays)
+        assert delays[0] < delays[-1]
+
+    def test_rejects_position_zero(self, tech18):
+        inc = CacheIncrementTiming(bank_bytes=4096)
+        with pytest.raises(TimingModelError):
+            inc.access_time_ns(0, tech18)
+
+    def test_rejects_non_integral_sets(self):
+        with pytest.raises(TimingModelError):
+            CacheIncrementTiming(bank_bytes=1000, associativity=2, block_bytes=32)
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(TimingModelError):
+            CacheIncrementTiming(bank_bytes=0)
+
+    def test_larger_banks_are_slower(self, tech18):
+        small = CacheIncrementTiming(bank_bytes=2048, associativity=1)
+        big = CacheIncrementTiming(bank_bytes=16384, associativity=1)
+        assert small.bank_access_ns(tech18) < big.bank_access_ns(tech18)

@@ -1,0 +1,97 @@
+"""Calibration tests: the Section 2 crossover claims quoted in the text.
+
+The paper's Figure 1/2 discussion makes four concrete claims about when
+buffering starts to pay; the technology model is calibrated to satisfy
+all of them, and these tests pin that calibration.
+"""
+
+import pytest
+
+from repro.tech.cacti import cache_bus_length_mm
+from repro.tech.palacharla import queue_bus_length_mm
+from repro.tech.parameters import technology
+from repro.tech.repeaters import buffered_wire_delay_ns
+from repro.tech.wires import unbuffered_wire_delay_ns
+
+
+def _buffered_wins(length_mm: float, feature_um: float) -> bool:
+    t = technology(feature_um)
+    return buffered_wire_delay_ns(length_mm, t) < unbuffered_wire_delay_ns(length_mm, t)
+
+
+class TestCacheCrossovers:
+    def test_16kb_of_2kb_subarrays_benefits_at_018(self):
+        """'16KB and larger caches constructed from 2KB subarrays and
+        implemented in 0.18 micron technology will benefit from
+        buffering strategies.'"""
+        assert _buffered_wins(cache_bus_length_mm(8, 2048), 0.18)
+
+    def test_larger_2kb_caches_also_benefit_at_018(self):
+        for n in (10, 12, 16):
+            assert _buffered_wins(cache_bus_length_mm(n, 2048), 0.18)
+
+    def test_small_2kb_caches_do_not_benefit_at_025(self):
+        assert not _buffered_wins(cache_bus_length_mm(4, 2048), 0.25)
+
+    def test_32kb_of_4kb_subarrays_benefits_at_018(self):
+        """'Using 4KB subarrays, a buffering strategy will clearly be
+        beneficial for caches 32KB and larger with 0.18 micron.'"""
+        assert _buffered_wins(cache_bus_length_mm(8, 4096), 0.18)
+
+    def test_4kb_crossover_is_earlier_than_2kb(self):
+        """Longer wires per array move the crossover to fewer arrays."""
+        def crossover(subarray_bytes: int) -> int:
+            for n in range(2, 20):
+                if _buffered_wins(cache_bus_length_mm(n, subarray_bytes), 0.18):
+                    return n
+            raise AssertionError("no crossover found")
+
+        assert crossover(4096) <= crossover(2048)
+
+
+class TestQueueCrossovers:
+    def test_32_entry_queue_benefits_at_012(self):
+        """'Buffering performs better for a 32-entry queue with 0.12
+        micron technology.'"""
+        assert _buffered_wins(queue_bus_length_mm(32), 0.12)
+
+    def test_32_entry_queue_does_not_benefit_at_018(self):
+        """...'while larger queue sizes clearly favor the buffered
+        approach with a feature size of 0.18 microns' — implying 32
+        entries is not yet a win at 0.18."""
+        assert not _buffered_wins(queue_bus_length_mm(32), 0.18)
+
+    def test_48_entry_queue_benefits_at_018(self):
+        assert _buffered_wins(queue_bus_length_mm(48), 0.18)
+
+    def test_64_entry_queue_benefits_everywhere(self):
+        for f in (0.25, 0.18, 0.12):
+            assert _buffered_wins(queue_bus_length_mm(64), f)
+
+    def test_16_entry_queue_never_benefits(self):
+        for f in (0.25, 0.18, 0.12):
+            assert not _buffered_wins(queue_bus_length_mm(16), f)
+
+
+class TestMagnitudes:
+    """Delay magnitudes land in the ranges the paper's figures show."""
+
+    def test_figure1a_unbuffered_16_arrays(self):
+        t = technology(0.18)
+        d = unbuffered_wire_delay_ns(cache_bus_length_mm(16, 2048), t)
+        assert 2.0 < d < 4.0  # paper: ~2.8 ns
+
+    def test_figure1b_roughly_doubles_figure1a(self):
+        t = technology(0.18)
+        d2 = unbuffered_wire_delay_ns(cache_bus_length_mm(16, 2048), t)
+        d4 = unbuffered_wire_delay_ns(cache_bus_length_mm(16, 4096), t)
+        assert d4 == pytest.approx(2 * d2, rel=0.05)
+
+    def test_figure2_unbuffered_64_entries(self):
+        t = technology(0.18)
+        d = unbuffered_wire_delay_ns(queue_bus_length_mm(64), t)
+        assert 1.0 < d < 2.0  # paper: ~1.3 ns
+
+    def test_figure1_buffered_025_at_16_arrays(self):
+        d = buffered_wire_delay_ns(cache_bus_length_mm(16, 2048), technology(0.25))
+        assert 1.0 < d < 1.6  # paper: ~1.2 ns

@@ -1,0 +1,92 @@
+"""Tests for repro.tech.palacharla."""
+
+import pytest
+
+from repro.errors import TimingModelError
+from repro.tech.palacharla import (
+    IssueQueueTiming,
+    queue_bus_length_mm,
+    r10000_entry_ram_equivalent_bytes,
+    select_tree_levels,
+)
+from repro.tech.parameters import technology
+
+
+class TestR10000Entry:
+    def test_roughly_60_bytes(self):
+        """The paper's area bookkeeping: 'each R10000 integer queue
+        entry is equivalent in area to roughly 60 bytes of
+        single-ported RAM.'"""
+        assert r10000_entry_ram_equivalent_bytes() == pytest.approx(57.5)
+
+    def test_composition(self):
+        # 52 RAM bits + 12*2*9 CAM3 bits + 6*2*16 CAM4 bits = 460 bits
+        assert r10000_entry_ram_equivalent_bytes() * 8 == pytest.approx(460)
+
+
+class TestQueueBusLength:
+    def test_linear_in_entries(self):
+        assert queue_bus_length_mm(64) == pytest.approx(4 * queue_bus_length_mm(16))
+
+    def test_rejects_zero(self):
+        with pytest.raises(TimingModelError):
+            queue_bus_length_mm(0)
+
+
+class TestSelectTree:
+    def test_paper_heights(self):
+        assert select_tree_levels(16) == 2
+        assert select_tree_levels(64) == 3
+        assert select_tree_levels(128) == 4
+
+    def test_single_entry(self):
+        assert select_tree_levels(1) == 1
+
+    def test_exact_powers_of_four(self):
+        assert select_tree_levels(4) == 1
+        assert select_tree_levels(256) == 4
+
+    def test_monotone(self):
+        levels = [select_tree_levels(w) for w in range(1, 257)]
+        assert levels == sorted(levels)
+
+    def test_rejects_zero(self):
+        with pytest.raises(TimingModelError):
+            select_tree_levels(0)
+
+
+class TestIssueQueueTiming:
+    def test_cycle_monotone_in_window(self, tech18):
+        t = IssueQueueTiming(tech18)
+        cycles = [t.cycle_time_ns(w) for w in range(16, 129, 16)]
+        assert cycles == sorted(cycles)
+
+    def test_cycle_is_wakeup_plus_select(self, tech18):
+        t = IssueQueueTiming(tech18)
+        assert t.cycle_time_ns(64) == pytest.approx(t.wakeup_ns(64) + t.select_ns(64))
+
+    def test_calibrated_range_at_018(self, tech18):
+        t = IssueQueueTiming(tech18)
+        assert 0.40 < t.cycle_time_ns(16) < 0.50
+        assert 0.58 < t.cycle_time_ns(64) < 0.68
+        assert 0.80 < t.cycle_time_ns(128) < 0.92
+
+    def test_spread_16_to_128(self, tech18):
+        """The 16->128 cycle-time spread drives the whole TPI study."""
+        t = IssueQueueTiming(tech18)
+        assert 1.8 < t.cycle_time_ns(128) / t.cycle_time_ns(16) < 2.2
+
+    def test_scales_with_feature_size(self):
+        t25 = IssueQueueTiming(technology(0.25))
+        t18 = IssueQueueTiming(technology(0.18))
+        assert t18.cycle_time_ns(64) < t25.cycle_time_ns(64)
+
+    def test_select_jumps_at_tree_level_boundaries(self, tech18):
+        t = IssueQueueTiming(tech18)
+        assert t.select_ns(64) == t.select_ns(48)  # same 3-level tree
+        assert t.select_ns(80) > t.select_ns(64)  # 4th level appears
+
+    def test_rejects_zero_window(self, tech18):
+        t = IssueQueueTiming(tech18)
+        with pytest.raises(TimingModelError):
+            t.wakeup_ns(0)

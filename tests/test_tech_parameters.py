@@ -1,0 +1,59 @@
+"""Tests for repro.tech.parameters."""
+
+import pytest
+
+from repro.errors import TimingModelError
+from repro.tech.parameters import TechnologyParameters, technology
+
+
+class TestTechnologyFactory:
+    def test_builds_paper_nodes(self):
+        for f in (0.25, 0.18, 0.12):
+            t = technology(f)
+            assert t.feature_um == f
+
+    def test_rejects_out_of_range_small(self):
+        with pytest.raises(TimingModelError):
+            technology(0.05)
+
+    def test_rejects_out_of_range_large(self):
+        with pytest.raises(TimingModelError):
+            technology(0.5)
+
+
+class TestScalingAssumptions:
+    """The paper's two first-order scaling assumptions."""
+
+    def test_wire_rc_is_feature_independent(self):
+        rc = {f: technology(f).wire_rc_ps_per_mm2 for f in (0.25, 0.18, 0.12)}
+        assert len(set(rc.values())) == 1
+
+    def test_repeater_rc_scales_linearly_with_feature(self):
+        t25, t12 = technology(0.25), technology(0.125)
+        assert t12.repeater_rc_ps == pytest.approx(t25.repeater_rc_ps / 2)
+
+    def test_gate_delay_scale_at_reference(self):
+        assert technology(0.25).gate_delay_scale() == pytest.approx(1.0)
+
+    def test_gate_delay_scale_monotone(self):
+        scales = [technology(f).gate_delay_scale() for f in (0.25, 0.18, 0.12)]
+        assert scales == sorted(scales, reverse=True)
+
+
+class TestDataclassBehaviour:
+    def test_frozen(self):
+        t = technology(0.18)
+        with pytest.raises(AttributeError):
+            t.feature_um = 0.25  # type: ignore[misc]
+
+    def test_equality(self):
+        assert technology(0.18) == technology(0.18)
+
+    def test_direct_construction(self):
+        t = TechnologyParameters(
+            feature_um=0.18,
+            wire_r_ohm_per_mm=100.0,
+            wire_c_pf_per_mm=0.5,
+            repeater_rc_ps=20.0,
+        )
+        assert t.wire_rc_ps_per_mm2 == pytest.approx(50.0)

@@ -1,0 +1,104 @@
+"""Tests for repro.tech.wires and repro.tech.repeaters."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TimingModelError
+from repro.tech.parameters import technology
+from repro.tech.repeaters import (
+    RepeaterDesign,
+    buffered_wire_delay_ns,
+    buffering_is_beneficial,
+    optimal_repeaters,
+)
+from repro.tech.wires import unbuffered_wire_delay_ns
+
+
+class TestUnbufferedWire:
+    def test_zero_length_zero_delay(self, tech18):
+        assert unbuffered_wire_delay_ns(0.0, tech18) == 0.0
+
+    def test_quadratic_growth(self, tech18):
+        d1 = unbuffered_wire_delay_ns(1.0, tech18)
+        d2 = unbuffered_wire_delay_ns(2.0, tech18)
+        assert d2 == pytest.approx(4 * d1)
+
+    def test_feature_size_independent(self):
+        delays = {
+            f: unbuffered_wire_delay_ns(5.0, technology(f)) for f in (0.25, 0.18, 0.12)
+        }
+        assert len(set(delays.values())) == 1
+
+    def test_rejects_negative_length(self, tech18):
+        with pytest.raises(TimingModelError):
+            unbuffered_wire_delay_ns(-1.0, tech18)
+
+    @given(st.floats(min_value=0.01, max_value=50.0))
+    def test_positive_for_positive_length(self, length):
+        assert unbuffered_wire_delay_ns(length, technology(0.18)) > 0
+
+
+class TestBufferedWire:
+    def test_zero_length_zero_delay(self, tech18):
+        assert buffered_wire_delay_ns(0.0, tech18) == 0.0
+
+    def test_linear_growth_beyond_overhead(self, tech18):
+        d1 = buffered_wire_delay_ns(4.0, tech18)
+        d2 = buffered_wire_delay_ns(8.0, tech18)
+        d3 = buffered_wire_delay_ns(12.0, tech18)
+        assert d3 - d2 == pytest.approx(d2 - d1)
+
+    def test_improves_with_smaller_features(self):
+        delays = [buffered_wire_delay_ns(10.0, technology(f)) for f in (0.25, 0.18, 0.12)]
+        assert delays[0] > delays[1] > delays[2]
+
+    def test_rejects_negative_length(self, tech18):
+        with pytest.raises(TimingModelError):
+            buffered_wire_delay_ns(-0.1, tech18)
+
+    @given(st.floats(min_value=5.0, max_value=50.0))
+    def test_long_wires_always_benefit(self, length):
+        """Beyond a few mm, repeaters always beat the quadratic bare wire."""
+        assert buffering_is_beneficial(length, technology(0.18))
+
+    @given(st.floats(min_value=0.01, max_value=1.0))
+    def test_short_wires_never_benefit(self, length):
+        """The drive-in overhead makes repeaters a loss on short wires."""
+        assert not buffering_is_beneficial(length, technology(0.25))
+
+
+class TestOptimalRepeaters:
+    def test_returns_design(self, tech18):
+        design = optimal_repeaters(10.0, tech18)
+        assert isinstance(design, RepeaterDesign)
+        assert design.n_repeaters >= 1
+        assert design.repeater_size > 1.0  # repeaters are larger than minimum
+
+    def test_repeater_count_grows_with_length(self, tech18):
+        short = optimal_repeaters(3.0, tech18)
+        long = optimal_repeaters(12.0, tech18)
+        assert long.n_repeaters > short.n_repeaters
+
+    def test_delay_matches_buffered_model(self, tech18):
+        design = optimal_repeaters(10.0, tech18)
+        assert design.delay_ns == pytest.approx(buffered_wire_delay_ns(10.0, tech18))
+
+    def test_segment_isolation(self, tech18):
+        """Segment delay must not depend on total wire length.
+
+        This is the electrical property the CAP architecture exploits:
+        disabling downstream elements cannot change upstream delays.
+        """
+        d1 = optimal_repeaters(8.0, tech18)
+        d2 = optimal_repeaters(16.0, tech18)
+        assert d1.segment_delay_ns == pytest.approx(d2.segment_delay_ns, rel=0.35)
+
+    def test_rejects_zero_length(self, tech18):
+        with pytest.raises(TimingModelError):
+            optimal_repeaters(0.0, tech18)
+
+    def test_more_repeaters_at_smaller_features(self):
+        """Faster repeaters make finer segmentation optimal."""
+        n25 = optimal_repeaters(10.0, technology(0.25)).n_repeaters
+        n12 = optimal_repeaters(10.0, technology(0.12)).n_repeaters
+        assert n12 >= n25

@@ -1,0 +1,56 @@
+"""Tests for repro.units."""
+
+import pytest
+
+from repro import units
+
+
+class TestKb:
+    def test_kb_is_binary(self):
+        assert units.kb(8) == 8192
+
+    def test_kb_fractional(self):
+        assert units.kb(0.5) == 512
+
+    def test_to_kb_roundtrip(self):
+        assert units.to_kb(units.kb(37)) == 37.0
+
+
+class TestPs:
+    def test_ps_converts_to_ns(self):
+        assert units.ps(500) == pytest.approx(0.5)
+
+    def test_ps_zero(self):
+        assert units.ps(0) == 0.0
+
+
+class TestNsToMhz:
+    def test_two_ns_is_500mhz(self):
+        assert units.ns_to_mhz(2.0) == pytest.approx(500.0)
+
+    def test_half_ns_is_2ghz(self):
+        assert units.ns_to_mhz(0.5) == pytest.approx(2000.0)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            units.ns_to_mhz(0.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            units.ns_to_mhz(-1.0)
+
+
+class TestFeatureScale:
+    def test_reference_is_unity(self):
+        assert units.feature_scale(0.25) == pytest.approx(1.0)
+
+    def test_scales_linearly(self):
+        assert units.feature_scale(0.125) == pytest.approx(0.5)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.feature_scale(0.0)
+
+    def test_paper_feature_sizes_ordering(self):
+        scales = [units.feature_scale(f) for f in units.PAPER_FEATURE_SIZES_UM]
+        assert scales == sorted(scales, reverse=True)

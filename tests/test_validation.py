@@ -1,0 +1,108 @@
+"""Tests for the integrated-vs-analytic validation study."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError, WorkloadError
+from repro.experiments.validation import integrated_vs_analytic, validation_sweep
+from repro.ooo.machine import MachineConfig, OutOfOrderMachine
+from repro.ooo.memory import CacheMemorySystem
+from repro.workloads.instruction_trace import (
+    attach_memory_trace,
+    generate_instruction_trace,
+)
+from repro.workloads.suite import get_profile
+
+
+class TestCacheMemorySystem:
+    def test_latency_reflects_levels(self):
+        mem = CacheMemorySystem(l1_increments=2)
+        first = mem.load_latency_cycles(0)  # cold miss
+        second = mem.load_latency_cycles(0)  # L1 hit
+        assert first > second
+        assert second == 3  # the constant L1 latency
+
+    def test_counts_accumulate_and_reset(self):
+        mem = CacheMemorySystem(l1_increments=2)
+        mem.load_latency_cycles(0)
+        mem.load_latency_cycles(0)
+        assert sum(mem.level_counts.values()) == 2
+        mem.reset_counts()
+        assert sum(mem.level_counts.values()) == 0
+
+    def test_warm_is_uncounted(self):
+        mem = CacheMemorySystem(l1_increments=2)
+        mem.warm([0, 32, 64])
+        assert sum(mem.level_counts.values()) == 0
+        assert mem.load_latency_cycles(0) == 3  # warm hit
+
+    def test_rejects_bad_boundary(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            CacheMemorySystem(l1_increments=0)
+
+
+class TestAttachMemoryTrace:
+    def test_load_density_matches_profile(self):
+        profile = get_profile("perl")
+        trace = attach_memory_trace(
+            generate_instruction_trace(profile.ilp, 8000, 1), profile.memory, 2
+        )
+        density = float(np.mean(trace.load_address >= 0))
+        assert density == pytest.approx(
+            profile.memory.load_store_fraction, abs=0.03
+        )
+
+    def test_machine_requires_addresses_with_memory_system(self):
+        profile = get_profile("perl")
+        trace = generate_instruction_trace(profile.ilp, 500, 1)
+        mem = CacheMemorySystem(l1_increments=2)
+        with pytest.raises(SimulationError):
+            OutOfOrderMachine(MachineConfig(window=16)).run(trace, memory_system=mem)
+
+    def test_integrated_run_slower_than_perfect(self):
+        profile = get_profile("stereo")
+        base = generate_instruction_trace(profile.ilp, 4000, 3)
+        trace = attach_memory_trace(base, profile.memory, 4)
+        machine = OutOfOrderMachine(MachineConfig(window=64))
+        perfect = machine.run(base)
+        integrated = machine.run(
+            trace, memory_system=CacheMemorySystem(l1_increments=2)
+        )
+        assert integrated.cycles > perfect.cycles
+
+
+class TestValidationStudy:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return validation_sweep(
+            apps=("perl", "stereo"), boundaries=(2, 8), n_instructions=20_000
+        )
+
+    def test_analytic_is_conservative(self, points):
+        """Blocking stalls can only overestimate: integrated <= analytic."""
+        for app_points in points.values():
+            for p in app_points:
+                assert p.integrated_tpi_ns <= p.analytic_tpi_ns + 1e-9
+
+    def test_overlap_recovery_positive(self, points):
+        for app_points in points.values():
+            for p in app_points:
+                assert p.overlap_recovery_percent > 0
+
+    def test_window_hides_capacity_pressure(self, points):
+        """stereo: the analytic model wants the big L1; the integrated
+        machine hides enough L2 latency that the fast clock wins."""
+        stereo = {p.l1_increments: p for p in points["stereo"]}
+        assert stereo[8].analytic_tpi_ns < stereo[2].analytic_tpi_ns
+        assert stereo[2].integrated_tpi_ns < stereo[8].integrated_tpi_ns
+
+    def test_clock_sensitive_apps_agree(self, points):
+        perl = {p.l1_increments: p for p in points["perl"]}
+        assert perl[2].analytic_tpi_ns < perl[8].analytic_tpi_ns
+        assert perl[2].integrated_tpi_ns < perl[8].integrated_tpi_ns
+
+    def test_rejects_go(self):
+        with pytest.raises(WorkloadError):
+            integrated_vs_analytic("go", 2)

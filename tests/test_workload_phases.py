@@ -1,0 +1,94 @@
+"""Tests for phase-structured workloads."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.phases import (
+    PhasedWorkload,
+    PhaseSegment,
+    alternating_phases,
+    random_phases,
+    turb3d_snapshots,
+    vortex_irregular,
+    vortex_regular,
+    TURB3D_PHASE_64,
+    TURB3D_PHASE_128,
+    VORTEX_PHASE_16,
+    VORTEX_PHASE_64,
+)
+
+
+class TestPhasedWorkload:
+    def test_total_length(self, simple_ilp_profile):
+        w = PhasedWorkload(
+            name="t",
+            segments=(
+                PhaseSegment(simple_ilp_profile, 1000),
+                PhaseSegment(simple_ilp_profile, 500),
+            ),
+        )
+        assert w.n_instructions == 1500
+        trace = w.generate(seed=3)
+        assert len(trace) == 1500
+        trace.validate()
+
+    def test_deterministic(self, simple_ilp_profile):
+        w = PhasedWorkload(name="t", segments=(PhaseSegment(simple_ilp_profile, 800),))
+        import numpy as np
+
+        assert np.array_equal(w.generate(1).latency, w.generate(1).latency)
+
+    def test_rejects_empty(self):
+        with pytest.raises(WorkloadError):
+            PhasedWorkload(name="t", segments=())
+
+    def test_rejects_empty_segment(self, simple_ilp_profile):
+        with pytest.raises(WorkloadError):
+            PhaseSegment(simple_ilp_profile, 0)
+
+
+class TestGenerators:
+    def test_alternation_pattern(self, simple_ilp_profile):
+        other = TURB3D_PHASE_128
+        w = alternating_phases("ab", simple_ilp_profile, other, 100, 6)
+        kinds = [s.ilp for s in w.segments]
+        assert kinds[0] == kinds[2] == kinds[4] == simple_ilp_profile
+        assert kinds[1] == kinds[3] == kinds[5] == other
+
+    def test_alternation_needs_two_phases(self, simple_ilp_profile):
+        with pytest.raises(WorkloadError):
+            alternating_phases("ab", simple_ilp_profile, simple_ilp_profile, 100, 1)
+
+    def test_random_phases_deterministic(self, simple_ilp_profile):
+        a = random_phases("r", (simple_ilp_profile, TURB3D_PHASE_128), (50, 100), 10, 3)
+        b = random_phases("r", (simple_ilp_profile, TURB3D_PHASE_128), (50, 100), 10, 3)
+        assert [s.n_instructions for s in a.segments] == [
+            s.n_instructions for s in b.segments
+        ]
+
+    def test_random_phases_validation(self, simple_ilp_profile):
+        with pytest.raises(WorkloadError):
+            random_phases("r", (simple_ilp_profile,), (50, 100), 10, 3)
+        with pytest.raises(WorkloadError):
+            random_phases(
+                "r", (simple_ilp_profile, TURB3D_PHASE_128), (100, 50), 10, 3
+            )
+
+
+class TestPaperSnapshotWorkloads:
+    def test_turb3d_two_phases(self):
+        w = turb3d_snapshots()
+        assert len(w.segments) == 2
+        assert w.segments[0].ilp == TURB3D_PHASE_64
+        assert w.segments[1].ilp == TURB3D_PHASE_128
+
+    def test_vortex_regular_period(self):
+        w = vortex_regular(interval_instructions=2000, n_phases=4)
+        assert all(s.n_instructions == 30_000 for s in w.segments)
+        assert w.segments[0].ilp == VORTEX_PHASE_16
+        assert w.segments[1].ilp == VORTEX_PHASE_64
+
+    def test_vortex_irregular_short_phases(self):
+        w = vortex_irregular(interval_instructions=2000, n_phases=20, seed=5)
+        assert len(w.segments) == 20
+        assert all(2000 <= s.n_instructions <= 8000 for s in w.segments)

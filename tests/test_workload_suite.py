@@ -1,0 +1,121 @@
+"""Tests for the calibrated application suite.
+
+These tests pin the suite composition to the paper's methodology tables
+and spot-check the calibration anchors the paper's text states
+explicitly.  The full figure-level assertions live in the experiment
+tests; these are the cheaper per-profile facts.
+"""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.profiles import ComponentKind, Suite
+from repro.workloads.suite import (
+    all_profiles,
+    cache_study_profiles,
+    floating_profiles,
+    get_profile,
+    integer_profiles,
+    queue_study_profiles,
+)
+
+
+class TestSuiteComposition:
+    def test_twenty_two_apps_total(self):
+        assert len(all_profiles()) == 22
+
+    def test_cache_study_excludes_go(self):
+        names = {p.name for p in cache_study_profiles()}
+        assert len(names) == 21
+        assert "go" not in names
+
+    def test_queue_study_includes_go(self):
+        names = {p.name for p in queue_study_profiles()}
+        assert len(names) == 22
+        assert "go" in names
+
+    def test_specint_membership(self):
+        names = {p.name for p in all_profiles() if p.suite is Suite.SPECINT95}
+        assert names == {"go", "m88ksim", "gcc", "compress", "li", "ijpeg",
+                         "perl", "vortex"}
+
+    def test_cmu_membership(self):
+        names = {p.name for p in all_profiles() if p.suite is Suite.CMU}
+        assert names == {"airshed", "stereo", "radar"}
+
+    def test_nas_membership(self):
+        names = {p.name for p in all_profiles() if p.suite is Suite.NAS}
+        assert names == {"appcg"}
+
+    def test_specfp_membership(self):
+        names = {p.name for p in all_profiles() if p.suite is Suite.SPECFP95}
+        assert names == {"tomcatv", "swim", "su2cor", "hydro2d", "mgrid",
+                         "applu", "turb3d", "apsi", "fpppp", "wave5"}
+
+    def test_domains_partition_suite(self):
+        assert len(integer_profiles()) + len(floating_profiles()) == 22
+
+    def test_unique_seeds(self):
+        seeds = [p.seed for p in all_profiles()]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_lookup(self):
+        assert get_profile("stereo").suite is Suite.CMU
+
+    def test_lookup_unknown(self):
+        with pytest.raises(WorkloadError):
+            get_profile("doom")
+
+
+class TestPaperAnchors:
+    """Facts the paper's text states about individual applications."""
+
+    def test_compress_has_few_loads_stores(self):
+        """'loads and stores constitute less than 10% of the workload.'"""
+        assert get_profile("compress").memory.load_store_fraction < 0.10
+
+    def test_compress_has_component_beyond_16kb(self):
+        """compress is the only integer app improving beyond 16 KB."""
+        sizes = [c.size_kb for c in get_profile("compress").memory.components]
+        assert any(16 <= s <= 64 for s in sizes)
+
+    def test_stereo_needs_mid_40s_l1(self):
+        """stereo's curve must not flatten until ~48 KB."""
+        comps = get_profile("stereo").memory.components
+        main = max(comps, key=lambda c: c.weight)
+        assert main.kind is ComponentKind.LOOP
+        assert 28 <= main.size_kb <= 44
+
+    def test_appcg_structures_coexist_past_48kb(self):
+        comps = get_profile("appcg").memory.components
+        loops = [c for c in comps if c.kind is ComponentKind.LOOP]
+        assert loops, "appcg must have a cyclically-walked structure"
+        main = max(loops, key=lambda c: c.weight)
+        assert main.weight >= 0.3
+        assert 36 <= main.size_kb <= 52
+
+    def test_applu_exceeds_total_structure(self):
+        """'our total cache size of 128KB is too small for this
+        application.'"""
+        sizes = [c.size_kb for c in get_profile("applu").memory.components]
+        assert any(s > 128 for s in sizes)
+
+    def test_chain_bound_apps(self):
+        """radar, fpppp and appcg favour the 16-entry queue: their base
+        iteration shape is recurrence-limited."""
+        for name in ("radar", "fpppp", "appcg"):
+            ilp = get_profile(name).ilp
+            assert ilp.recurrence_ipc_bound <= 2.0
+            assert ilp.deep_fraction <= 0.15
+
+    def test_compress_is_window_hungry(self):
+        ilp = get_profile("compress").ilp
+        assert ilp.deep_fraction >= 0.5
+        assert ilp.deep_variant is not None
+        assert ilp.deep_variant.recurrence_ops == 0
+
+    def test_all_cache_profiles_have_hot_core(self):
+        """Every cache profile keeps a hot component that fits the
+        smallest L1, as real applications do."""
+        for p in cache_study_profiles():
+            assert min(c.size_kb for c in p.memory.components) <= 8
