@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench figures examples clean
+.PHONY: install test bench bench-engine figures examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -12,6 +12,9 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+bench-engine:
+	$(PYTHON) -m pytest benchmarks/test_bench_engine.py --benchmark-only -s
 
 figures:
 	$(PYTHON) -m repro export all --out figures

@@ -37,15 +37,20 @@ Subpackages
 from repro.core.processor import CapProcessor
 from repro.core.clock import DynamicClock
 from repro.core.manager import ConfigurationManager
+from repro.core.metrics import StructureSweep, SweepResult
 from repro.core.structure import (
     ComplexityAdaptiveStructure,
     FixedStructure,
     ReconfigurationCost,
+    StructureRunResult,
 )
 from repro.cache.adaptive import AdaptiveCacheHierarchy
 from repro.ooo.adaptive import AdaptiveInstructionQueue
+from repro.tlb.adaptive import AdaptiveTlb
+from repro.branch.adaptive import AdaptiveBranchPredictor
+from repro.engine import ExperimentEngine, default_engine
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CapProcessor",
@@ -54,7 +59,14 @@ __all__ = [
     "ComplexityAdaptiveStructure",
     "FixedStructure",
     "ReconfigurationCost",
+    "StructureRunResult",
+    "StructureSweep",
+    "SweepResult",
     "AdaptiveCacheHierarchy",
     "AdaptiveInstructionQueue",
+    "AdaptiveTlb",
+    "AdaptiveBranchPredictor",
+    "ExperimentEngine",
+    "default_engine",
     "__version__",
 ]

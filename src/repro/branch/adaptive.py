@@ -12,8 +12,15 @@ from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
+from repro.branch.predictors import PredictorKind, make_predictor
 from repro.branch.timing import BranchTimingModel
-from repro.core.structure import ComplexityAdaptiveStructure, ReconfigurationCost
+from repro.core.structure import (
+    ComplexityAdaptiveStructure,
+    ReconfigurationCost,
+    StructureRunResult,
+)
 
 #: Nominal cleanup charged for the retraining transient, in cycles.
 RETRAIN_CLEANUP_CYCLES: int = 16
@@ -56,4 +63,26 @@ class AdaptiveBranchPredictor(ComplexityAdaptiveStructure[int]):
         return ReconfigurationCost(
             cleanup_cycles=RETRAIN_CLEANUP_CYCLES if changed else 0,
             requires_clock_switch=changed,
+        )
+
+    def run(
+        self,
+        pcs: np.ndarray,
+        taken: np.ndarray,
+        *,
+        kind: PredictorKind = PredictorKind.GSHARE,
+    ) -> StructureRunResult:
+        """Predict a branch stream with the table at the current size.
+
+        The predictor is freshly built (cold counters), matching the
+        measurement methodology of the TPI sweep; ``stats`` carries the
+        ``misprediction_rate`` and its complement ``accuracy``.
+        """
+        predictor = make_predictor(kind, self._current)
+        rate = predictor.run(pcs, taken)
+        return StructureRunResult(
+            structure=self.name,
+            configuration=self._current,
+            n_events=len(pcs),
+            stats={"misprediction_rate": rate, "accuracy": 1.0 - rate},
         )

@@ -15,6 +15,7 @@ so aliasing and warm-up effects are captured.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from repro.branch.predictors import PredictorKind, make_predictor
@@ -76,7 +77,7 @@ class BranchTpiModel:
             tpi_ns=cycle * cpi,
         )
 
-    def sweep(
+    def sweep_breakdowns(
         self, profile: BranchProfile, n_branches: int = 20_000
     ) -> dict[int, BranchBreakdown]:
         """Evaluate every configured table size."""
@@ -84,8 +85,30 @@ class BranchTpiModel:
             s: self.evaluate(profile, s, n_branches) for s in self.timing.sizes
         }
 
+    def sweep(
+        self, profile: BranchProfile, n_branches: int = 20_000
+    ) -> dict[int, BranchBreakdown]:
+        """Deprecated alias of :meth:`sweep_breakdowns`.
+
+        .. deprecated:: 1.1
+            Use :class:`repro.engine.sweeps.BranchStructureSweep` for the
+            unified :class:`~repro.core.metrics.SweepResult` API, or
+            :meth:`sweep_breakdowns` for the raw breakdowns.
+        """
+        warnings.warn(
+            "BranchTpiModel.sweep is deprecated; use "
+            "repro.engine.sweeps.BranchStructureSweep (unified SweepResult "
+            "API) or BranchTpiModel.sweep_breakdowns",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.sweep_breakdowns(profile, n_branches)
+
     def best_size(
         self, profile: BranchProfile, n_branches: int = 20_000
     ) -> BranchBreakdown:
         """The TPI-minimising table size."""
-        return min(self.sweep(profile, n_branches).values(), key=lambda b: b.tpi_ns)
+        return min(
+            self.sweep_breakdowns(profile, n_branches).values(),
+            key=lambda b: b.tpi_ns,
+        )

@@ -24,9 +24,13 @@ from repro.cache.config import (
     PAPER_GEOMETRY,
     PAPER_MAX_L1_INCREMENTS,
 )
-from repro.cache.hierarchy import TwoLevelExclusiveCache
+from repro.cache.hierarchy import AccessLevel, TwoLevelExclusiveCache
 from repro.cache.timing import CacheTimingModel
-from repro.core.structure import ComplexityAdaptiveStructure, ReconfigurationCost
+from repro.core.structure import (
+    ComplexityAdaptiveStructure,
+    ReconfigurationCost,
+    StructureRunResult,
+)
 
 
 class AdaptiveCacheHierarchy(ComplexityAdaptiveStructure[int]):
@@ -80,9 +84,35 @@ class AdaptiveCacheHierarchy(ComplexityAdaptiveStructure[int]):
         """The underlying direct simulator."""
         return self._cache
 
-    def run(self, addresses: np.ndarray) -> np.ndarray:
-        """Simulate a trace under the current boundary."""
-        return self._cache.run(addresses)
+    def run(
+        self, addresses: np.ndarray, *, record_outcomes: bool = True
+    ) -> StructureRunResult:
+        """Simulate a trace under the current boundary.
+
+        ``outcomes`` holds the per-reference :class:`AccessLevel` array
+        (omitted when ``record_outcomes`` is false); ``stats`` carries
+        the level tallies and hit/miss ratios.
+        """
+        levels = self._cache.run(addresses)
+        n = len(levels)
+        counts = np.bincount(levels, minlength=4)
+        n_l1 = int(counts[AccessLevel.L1])
+        n_l2 = int(counts[AccessLevel.L2])
+        n_miss = int(counts[AccessLevel.MISS])
+        return StructureRunResult(
+            structure=self.name,
+            configuration=self.configuration,
+            n_events=n,
+            stats={
+                "l1_hits": float(n_l1),
+                "l2_hits": float(n_l2),
+                "misses": float(n_miss),
+                "l1_hit_ratio": n_l1 / n if n else 0.0,
+                "l2_hit_ratio": n_l2 / n if n else 0.0,
+                "miss_ratio": n_miss / n if n else 0.0,
+            },
+            outcomes=levels if record_outcomes else None,
+        )
 
 
 @dataclass(frozen=True)

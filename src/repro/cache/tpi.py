@@ -21,6 +21,7 @@ load_store_fraction``.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from repro.cache.stackdist import DepthHistogram
@@ -109,7 +110,7 @@ class CacheTpiModel:
             n_instructions=n_instr,
         )
 
-    def sweep(
+    def sweep_breakdowns(
         self,
         histogram: DepthHistogram,
         load_store_fraction: float,
@@ -120,6 +121,28 @@ class CacheTpiModel:
             k: self.evaluate(histogram, load_store_fraction, k) for k in boundaries
         }
 
+    def sweep(
+        self,
+        histogram: DepthHistogram,
+        load_store_fraction: float,
+        boundaries: tuple[int, ...],
+    ) -> dict[int, TpiBreakdown]:
+        """Deprecated alias of :meth:`sweep_breakdowns`.
+
+        .. deprecated:: 1.1
+            Use :class:`repro.engine.sweeps.CacheStructureSweep` for the
+            unified :class:`~repro.core.metrics.SweepResult` API, or
+            :meth:`sweep_breakdowns` for the raw breakdowns.
+        """
+        warnings.warn(
+            "CacheTpiModel.sweep is deprecated; use "
+            "repro.engine.sweeps.CacheStructureSweep (unified SweepResult "
+            "API) or CacheTpiModel.sweep_breakdowns",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.sweep_breakdowns(histogram, load_store_fraction, boundaries)
+
     def best_boundary(
         self,
         histogram: DepthHistogram,
@@ -128,5 +151,5 @@ class CacheTpiModel:
     ) -> TpiBreakdown:
         """The boundary minimising total TPI — what the paper's CAP
         compiler / runtime environment is assumed to identify per app."""
-        results = self.sweep(histogram, load_store_fraction, boundaries)
+        results = self.sweep_breakdowns(histogram, load_store_fraction, boundaries)
         return min(results.values(), key=lambda r: r.tpi_ns)

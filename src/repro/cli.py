@@ -10,6 +10,13 @@ Examples::
     python -m repro suite                 # the calibrated workload suite
     python -m repro clock                 # the CAP's predetermined clocks
     python -m repro power                 # Section 4.1 operating points
+
+Every ``figure``/``ablation``/``extension`` run goes through the
+experiment engine and accepts its knobs::
+
+    python -m repro figure 9 --jobs 8 --cache-dir .repro-cache \\
+        --telemetry run.jsonl
+    python -m repro cache-clear --cache-dir .repro-cache
 """
 
 from __future__ import annotations
@@ -18,6 +25,8 @@ import argparse
 import sys
 from typing import Callable, Sequence
 
+from repro.engine.cells import cell_kinds
+from repro.engine.engine import ExperimentEngine
 from repro.experiments.reporting import format_series, format_table
 
 
@@ -32,21 +41,21 @@ def _print_wire_figure(series) -> None:
         print(f"  buffering pays from x = {series.crossover(feature)} at {feature}u")
 
 
-def _figure_1a() -> None:
+def _figure_1a(engine: ExperimentEngine) -> None:
     from repro.experiments.wire_delay import figure1
 
     print("Figure 1(a): cache wire delay (ns), 2KB subarrays")
     _print_wire_figure(figure1(subarray_kb=2))
 
 
-def _figure_1b() -> None:
+def _figure_1b(engine: ExperimentEngine) -> None:
     from repro.experiments.wire_delay import figure1
 
     print("Figure 1(b): cache wire delay (ns), 4KB subarrays")
     _print_wire_figure(figure1(subarray_kb=4))
 
 
-def _figure_2() -> None:
+def _figure_2(engine: ExperimentEngine) -> None:
     from repro.experiments.wire_delay import figure2
 
     print("Figure 2: integer queue wire delay (ns)")
@@ -63,17 +72,17 @@ def _print_tpi_panels(panels, x_label: str) -> None:
         print(format_series(x_label, xs, series))
 
 
-def _figure_7() -> None:
+def _figure_7(engine: ExperimentEngine) -> None:
     from repro.experiments.cache_study import figure7
 
     print("Figure 7: Avg TPI (ns) vs L1 D-cache size, fixed boundary")
-    _print_tpi_panels(figure7(), "L1 KB")
+    _print_tpi_panels(figure7(engine=engine), "L1 KB")
 
 
-def _figure_8_9(metric: str) -> None:
+def _figure_8_9(metric: str, engine: ExperimentEngine) -> None:
     from repro.experiments.cache_study import figure8_9
 
-    study = figure8_9()
+    study = figure8_9(engine=engine)
     comparison = study.tpi_miss if metric == "miss" else study.tpi
     label = "TPImiss" if metric == "miss" else "TPI"
     print(
@@ -91,17 +100,17 @@ def _figure_8_9(metric: str) -> None:
     print(f"average reduction: {comparison.average_reduction_percent():.1f}%")
 
 
-def _figure_10() -> None:
+def _figure_10(engine: ExperimentEngine) -> None:
     from repro.experiments.queue_study import figure10
 
     print("Figure 10: Avg TPI (ns) vs instruction queue size")
-    _print_tpi_panels(figure10(), "entries")
+    _print_tpi_panels(figure10(engine=engine), "entries")
 
 
-def _figure_11() -> None:
+def _figure_11(engine: ExperimentEngine) -> None:
     from repro.experiments.queue_study import figure11
 
-    study = figure11()
+    study = figure11(engine=engine)
     print(
         f"Figure 11: Avg TPI (ns), conventional {study.conventional_size}-entry "
         "queue vs process-level adaptive"
@@ -126,33 +135,33 @@ def _print_interval_result(result) -> None:
     print(format_table(["interval"] + [f"{w}" for w in windows], rows))
 
 
-def _figure_12() -> None:
+def _figure_12(engine: ExperimentEngine) -> None:
     from repro.experiments.interval_study import figure12
 
     print("Figure 12: turb3d interval TPI (ns), 64 vs 128 entries")
-    _print_interval_result(figure12(intervals_per_phase=30))
+    _print_interval_result(figure12(intervals_per_phase=30, engine=engine))
 
 
-def _figure_13(regular: bool) -> None:
+def _figure_13(regular: bool, engine: ExperimentEngine) -> None:
     from repro.experiments.interval_study import figure13
 
     panel = "a (regular)" if regular else "b (irregular)"
     print(f"Figure 13{panel}: vortex interval TPI (ns), 16 vs 64 entries")
-    _print_interval_result(figure13(regular=regular))
+    _print_interval_result(figure13(regular=regular, engine=engine))
 
 
-_FIGURES: dict[str, Callable[[], None]] = {
+_FIGURES: dict[str, Callable[[ExperimentEngine], None]] = {
     "1a": _figure_1a,
     "1b": _figure_1b,
     "2": _figure_2,
     "7": _figure_7,
-    "8": lambda: _figure_8_9("miss"),
-    "9": lambda: _figure_8_9("total"),
+    "8": lambda engine: _figure_8_9("miss", engine),
+    "9": lambda engine: _figure_8_9("total", engine),
     "10": _figure_10,
     "11": _figure_11,
     "12": _figure_12,
-    "13a": lambda: _figure_13(True),
-    "13b": lambda: _figure_13(False),
+    "13a": lambda engine: _figure_13(True, engine),
+    "13b": lambda engine: _figure_13(False, engine),
 }
 
 
@@ -161,12 +170,12 @@ _FIGURES: dict[str, Callable[[], None]] = {
 # ---------------------------------------------------------------------------
 
 
-def _ablation(name: str) -> None:
+def _ablation(name: str, engine: ExperimentEngine) -> None:
     from repro.experiments import ablations
     from repro.experiments.interval_study import figure13
 
     if name == "granularity":
-        r = ablations.increment_granularity_ablation()
+        r = ablations.increment_granularity_ablation(engine=engine)
         print(format_table(
             ["design", "cycle @16KB", "conventional TPI", "adaptive TPI"],
             [["8KB 2-way (paper)", r.paper_cycle_at_16kb, r.paper_suite_tpi_ns,
@@ -175,7 +184,7 @@ def _ablation(name: str) -> None:
               r.fine_adaptive_tpi_ns]],
         ))
     elif name == "latency-mode":
-        r = ablations.latency_mode_ablation()
+        r = ablations.latency_mode_ablation(engine=engine)
         winners = r.winners()
         rows = [[a, r.clock_mode_tpi[a], r.latency_mode_tpi[a], winners[a]]
                 for a in sorted(r.clock_mode_tpi)]
@@ -186,13 +195,17 @@ def _ablation(name: str) -> None:
               f"{r.flushed_misses} with a flush "
               f"(+{r.extra_misses}, {r.extra_miss_ns / 1000:.1f} us)")
     elif name == "confidence":
-        sweep = ablations.confidence_threshold_sweep(figure13(regular=False))
+        sweep = ablations.confidence_threshold_sweep(
+            figure13(regular=False, engine=engine)
+        )
         print(format_table(
             ["threshold", "TPI (ns)", "switches"],
             [[t, o.tpi_ns, o.n_switches] for t, o in sorted(sweep.items())],
         ))
     elif name == "switch-cost":
-        sweep = ablations.switch_cost_sensitivity(figure13(regular=True))
+        sweep = ablations.switch_cost_sensitivity(
+            figure13(regular=True, engine=engine)
+        )
         print(format_table(
             ["pause (cycles)", "TPI (ns)", "switches"],
             [[p, o.tpi_ns, o.n_switches] for p, o in sorted(sweep.items())],
@@ -204,13 +217,13 @@ def _ablation(name: str) -> None:
 _ABLATIONS = ("granularity", "latency-mode", "flush", "confidence", "switch-cost")
 
 
-def _extension(name: str) -> None:
+def _extension(name: str, engine: ExperimentEngine) -> None:
     from repro.branch.predictors import PredictorKind
     from repro.experiments import extended_structures as ext
     from repro.experiments.interval_study import cache_interval_study, predictor_study
 
     if name == "tlb":
-        study = ext.tlb_study()
+        study = ext.tlb_study(engine=engine)
         rows = [[a, study.best_configs[a], study.tpi.conventional[a],
                  study.tpi.adaptive[a]] for a in study.tpi.applications]
         print(format_table(["app", "best fast entries", "conventional", "adaptive"],
@@ -219,11 +232,11 @@ def _extension(name: str) -> None:
               f"average reduction {study.tpi.average_reduction_percent():.1f}%")
     elif name == "bpred":
         for kind in (PredictorKind.GSHARE, PredictorKind.BIMODAL):
-            study = ext.branch_study(kind)
+            study = ext.branch_study(kind, engine=engine)
             print(f"{kind.value}: conventional {study.conventional_config} entries, "
                   f"average reduction {study.tpi.average_reduction_percent():.1f}%")
     elif name == "concert":
-        study = ext.concert_study()
+        study = ext.concert_study(engine=engine)
         conv = study.conventional
         print(f"conventional: L1 {8 * conv.cache_boundary}KB, "
               f"queue {conv.queue_entries}, TLB fast {conv.tlb_fast_entries}, "
@@ -298,25 +311,78 @@ def _power() -> None:
 # ---------------------------------------------------------------------------
 
 
+def _engine_options() -> argparse.ArgumentParser:
+    """Shared ``--jobs``/``--cache-dir``/``--no-cache``/``--telemetry``
+    options for every subcommand that runs experiments."""
+    opts = argparse.ArgumentParser(add_help=False)
+    group = opts.add_argument_group("engine options")
+    group.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for sweep cells (default: 1, serial)",
+    )
+    group.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="content-addressed result cache directory (default: no cache)",
+    )
+    group.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the result cache even if --cache-dir is set",
+    )
+    group.add_argument(
+        "--telemetry", default=None, metavar="PATH",
+        help="write per-cell run telemetry as JSONL to PATH",
+    )
+    return opts
+
+
+def _engine_from_args(args: argparse.Namespace) -> ExperimentEngine:
+    return ExperimentEngine(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        telemetry=args.telemetry,
+    )
+
+
+def _print_telemetry_summary(path: str) -> None:
+    from repro.engine.telemetry import summarize
+
+    print(summarize(path), file=sys.stderr)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Complexity-Adaptive Processors: regenerate the paper.",
     )
+    engine_opts = _engine_options()
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("figures", help="list regenerable figures")
-    fig = sub.add_parser("figure", help="print one figure's data")
+    fig = sub.add_parser(
+        "figure", help="print one figure's data", parents=[engine_opts]
+    )
     fig.add_argument("id", choices=sorted(_FIGURES))
     sub.add_parser("ablations", help="list ablation studies")
-    abl = sub.add_parser("ablation", help="run one ablation")
+    abl = sub.add_parser("ablation", help="run one ablation", parents=[engine_opts])
     abl.add_argument("name", choices=_ABLATIONS)
     sub.add_parser("extensions", help="list extension studies")
-    extp = sub.add_parser("extension", help="run one extension study")
+    extp = sub.add_parser(
+        "extension", help="run one extension study", parents=[engine_opts]
+    )
     extp.add_argument("name", choices=_EXTENSIONS)
     exp = sub.add_parser("export", help="write figure data as CSV")
     exp.add_argument("id", help="figure id, or 'all'")
     exp.add_argument("--out", default="figures", help="output directory")
+    clear = sub.add_parser("cache-clear", help="drop cached sweep results")
+    clear.add_argument(
+        "--cache-dir", required=True, metavar="DIR",
+        help="cache directory to clear",
+    )
+    clear.add_argument(
+        "--kind", default=None, choices=sorted(cell_kinds()),
+        help="only drop entries of this cell kind (default: all)",
+    )
     sub.add_parser("suite", help="print the calibrated application suite")
     sub.add_parser("clock", help="print the CAP clock table")
     sub.add_parser("power", help="print the Section 4.1 power modes")
@@ -342,15 +408,28 @@ def _dispatch(args) -> int:
     if args.command == "figures":
         print("regenerable figures:", ", ".join(sorted(_FIGURES)))
     elif args.command == "figure":
-        _FIGURES[args.id]()
+        engine = _engine_from_args(args)
+        _FIGURES[args.id](engine)
+        if args.telemetry:
+            _print_telemetry_summary(args.telemetry)
     elif args.command == "ablations":
         print("ablations:", ", ".join(_ABLATIONS))
     elif args.command == "ablation":
-        _ablation(args.name)
+        engine = _engine_from_args(args)
+        _ablation(args.name, engine)
+        if args.telemetry:
+            _print_telemetry_summary(args.telemetry)
     elif args.command == "extensions":
         print("extensions:", ", ".join(_EXTENSIONS))
     elif args.command == "extension":
-        _extension(args.name)
+        engine = _engine_from_args(args)
+        _extension(args.name, engine)
+        if args.telemetry:
+            _print_telemetry_summary(args.telemetry)
+    elif args.command == "cache-clear":
+        engine = ExperimentEngine(cache_dir=args.cache_dir)
+        dropped = engine.invalidate_cache(kind=args.kind)
+        print(f"dropped {dropped} cached result(s) from {args.cache_dir}")
     elif args.command == "export":
         from repro.experiments.export import export_all, export_figure
 

@@ -11,9 +11,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Protocol, Sequence, runtime_checkable
 
 from repro.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - import for annotations only
+    from repro.workloads.profiles import BenchmarkProfile
 
 
 def reduction_percent(baseline: float, improved: float) -> float:
@@ -43,6 +46,63 @@ def geometric_mean(values: Sequence[float]) -> float:
     if any(v <= 0 for v in values):
         raise ReproError("geometric mean requires positive values")
     return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """One (configuration, performance) point of a structure sweep.
+
+    Every complexity-adaptive structure — cache boundary, issue-queue
+    size, TLB fast section, predictor table — reports its sweep in this
+    shape, so the experiment engine and the comparison machinery can
+    drive any of them generically.  ``ipc`` is the *effective* IPC
+    implied by the total TPI (``cycle_time_ns / tpi_ns``), which folds
+    every stall source the structure models into one number.
+    """
+
+    config: int
+    tpi_ns: float
+    ipc: float
+    cycle_time_ns: float
+
+    def __post_init__(self) -> None:
+        if self.tpi_ns <= 0 or self.cycle_time_ns <= 0:
+            raise ReproError("sweep point needs positive TPI and cycle time")
+
+
+@runtime_checkable
+class StructureSweep(Protocol):
+    """Protocol every structure-sweep implementation satisfies.
+
+    A sweep maps a workload (a calibrated
+    :class:`~repro.workloads.profiles.BenchmarkProfile`) to a
+    :class:`SweepResult` per configuration.  Implementations for the
+    four structures live in :mod:`repro.engine.sweeps`; the experiment
+    engine fans their cells out and assembles the results, so a sweep
+    evaluated at ``--jobs 1`` and ``--jobs N`` is bitwise identical.
+    """
+
+    #: Short structure identifier ("dcache", "iqueue", "tlb", "bpred").
+    structure: str
+
+    def configurations(self) -> tuple[int, ...]:
+        """Every configuration the sweep evaluates, fastest first."""
+        ...  # pragma: no cover - protocol
+
+    def sweep(self, profile: "BenchmarkProfile") -> dict[int, SweepResult]:
+        """Evaluate every configuration for one application."""
+        ...  # pragma: no cover - protocol
+
+    def best(self, profile: "BenchmarkProfile") -> SweepResult:
+        """The TPI-minimising configuration for one application."""
+        ...  # pragma: no cover - protocol
+
+
+def best_sweep_result(results: Mapping[int, SweepResult]) -> SweepResult:
+    """The TPI-minimising point of a sweep (shared `best` helper)."""
+    if not results:
+        raise ReproError("cannot pick the best point of an empty sweep")
+    return min(results.values(), key=lambda r: r.tpi_ns)
 
 
 @dataclass(frozen=True)

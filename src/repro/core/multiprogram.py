@@ -23,7 +23,6 @@ import numpy as np
 
 from repro.cache.adaptive import AdaptiveCacheHierarchy
 from repro.cache.config import PAPER_GEOMETRY
-from repro.cache.hierarchy import AccessLevel
 from repro.cache.timing import CacheTimingModel
 from repro.cache.tpi import BASE_IPC
 from repro.core.clock import DynamicClock
@@ -123,13 +122,13 @@ def run_multiprogrammed(
             stop = min(start + timeslice_refs, total_refs_per_process)
             chunk = traces[name][start:stop]
             cursors[name] = stop
-            levels = dcache.run(chunk)
+            slice_run = dcache.run(chunk, record_outcomes=False)
 
-            k = dcache.configuration
+            k = slice_run.configuration
             cycle = timing.cycle_time_ns(k)
             l2_lat = timing.l2_hit_latency_cycles(k)
-            n_l2 = int(np.sum(levels == AccessLevel.L2))
-            n_miss = int(np.sum(levels == AccessLevel.MISS))
+            n_l2 = int(slice_run.stat("l2_hits"))
+            n_miss = int(slice_run.stat("misses"))
             n_instr = len(chunk) / ls[name]
             slice_ns = (
                 n_instr * cycle / BASE_IPC

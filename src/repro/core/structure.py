@@ -14,12 +14,45 @@ organisation at runtime, possibly after a cheap "cleanup" operation
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
-from typing import Generic, Hashable, Sequence, TypeVar
+from dataclasses import dataclass, field
+from typing import Any, Generic, Hashable, Mapping, Sequence, TypeVar
 
 from repro.errors import ConfigurationError
 
 ConfigT = TypeVar("ConfigT", bound=Hashable)
+
+
+@dataclass(frozen=True)
+class StructureRunResult:
+    """Uniform outcome of simulating events through an adaptive structure.
+
+    Every complexity-adaptive structure's ``run()`` returns this shape:
+    the structure's name and configuration at run time, how many events
+    were simulated, the per-event raw outcomes (access levels, issue
+    times, stack depths... — ``None`` when the structure produces only
+    aggregates), and a flat ``stats`` mapping of summary numbers.
+
+    Keeping the return type identical across the cache hierarchy, the
+    issue queue, the TLB and the branch predictor lets harnesses (and
+    the experiment engine) treat a heterogeneous set of structures as
+    one population of runnable devices.
+    """
+
+    structure: str
+    configuration: Any
+    n_events: int
+    stats: Mapping[str, float]
+    outcomes: Any = field(default=None, repr=False)
+
+    def stat(self, name: str) -> float:
+        """One summary statistic, raising ``KeyError`` with context."""
+        try:
+            return self.stats[name]
+        except KeyError:
+            raise KeyError(
+                f"{self.structure} run reports no stat {name!r}; "
+                f"available: {sorted(self.stats)}"
+            ) from None
 
 
 @dataclass(frozen=True)

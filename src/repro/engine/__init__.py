@@ -1,0 +1,64 @@
+"""repro.engine — the parallel experiment engine.
+
+The sweep layer every figure harness runs on: sweep **cells** (one
+workload x configuration-range evaluation) are fanned out over a
+process pool with deterministic chunking and ordered assembly, backed
+by a content-addressed on-disk result cache and a JSONL telemetry log.
+
+Layers
+------
+:mod:`repro.engine.cells`
+    The cell vocabulary: picklable specs, registered evaluators, and
+    the per-process memos for expensive intermediates.
+:mod:`repro.engine.cache`
+    Content-addressed JSON result cache (key = technology fingerprint
+    + structure configuration + workload spec).
+:mod:`repro.engine.telemetry`
+    Structured JSONL event log (per-cell wall time, cache hit/miss
+    counters, worker utilization) plus a human-readable summary.
+:mod:`repro.engine.engine`
+    :class:`ExperimentEngine` itself.
+:mod:`repro.engine.sweeps`
+    The unified :class:`~repro.core.metrics.StructureSweep`
+    implementations for all four adaptive structures.
+"""
+
+from repro.engine.cache import ResultCache, cell_key, technology_fingerprint
+from repro.engine.cells import SweepCell, cell_kinds, evaluate_cell
+from repro.engine.engine import EngineStats, ExperimentEngine, default_engine
+from repro.engine.sweeps import (
+    BranchStructureSweep,
+    CacheStructureSweep,
+    QueueStructureSweep,
+    TlbStructureSweep,
+    all_structure_sweeps,
+)
+from repro.engine.telemetry import (
+    EVENT_SCHEMA,
+    TelemetryLog,
+    read_events,
+    summarize,
+    validate_events,
+)
+
+__all__ = [
+    "ExperimentEngine",
+    "EngineStats",
+    "default_engine",
+    "SweepCell",
+    "cell_kinds",
+    "evaluate_cell",
+    "ResultCache",
+    "cell_key",
+    "technology_fingerprint",
+    "TelemetryLog",
+    "EVENT_SCHEMA",
+    "read_events",
+    "summarize",
+    "validate_events",
+    "CacheStructureSweep",
+    "QueueStructureSweep",
+    "TlbStructureSweep",
+    "BranchStructureSweep",
+    "all_structure_sweeps",
+]

@@ -1,0 +1,180 @@
+"""Content-addressed on-disk cache for sweep-cell results.
+
+Every cell's identity is the SHA-256 of a canonical JSON document
+combining three ingredients:
+
+* a **technology fingerprint** — the tech-node constants and the derived
+  per-structure timing tables.  Editing a calibration constant in
+  :mod:`repro.tech` silently invalidates every cached sweep;
+* the cell ``kind`` (cache_tpi, queue_tpi, ...); and
+* the cell ``spec`` — the structure-configuration range plus the
+  workload description (profile name, trace lengths, seeds, geometry).
+
+Entries are JSON files under ``<cache_dir>/<key[:2]>/<key>.json``,
+written atomically (temp file + rename) so concurrent engines sharing a
+cache directory never observe torn entries.  Unreadable or mismatched
+entries are treated as misses and rewritten, never trusted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.engine.cells import SweepCell
+
+#: Bump when the stored entry layout changes; old entries become misses.
+CACHE_SCHEMA_VERSION: int = 1
+
+
+def technology_fingerprint() -> dict:
+    """Everything timing-related that a cached sweep result depends on.
+
+    Reads the :mod:`repro.tech.parameters` constants dynamically (not at
+    import time) and evaluates the four structures' timing tables at the
+    default node, so any recalibration — constants or formulas — changes
+    the fingerprint and with it every cache key.
+    """
+    from repro.branch.timing import BranchTimingModel
+    from repro.cache.config import PAPER_GEOMETRY, PAPER_MAX_L1_INCREMENTS
+    from repro.cache.timing import CacheTimingModel
+    from repro.ooo.timing import QueueTimingModel
+    from repro.tech import parameters
+    from repro.tlb.timing import TlbTimingModel
+
+    cache_timing = CacheTimingModel()
+    queue_timing = QueueTimingModel()
+    tlb_timing = TlbTimingModel()
+    branch_timing = BranchTimingModel()
+    return {
+        "schema": CACHE_SCHEMA_VERSION,
+        "wire_r_ohm_per_mm": parameters.WIRE_RESISTANCE_OHM_PER_MM,
+        "wire_c_pf_per_mm": parameters.WIRE_CAPACITANCE_PF_PER_MM,
+        "repeater_rc_ps": parameters.REPEATER_RC_PS_AT_REFERENCE,
+        "subarray_2kb_height_mm": parameters.SUBARRAY_2KB_HEIGHT_MM,
+        "cache_cycle_ns": {
+            str(k): cache_timing.cycle_time_ns(k)
+            for k in PAPER_GEOMETRY.boundary_positions(PAPER_MAX_L1_INCREMENTS)
+        },
+        "queue_cycle_ns": {
+            str(w): c for w, c in queue_timing.cycle_table().items()
+        },
+        "tlb_lookup_ns": {
+            str(f): tlb_timing.lookup_time_ns(f) for f in tlb_timing.boundaries()
+        },
+        "branch_lookup_ns": {
+            str(s): d for s, d in branch_timing.cycle_table().items()
+        },
+    }
+
+
+def canonical_json(document: Mapping[str, Any]) -> str:
+    """Stable serialisation used for hashing (sorted keys, no spaces)."""
+    return json.dumps(document, sort_keys=True, separators=(",", ":"))
+
+
+def cell_key(cell: SweepCell, fingerprint: Mapping[str, Any] | None = None) -> str:
+    """Content-address of one cell: SHA-256 hex over its identity."""
+    if fingerprint is None:
+        fingerprint = technology_fingerprint()
+    identity = {
+        "tech": dict(fingerprint),
+        "kind": cell.kind,
+        "spec": dict(cell.spec),
+    }
+    return hashlib.sha256(canonical_json(identity).encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Content-addressed JSON store for sweep-cell payloads."""
+
+    def __init__(self, cache_dir: str | Path) -> None:
+        self.cache_dir = Path(cache_dir)
+        # The fingerprint is captured once per cache handle; rebuilding
+        # the handle (one per engine) re-reads the live constants.
+        self._fingerprint = technology_fingerprint()
+
+    def key(self, cell: SweepCell) -> str:
+        """Cache key of one cell under this handle's fingerprint."""
+        return cell_key(cell, self._fingerprint)
+
+    def path(self, key: str) -> Path:
+        """Where the entry for ``key`` lives (two-level fan-out)."""
+        return self.cache_dir / key[:2] / f"{key}.json"
+
+    def load(self, key: str) -> dict | None:
+        """The cached payload for ``key``, or ``None`` on any miss.
+
+        Corrupt or schema-mismatched entries are misses, not errors:
+        they are recomputed and overwritten.
+        """
+        path = self.path(key)
+        try:
+            with path.open("r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(entry, dict) or entry.get("schema") != CACHE_SCHEMA_VERSION:
+            return None
+        payload = entry.get("payload")
+        return payload if isinstance(payload, dict) else None
+
+    def store(self, key: str, cell: SweepCell, payload: Mapping[str, Any]) -> Path:
+        """Atomically persist one cell's payload."""
+        path = self.path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "kind": cell.kind,
+            "spec": dict(cell.spec),
+            "payload": dict(payload),
+        }
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{key[:8]}-", suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(entry, fh)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def invalidate(self, kind: str | None = None) -> int:
+        """Drop cached entries, returning how many were removed.
+
+        With ``kind`` only entries of that cell kind are dropped (the
+        entry header records it); without, the whole cache is cleared.
+        """
+        removed = 0
+        if not self.cache_dir.is_dir():
+            return removed
+        for path in sorted(self.cache_dir.glob("*/*.json")):
+            if kind is not None:
+                try:
+                    with path.open("r", encoding="utf-8") as fh:
+                        entry = json.load(fh)
+                except (OSError, ValueError):
+                    entry = {}
+                if entry.get("kind") != kind:
+                    continue
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def size(self) -> int:
+        """Number of entries currently on disk."""
+        if not self.cache_dir.is_dir():
+            return 0
+        return sum(1 for _ in self.cache_dir.glob("*/*.json"))

@@ -1,0 +1,221 @@
+"""The parallel experiment engine.
+
+:class:`ExperimentEngine` evaluates a batch of sweep cells through three
+layers, in order:
+
+1. **cache** — cells whose content-address is already on disk are
+   served without computing anything;
+2. **fan-out** — the remaining cells are split into deterministic
+   contiguous chunks and evaluated on a ``ProcessPoolExecutor`` using
+   the ``spawn`` start method (the portable one — nothing in a cell may
+   rely on forked state);
+3. **assembly** — payloads are reassembled strictly in submission
+   order, so the result list is independent of worker scheduling and a
+   ``jobs=1`` run is bitwise identical to a ``jobs=N`` run.
+
+``jobs=1`` short-circuits the pool entirely and evaluates inline, which
+is also the fallback while debugging worker-side failures.  Telemetry
+(one JSONL event per cell plus run bracketing) and hit/miss counters are
+recorded on every run; see :mod:`repro.engine.telemetry`.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from pathlib import Path
+from typing import Sequence
+
+from repro.engine.cache import ResultCache
+from repro.engine.cells import SweepCell, evaluate_chunk
+from repro.engine.telemetry import TelemetryLog, new_run_id
+from repro.errors import EngineError
+
+#: Chunks submitted per worker: small enough to load-balance uneven
+#: cells, large enough to amortise pickling and per-future overhead.
+CHUNKS_PER_WORKER: int = 4
+
+
+@dataclass
+class EngineStats:
+    """Aggregate counters over every ``map`` call of one engine."""
+
+    cells: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    elapsed_s: float = 0.0
+    busy_s: float = 0.0
+    runs: int = 0
+
+    def merge_run(self, hits: int, misses: int, elapsed: float, busy: float) -> None:
+        """Fold one run's counters in."""
+        self.cells += hits + misses
+        self.cache_hits += hits
+        self.cache_misses += misses
+        self.elapsed_s += elapsed
+        self.busy_s += busy
+        self.runs += 1
+
+
+@dataclass
+class ExperimentEngine:
+    """Runs sweep cells with optional parallelism, caching and telemetry.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` evaluates inline (no pool).
+    cache_dir:
+        Directory of the content-addressed result cache; ``None``
+        disables caching entirely.
+    use_cache:
+        ``False`` (the CLI's ``--no-cache``) keeps the directory
+        configured but neither reads nor writes it.
+    telemetry:
+        Path of the JSONL event log; ``None`` disables persistence
+        (counters in :attr:`stats` are kept either way).
+    """
+
+    jobs: int = 1
+    cache_dir: str | Path | None = None
+    use_cache: bool = True
+    telemetry: str | Path | None = None
+    stats: EngineStats = field(default_factory=EngineStats)
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise EngineError(f"jobs must be >= 1, got {self.jobs}")
+        self._cache = (
+            ResultCache(self.cache_dir)
+            if self.cache_dir is not None and self.use_cache
+            else None
+        )
+        self._telemetry = TelemetryLog(self.telemetry)
+
+    # -- cache passthrough ------------------------------------------------
+
+    @property
+    def cache(self) -> ResultCache | None:
+        """The active result cache, if any."""
+        return self._cache
+
+    def invalidate_cache(self, kind: str | None = None) -> int:
+        """Drop cached results (all, or one cell kind); returns count."""
+        if self._cache is None:
+            return 0
+        return self._cache.invalidate(kind)
+
+    # -- execution --------------------------------------------------------
+
+    def run_cell(self, cell: SweepCell) -> dict:
+        """Evaluate a single cell (convenience wrapper over :meth:`map`)."""
+        return self.map([cell])[0]
+
+    def map(self, cells: Sequence[SweepCell]) -> list[dict]:
+        """Evaluate every cell, returning payloads in submission order."""
+        cells = list(cells)
+        run_id = new_run_id()
+        start = time.perf_counter()
+        self._telemetry.emit(
+            "run_start",
+            run_id=run_id,
+            jobs=self.jobs,
+            n_cells=len(cells),
+            cache_enabled=self._cache is not None,
+            cache_dir=str(self.cache_dir) if self.cache_dir is not None else None,
+        )
+
+        payloads: list[dict | None] = [None] * len(cells)
+        walls: list[float] = [0.0] * len(cells)
+        sources: list[str] = ["computed"] * len(cells)
+        keys: list[str | None] = [None] * len(cells)
+        misses: list[int] = []
+
+        for i, cell in enumerate(cells):
+            if self._cache is None:
+                misses.append(i)
+                continue
+            key = self._cache.key(cell)
+            keys[i] = key
+            probe_start = time.perf_counter()
+            hit = self._cache.load(key)
+            if hit is None:
+                misses.append(i)
+            else:
+                payloads[i] = hit
+                walls[i] = time.perf_counter() - probe_start
+                sources[i] = "cache"
+
+        if misses:
+            for idx, (payload, wall) in zip(
+                misses, self._evaluate([cells[i] for i in misses])
+            ):
+                payloads[idx] = payload
+                walls[idx] = wall
+                if self._cache is not None:
+                    self._cache.store(keys[idx], cells[idx], payload)
+
+        elapsed = time.perf_counter() - start
+        busy = sum(walls[i] for i in misses)
+        n_hits = len(cells) - len(misses)
+        for i, cell in enumerate(cells):
+            self._telemetry.emit(
+                "cell",
+                run_id=run_id,
+                index=i,
+                kind=cell.kind,
+                key=keys[i],
+                source=sources[i],
+                wall_s=walls[i],
+            )
+        self._telemetry.emit(
+            "run_end",
+            run_id=run_id,
+            jobs=self.jobs,
+            n_cells=len(cells),
+            cache_hits=n_hits,
+            cache_misses=len(misses),
+            elapsed_s=elapsed,
+            busy_s=busy,
+            worker_utilization=(
+                busy / (elapsed * self.jobs) if elapsed > 0 else 0.0
+            ),
+        )
+        self.stats.merge_run(n_hits, len(misses), elapsed, busy)
+        return payloads  # type: ignore[return-value]
+
+    def _evaluate(self, cells: list[SweepCell]) -> list[tuple[dict, float]]:
+        """Compute payloads for cache misses, inline or fanned out."""
+        if self.jobs == 1 or len(cells) == 1:
+            return evaluate_chunk(cells)
+        chunk_size = max(1, math.ceil(len(cells) / (self.jobs * CHUNKS_PER_WORKER)))
+        chunks = [
+            cells[lo : lo + chunk_size] for lo in range(0, len(cells), chunk_size)
+        ]
+        workers = min(self.jobs, len(chunks))
+        results: list[tuple[dict, float]] = []
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=get_context("spawn")
+        ) as pool:
+            futures = [pool.submit(evaluate_chunk, chunk) for chunk in chunks]
+            for future in futures:  # submission order == assembly order
+                results.extend(future.result())
+        return results
+
+
+_DEFAULT_ENGINE: ExperimentEngine | None = None
+
+
+def default_engine() -> ExperimentEngine:
+    """The shared serial engine harnesses fall back to.
+
+    No cache, no telemetry, no pool — exactly the pre-engine behaviour,
+    which keeps every harness's default results and signatures stable.
+    """
+    global _DEFAULT_ENGINE
+    if _DEFAULT_ENGINE is None:
+        _DEFAULT_ENGINE = ExperimentEngine(jobs=1)
+    return _DEFAULT_ENGINE

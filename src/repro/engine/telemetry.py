@@ -1,0 +1,173 @@
+"""Structured run telemetry for the experiment engine.
+
+Every engine run appends JSON-lines events to a user-supplied log file:
+
+* one ``run_start`` event (job count, cell count, cache setup),
+* one ``cell`` event per sweep cell, in submission order, recording the
+  cell's kind, cache key, whether it was served from cache or computed,
+  and its wall time (compute time in the worker for computed cells,
+  load time for cache hits), and
+* one ``run_end`` event with the aggregate counters: cache hits and
+  misses, elapsed wall time, total busy time across workers, and the
+  implied worker utilization (``busy / (elapsed * jobs)``).
+
+The exact field set of each event is declared in :data:`EVENT_SCHEMA`;
+:func:`validate_events` enforces it, and the engine's own tests validate
+every log they produce against it.  :func:`summarize` renders a log
+human-readable.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import uuid
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.errors import EngineError
+
+#: Required fields of each telemetry event type.
+EVENT_SCHEMA: dict[str, tuple[str, ...]] = {
+    "run_start": (
+        "event",
+        "run_id",
+        "ts",
+        "jobs",
+        "n_cells",
+        "cache_enabled",
+        "cache_dir",
+    ),
+    "cell": (
+        "event",
+        "run_id",
+        "ts",
+        "index",
+        "kind",
+        "key",
+        "source",
+        "wall_s",
+    ),
+    "run_end": (
+        "event",
+        "run_id",
+        "ts",
+        "jobs",
+        "n_cells",
+        "cache_hits",
+        "cache_misses",
+        "elapsed_s",
+        "busy_s",
+        "worker_utilization",
+    ),
+}
+
+#: Legal values of a ``cell`` event's ``source`` field.
+CELL_SOURCES: tuple[str, ...] = ("cache", "computed")
+
+
+def new_run_id() -> str:
+    """A short unique identifier tying one run's events together."""
+    return uuid.uuid4().hex[:12]
+
+
+class TelemetryLog:
+    """Append-only JSONL event writer (no-op without a path)."""
+
+    def __init__(self, path: str | Path | None) -> None:
+        self.path = Path(path) if path is not None else None
+
+    @property
+    def enabled(self) -> bool:
+        """Whether events are actually persisted."""
+        return self.path is not None
+
+    def emit(self, event: str, **fields: Any) -> dict:
+        """Validate and append one event; returns the event dict."""
+        record: dict[str, Any] = {"event": event, "ts": time.time(), **fields}
+        validate_event(record)
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with self.path.open("a", encoding="utf-8") as fh:
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+        return record
+
+
+def validate_event(record: Mapping[str, Any]) -> None:
+    """Raise :class:`~repro.errors.EngineError` on a malformed event."""
+    event = record.get("event")
+    if event not in EVENT_SCHEMA:
+        raise EngineError(
+            f"unknown telemetry event {event!r}; known: {sorted(EVENT_SCHEMA)}"
+        )
+    missing = [f for f in EVENT_SCHEMA[event] if f not in record]
+    if missing:
+        raise EngineError(f"telemetry event {event!r} is missing fields {missing}")
+    if event == "cell" and record["source"] not in CELL_SOURCES:
+        raise EngineError(
+            f"cell event source must be one of {CELL_SOURCES}, "
+            f"got {record['source']!r}"
+        )
+
+
+def validate_events(events: Iterable[Mapping[str, Any]]) -> None:
+    """Validate an event stream: per-event schema plus run bracketing."""
+    events = list(events)
+    for record in events:
+        validate_event(record)
+    run_ids = {r["run_id"] for r in events}
+    for run_id in run_ids:
+        run = [r for r in events if r["run_id"] == run_id]
+        kinds = [r["event"] for r in run]
+        if kinds.count("run_start") != 1 or kinds.count("run_end") != 1:
+            raise EngineError(
+                f"run {run_id} must have exactly one run_start and one run_end"
+            )
+        end = next(r for r in run if r["event"] == "run_end")
+        n_cell_events = sum(1 for k in kinds if k == "cell")
+        if n_cell_events != end["n_cells"]:
+            raise EngineError(
+                f"run {run_id} logged {n_cell_events} cell events "
+                f"but run_end claims {end['n_cells']}"
+            )
+        if end["cache_hits"] + end["cache_misses"] != end["n_cells"]:
+            raise EngineError(
+                f"run {run_id}: hits + misses must equal the cell count"
+            )
+
+
+def read_events(path: str | Path) -> list[dict]:
+    """Parse a telemetry JSONL file."""
+    events = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except ValueError as exc:
+                raise EngineError(
+                    f"{path}:{line_no}: not valid JSON ({exc})"
+                ) from exc
+    return events
+
+
+def summarize(path: str | Path) -> str:
+    """Human-readable digest of a telemetry log, one line per run."""
+    events = read_events(path)
+    validate_events(events)
+    lines = []
+    for record in events:
+        if record["event"] != "run_end":
+            continue
+        lines.append(
+            f"run {record['run_id']}: {record['n_cells']} cells "
+            f"({record['cache_hits']} cached, {record['cache_misses']} computed) "
+            f"in {record['elapsed_s']:.3f}s on {record['jobs']} job(s), "
+            f"busy {record['busy_s']:.3f}s, "
+            f"utilization {record['worker_utilization']:.0%}"
+        )
+    if not lines:
+        return "no completed runs"
+    return "\n".join(lines)

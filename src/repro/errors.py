@@ -31,3 +31,12 @@ class WorkloadError(ReproError):
 
 class TimingModelError(ReproError):
     """A timing model was evaluated outside its calibrated domain."""
+
+
+class EngineError(ReproError):
+    """The experiment engine was misused or met a corrupt artefact.
+
+    Raised, for example, for an unregistered sweep-cell kind, a
+    malformed telemetry event, or an unreadable cache entry that cannot
+    be safely ignored.
+    """

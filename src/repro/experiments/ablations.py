@@ -28,16 +28,12 @@ import numpy as np
 
 from repro.cache.config import CacheGeometry
 from repro.cache.hierarchy import AccessLevel, TwoLevelExclusiveCache, HierarchyConfig
-from repro.cache.stackdist import DepthHistogram, StackDistanceEngine
 from repro.cache.timing import CacheTimingModel, LatencyMode
-from repro.cache.tpi import CacheTpiModel
 from repro.core.policies import IntervalAdaptivePolicy, PolicyOutcome, evaluate_policy
 from repro.core.predictor import ConfigurationPredictor
-from repro.experiments.cache_study import (
-    DEFAULT_N_REFS,
-    DEFAULT_WARMUP_REFS,
-    histogram_for,
-)
+from repro.engine.cells import cache_tpi_cell
+from repro.engine.engine import ExperimentEngine, default_engine
+from repro.experiments.cache_study import DEFAULT_N_REFS, DEFAULT_WARMUP_REFS
 from repro.experiments.interval_study import IntervalStudyResult
 from repro.tech.cacti import CacheIncrementTiming
 from repro.workloads.address_trace import generate_address_trace
@@ -75,29 +71,37 @@ class GranularityAblation:
         return self.paper_adaptive_tpi_ns <= self.fine_adaptive_tpi_ns
 
 
-def _suite_tpis(geometry: CacheGeometry, max_l1_bytes: int) -> tuple[float, float]:
+def _suite_tpis(
+    geometry: CacheGeometry,
+    max_l1_bytes: int,
+    engine: ExperimentEngine | None = None,
+) -> tuple[float, float]:
     """(best-conventional suite TPI, per-app adaptive suite TPI)."""
-    timing = CacheTimingModel(geometry=geometry)
-    model = CacheTpiModel(timing=timing)
     boundaries = tuple(
         k
         for k in geometry.boundary_positions()
         if k * geometry.increment_bytes <= max_l1_bytes
     )
-    per_app: dict[str, dict[int, float]] = {}
-    for profile in cache_study_profiles():
-        addresses = generate_address_trace(
-            profile.memory, DEFAULT_N_REFS + DEFAULT_WARMUP_REFS, profile.seed
-        )
-        engine = StackDistanceEngine(geometry)
-        engine.process(addresses[:DEFAULT_WARMUP_REFS])
-        hist = DepthHistogram.from_depths(
-            geometry, engine.process(addresses[DEFAULT_WARMUP_REFS:])
-        )
-        per_app[profile.name] = {
-            k: model.evaluate(hist, profile.memory.load_store_fraction, k).tpi_ns
-            for k in boundaries
+    eng = engine if engine is not None else default_engine()
+    profiles = cache_study_profiles()
+    payloads = eng.map(
+        [
+            cache_tpi_cell(
+                profile,
+                DEFAULT_N_REFS,
+                DEFAULT_WARMUP_REFS,
+                boundaries,
+                geometry=geometry,
+            )
+            for profile in profiles
+        ]
+    )
+    per_app = {
+        profile.name: {
+            int(k): row["tpi_ns"] for k, row in payload["breakdowns"].items()
         }
+        for profile, payload in zip(profiles, payloads)
+    }
     conventional = min(
         boundaries,
         key=lambda k: sum(rows[k] for rows in per_app.values()),
@@ -107,13 +111,17 @@ def _suite_tpis(geometry: CacheGeometry, max_l1_bytes: int) -> tuple[float, floa
     return conv_tpi, adaptive_tpi
 
 
-def increment_granularity_ablation() -> GranularityAblation:
+def increment_granularity_ablation(
+    *, engine: ExperimentEngine | None = None
+) -> GranularityAblation:
     """Compare the paper's 8 KB increments with 4 KB increments."""
     from repro.cache.config import PAPER_GEOMETRY
 
-    paper_conv, paper_adapt = _suite_tpis(PAPER_GEOMETRY, max_l1_bytes=64 * 1024)
+    paper_conv, paper_adapt = _suite_tpis(
+        PAPER_GEOMETRY, max_l1_bytes=64 * 1024, engine=engine
+    )
     fine = fine_grained_geometry()
-    fine_conv, fine_adapt = _suite_tpis(fine, max_l1_bytes=64 * 1024)
+    fine_conv, fine_adapt = _suite_tpis(fine, max_l1_bytes=64 * 1024, engine=engine)
     paper_timing = CacheTimingModel(geometry=PAPER_GEOMETRY)
     fine_timing = CacheTimingModel(geometry=fine)
     return GranularityAblation(
@@ -153,7 +161,9 @@ class LatencyModeAblation:
         }
 
 
-def latency_mode_ablation() -> LatencyModeAblation:
+def latency_mode_ablation(
+    *, engine: ExperimentEngine | None = None
+) -> LatencyModeAblation:
     """Best-configuration TPI per app: vary the clock vs. the latency.
 
     In latency mode the clock stays at the one-increment rate and a
@@ -161,25 +171,52 @@ def latency_mode_ablation() -> LatencyModeAblation:
     pay.  The base IPC is degraded by the load-use penalty of the extra
     cycles; everything else (L2/miss stalls) is evaluated identically.
     """
-    clock_model = CacheTpiModel(timing=CacheTimingModel(mode=LatencyMode.CLOCK))
-    lat_timing = CacheTimingModel(mode=LatencyMode.LATENCY)
-    lat_model = CacheTpiModel(timing=lat_timing)
     boundaries = tuple(range(1, 9))
+    eng = engine if engine is not None else default_engine()
+    profiles = cache_study_profiles()
+    clock_payloads = eng.map(
+        [
+            cache_tpi_cell(
+                profile,
+                DEFAULT_N_REFS,
+                DEFAULT_WARMUP_REFS,
+                boundaries,
+                mode=LatencyMode.CLOCK,
+            )
+            for profile in profiles
+        ]
+    )
+    lat_payloads = eng.map(
+        [
+            cache_tpi_cell(
+                profile,
+                DEFAULT_N_REFS,
+                DEFAULT_WARMUP_REFS,
+                boundaries,
+                mode=LatencyMode.LATENCY,
+            )
+            for profile in profiles
+        ]
+    )
 
     clock_tpi: dict[str, float] = {}
     latency_tpi: dict[str, float] = {}
-    for profile in cache_study_profiles():
-        hist = histogram_for(profile)
+    for profile, clock_payload, lat_payload in zip(
+        profiles, clock_payloads, lat_payloads
+    ):
         ls = profile.memory.load_store_fraction
         clock_tpi[profile.name] = min(
-            clock_model.evaluate(hist, ls, k).tpi_ns for k in boundaries
+            row["tpi_ns"] for row in clock_payload["breakdowns"].values()
         )
+        rows = lat_payload["breakdowns"]
+        base_latency = rows[str(boundaries[0])]["l1_latency_cycles"]
         best_lat = math.inf
         for k in boundaries:
-            breakdown = lat_model.evaluate(hist, ls, k)
-            extra = lat_timing.l1_latency_cycles(k) - lat_timing.l1_latency_cycles(1)
+            row = rows[str(k)]
+            extra = row["l1_latency_cycles"] - base_latency
             ipc_scale = 1.0 + LOAD_USE_SENSITIVITY * ls * extra
-            adjusted = breakdown.tpi_base_ns * ipc_scale + breakdown.tpi_miss_ns
+            tpi_base = row["tpi_ns"] - row["tpi_miss_ns"]
+            adjusted = tpi_base * ipc_scale + row["tpi_miss_ns"]
             best_lat = min(best_lat, adjusted)
         latency_tpi[profile.name] = best_lat
     return LatencyModeAblation(clock_mode_tpi=clock_tpi, latency_mode_tpi=latency_tpi)

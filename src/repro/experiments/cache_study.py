@@ -20,10 +20,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.cache.config import PAPER_GEOMETRY, PAPER_MAX_L1_INCREMENTS, HierarchyConfig
-from repro.cache.stackdist import DepthHistogram, StackDistanceEngine
+from repro.cache.stackdist import DepthHistogram
 from repro.cache.tpi import CacheTpiModel, TpiBreakdown
 from repro.core.metrics import TpiComparison
-from repro.workloads.address_trace import generate_address_trace
+from repro.engine.cells import (
+    cache_tpi_cell,
+    cached_histogram,
+    tpi_breakdown_from_payload,
+)
+from repro.engine.engine import ExperimentEngine, default_engine
 from repro.workloads.profiles import BenchmarkProfile
 from repro.workloads.suite import cache_study_profiles
 
@@ -31,8 +36,6 @@ from repro.workloads.suite import cache_study_profiles
 DEFAULT_N_REFS: int = 60_000
 #: Default warm-up prefix (references discarded before measuring).
 DEFAULT_WARMUP_REFS: int = 20_000
-
-_HISTOGRAM_CACHE: dict[tuple, DepthHistogram] = {}
 
 
 def histogram_for(
@@ -43,52 +46,63 @@ def histogram_for(
     """Stack-depth histogram of one application's trace (memoised).
 
     One pass of the stack-distance engine evaluates every boundary
-    position at once; the cache keeps suite-wide sweeps cheap.
+    position at once; the per-process memo in
+    :mod:`repro.engine.cells` keeps suite-wide sweeps cheap.
     """
-    key = (profile.name, n_refs, warmup_refs, profile.seed)
-    hit = _HISTOGRAM_CACHE.get(key)
-    if hit is not None:
-        return hit
-    if profile.memory is None:
-        raise ValueError(f"{profile.name} is not part of the cache study")
-    addresses = generate_address_trace(profile.memory, n_refs + warmup_refs, profile.seed)
-    engine = StackDistanceEngine(PAPER_GEOMETRY)
-    if warmup_refs:
-        engine.process(addresses[:warmup_refs])
-    histogram = DepthHistogram.from_depths(
-        PAPER_GEOMETRY, engine.process(addresses[warmup_refs:])
-    )
-    _HISTOGRAM_CACHE[key] = histogram
-    return histogram
+    return cached_histogram(profile, n_refs, warmup_refs)
 
 
 def cache_tpi_table(
     n_refs: int = DEFAULT_N_REFS,
     warmup_refs: int = DEFAULT_WARMUP_REFS,
     tpi_model: CacheTpiModel | None = None,
+    *,
+    engine: ExperimentEngine | None = None,
 ) -> dict[str, dict[int, TpiBreakdown]]:
-    """Full TPI breakdowns: application -> boundary -> breakdown."""
-    model = tpi_model if tpi_model is not None else CacheTpiModel()
+    """Full TPI breakdowns: application -> boundary -> breakdown.
+
+    The suite fans out one engine cell per application; pass ``engine``
+    for parallelism/caching.  A custom ``tpi_model`` cannot be shipped
+    to workers or content-addressed, so it forces the serial path.
+    """
     boundaries = PAPER_GEOMETRY.boundary_positions(PAPER_MAX_L1_INCREMENTS)
-    table: dict[str, dict[int, TpiBreakdown]] = {}
-    for profile in cache_study_profiles():
-        histogram = histogram_for(profile, n_refs, warmup_refs)
-        table[profile.name] = model.sweep(
-            histogram, profile.memory.load_store_fraction, boundaries
-        )
-    return table
+    profiles = cache_study_profiles()
+    if tpi_model is not None:
+        return {
+            profile.name: tpi_model.sweep_breakdowns(
+                histogram_for(profile, n_refs, warmup_refs),
+                profile.memory.load_store_fraction,
+                boundaries,
+            )
+            for profile in profiles
+        }
+    eng = engine if engine is not None else default_engine()
+    cells = [
+        cache_tpi_cell(profile, n_refs, warmup_refs, boundaries)
+        for profile in profiles
+    ]
+    payloads = eng.map(cells)
+    return {
+        profile.name: {
+            int(k): tpi_breakdown_from_payload(row)
+            for k, row in payload["breakdowns"].items()
+        }
+        for profile, payload in zip(profiles, payloads)
+    }
 
 
 def figure7(
     n_refs: int = DEFAULT_N_REFS,
     warmup_refs: int = DEFAULT_WARMUP_REFS,
+    *,
+    engine: ExperimentEngine | None = None,
 ) -> dict[str, dict[str, dict[float, float]]]:
     """Average TPI vs. L1 size, fixed boundary.
 
     Returns ``{"integer"|"floating": {app: {l1_kb: tpi_ns}}}`` — panel
     (a) and (b) of the paper's Figure 7.
     """
-    table = cache_tpi_table(n_refs, warmup_refs)
+    table = cache_tpi_table(n_refs, warmup_refs, engine=engine)
     panels: dict[str, dict[str, dict[float, float]]] = {"integer": {}, "floating": {}}
     for profile in cache_study_profiles():
         curve = {
@@ -119,12 +133,14 @@ def figure8_9(
     n_refs: int = DEFAULT_N_REFS,
     warmup_refs: int = DEFAULT_WARMUP_REFS,
     tpi_model: CacheTpiModel | None = None,
+    *,
+    engine: ExperimentEngine | None = None,
 ) -> CacheStudyResult:
     """Best conventional vs. process-level adaptive, per app and average.
 
     Figure 8 is the ``tpi_miss`` comparison, Figure 9 the ``tpi`` one.
     """
-    table = cache_tpi_table(n_refs, warmup_refs, tpi_model)
+    table = cache_tpi_table(n_refs, warmup_refs, tpi_model, engine=engine)
     boundaries = PAPER_GEOMETRY.boundary_positions(PAPER_MAX_L1_INCREMENTS)
     apps = list(table)
 

@@ -27,18 +27,22 @@ import numpy as np
 
 from repro.branch.timing import BranchTimingModel
 from repro.branch.tpi import BranchTpiModel
-from repro.branch.workloads import BRANCH_FRACTION, branch_profile_for
+from repro.branch.workloads import BRANCH_FRACTION
 from repro.branch.predictors import PredictorKind
 from repro.cache.config import PAPER_GEOMETRY, PAPER_MAX_L1_INCREMENTS
 from repro.cache.timing import CacheTimingModel
 from repro.core.metrics import TpiComparison
+from repro.engine.cells import (
+    branch_tpi_cell,
+    cached_tlb_histogram,
+    queue_tpi_cell,
+    tlb_tpi_cell,
+)
+from repro.engine.engine import ExperimentEngine, default_engine
 from repro.experiments.cache_study import histogram_for
-from repro.experiments.queue_study import sweep_for
 from repro.ooo.timing import PAPER_QUEUE_SIZES, QueueTimingModel
-from repro.tlb.simulator import PageStackEngine, TlbDepthHistogram
-from repro.tlb.timing import TLB_TOTAL_ENTRIES, TlbTimingModel
-from repro.tlb.tpi import TlbTpiModel
-from repro.tlb.workloads import generate_page_trace, tlb_profile_for
+from repro.tlb.simulator import TlbDepthHistogram
+from repro.tlb.timing import TlbTimingModel
 from repro.workloads.suite import cache_study_profiles
 
 #: TLB study trace sizes.
@@ -47,35 +51,25 @@ TLB_WARMUP: int = 10_000
 #: Branch study trace size.
 BRANCH_N: int = 16_000
 
-_TLB_HIST_CACHE: dict[str, TlbDepthHistogram] = {}
-_BRANCH_RATE_CACHE: dict[tuple, dict[int, float]] = {}
-
 
 def _tlb_histogram(profile) -> TlbDepthHistogram:
-    hit = _TLB_HIST_CACHE.get(profile.name)
-    if hit is not None:
-        return hit
-    tlb_profile = tlb_profile_for(profile)
-    trace = generate_page_trace(tlb_profile, TLB_N_REFS)
-    engine = PageStackEngine(TLB_TOTAL_ENTRIES)
-    engine.process(trace[:TLB_WARMUP])
-    hist = TlbDepthHistogram.from_depths(
-        TLB_TOTAL_ENTRIES, engine.process(trace[TLB_WARMUP:])
-    )
-    _TLB_HIST_CACHE[profile.name] = hist
-    return hist
+    return cached_tlb_histogram(profile, TLB_N_REFS, TLB_WARMUP)
 
 
-def _branch_rates(profile, kind: PredictorKind) -> dict[int, float]:
-    key = (profile.name, kind)
-    hit = _BRANCH_RATE_CACHE.get(key)
-    if hit is not None:
-        return hit
-    model = BranchTpiModel(kind=kind)
-    sweep = model.sweep(branch_profile_for(profile), n_branches=BRANCH_N)
-    rates = {s: b.misprediction_rate for s, b in sweep.items()}
-    _BRANCH_RATE_CACHE[key] = rates
-    return rates
+def _branch_tables(
+    kind: PredictorKind, engine: ExperimentEngine | None
+) -> dict[str, dict[int, dict]]:
+    """Branch payload rows per application: app -> size -> row."""
+    eng = engine if engine is not None else default_engine()
+    profiles = cache_study_profiles()
+    cells = [branch_tpi_cell(profile, kind, BRANCH_N) for profile in profiles]
+    payloads = eng.map(cells)
+    return {
+        profile.name: {
+            int(s): row for s, row in payload["breakdowns"].items()
+        }
+        for profile, payload in zip(profiles, payloads)
+    }
 
 
 @dataclass(frozen=True)
@@ -88,27 +82,31 @@ class StructureStudyResult:
     tpi: TpiComparison
 
 
-def tlb_study() -> StructureStudyResult:
+def tlb_study(*, engine: ExperimentEngine | None = None) -> StructureStudyResult:
     """Process-level adaptive TLB fast-section sizing across the suite."""
-    model = TlbTpiModel()
-    boundaries = model.timing.boundaries()
-    table: dict[str, dict[int, float]] = {}
-    for profile in cache_study_profiles():
-        hist = _tlb_histogram(profile)
-        ls = profile.memory.load_store_fraction
-        table[profile.name] = {
-            f: model.evaluate(hist, ls, f).tpi_ns for f in boundaries
+    eng = engine if engine is not None else default_engine()
+    profiles = cache_study_profiles()
+    cells = [tlb_tpi_cell(profile, TLB_N_REFS, TLB_WARMUP) for profile in profiles]
+    payloads = eng.map(cells)
+    table = {
+        profile.name: {
+            int(f): row["tpi_ns"] for f, row in payload["breakdowns"].items()
         }
+        for profile, payload in zip(profiles, payloads)
+    }
     return _summarise("tlb", table)
 
 
-def branch_study(kind: PredictorKind = PredictorKind.GSHARE) -> StructureStudyResult:
+def branch_study(
+    kind: PredictorKind = PredictorKind.GSHARE,
+    *,
+    engine: ExperimentEngine | None = None,
+) -> StructureStudyResult:
     """Process-level adaptive predictor-table sizing across the suite."""
-    model = BranchTpiModel(kind=kind)
-    table: dict[str, dict[int, float]] = {}
-    for profile in cache_study_profiles():
-        sweep = model.sweep(branch_profile_for(profile), n_branches=BRANCH_N)
-        table[profile.name] = {s: b.tpi_ns for s, b in sweep.items()}
+    table = {
+        app: {s: row["tpi_ns"] for s, row in rows.items()}
+        for app, rows in _branch_tables(kind, engine).items()
+    }
     return _summarise(f"bpred-{kind.value}", table)
 
 
@@ -194,6 +192,7 @@ def _concert_space() -> _ConcertSpace:
 def _concert_tpi_table(
     kind: PredictorKind,
     n_instructions: int,
+    engine: ExperimentEngine | None = None,
 ) -> tuple[dict[str, np.ndarray], _ConcertSpace]:
     """Per-app joint TPI tensor, axes (cache, queue, tlb, predictor)."""
     space = _concert_space()
@@ -205,16 +204,37 @@ def _concert_tpi_table(
     backup_cycles = tlb_timing.backup_extra_cycles()
     penalty = BranchTpiModel(kind=kind).penalty_cycles
 
+    # Fan out the simulated inputs (queue IPCs, misprediction rates) as
+    # one batch; histograms stay in the per-process memo.
+    eng = engine if engine is not None else default_engine()
+    profiles = cache_study_profiles()
+    queue_payloads = eng.map(
+        [
+            queue_tpi_cell(profile, n_instructions, space.queue_sizes)
+            for profile in profiles
+        ]
+    )
+    ipcs_by_app = {
+        profile.name: {
+            w: payload["results"][str(w)]["ipc"] for w in space.queue_sizes
+        }
+        for profile, payload in zip(profiles, queue_payloads)
+    }
+    rates_by_app = {
+        app: {s: row["misprediction_rate"] for s, row in rows.items()}
+        for app, rows in _branch_tables(kind, eng).items()
+    }
+
     tables: dict[str, np.ndarray] = {}
-    for profile in cache_study_profiles():
+    for profile in profiles:
         ls = profile.memory.load_store_fraction
         cache_hist = histogram_for(profile)
         n_refs = cache_hist.n_references
         n_instr = n_refs / ls
         tlb_hist = _tlb_histogram(profile)
         tlb_instr = tlb_hist.n_accesses / ls
-        rates = _branch_rates(profile, kind)
-        machine = sweep_for(profile, n_instructions)
+        rates = rates_by_app[profile.name]
+        ipcs = ipcs_by_app[profile.name]
 
         shape = (
             len(space.cache_boundaries),
@@ -227,7 +247,7 @@ def _concert_tpi_table(
             l2_hits = cache_hist.l2_hits(k)
             misses = cache_hist.misses(k)
             for qi, w in enumerate(space.queue_sizes):
-                ipc = machine[w].ipc
+                ipc = ipcs[w]
                 for ti, f in enumerate(space.tlb_boundaries):
                     backup = tlb_hist.backup_hits(f)
                     walks = tlb_hist.walk_count()
@@ -258,9 +278,11 @@ def _concert_tpi_table(
 def concert_study(
     kind: PredictorKind = PredictorKind.GSHARE,
     n_instructions: int = 16_000,
+    *,
+    engine: ExperimentEngine | None = None,
 ) -> ConcertStudyResult:
     """Jointly adapt all four structures, per application."""
-    tables, space = _concert_tpi_table(kind, n_instructions)
+    tables, space = _concert_tpi_table(kind, n_instructions, engine)
     apps = list(tables)
     total = np.zeros_like(next(iter(tables.values())))
     for tpi in tables.values():

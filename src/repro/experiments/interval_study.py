@@ -29,14 +29,13 @@ from repro.core.policies import (
     evaluate_policy,
 )
 from repro.core.predictor import ConfigurationPredictor
+from repro.engine.cells import interval_series_cell
+from repro.engine.engine import ExperimentEngine, default_engine
 from repro.ooo.intervals import (
     IntervalSeries,
     PAPER_INTERVAL_INSTRUCTIONS,
     best_window_sequence,
-    interval_tpi_series,
 )
-from repro.ooo.machine import MachineConfig, OutOfOrderMachine
-from repro.ooo.timing import QueueTimingModel
 from repro.workloads.phases import (
     PhasedWorkload,
     turb3d_snapshots,
@@ -80,19 +79,29 @@ def _interval_series(
     windows: tuple[int, ...],
     seed: int,
     interval_instructions: int,
+    engine: ExperimentEngine | None = None,
 ) -> dict[int, IntervalSeries]:
     key = (workload.name, windows, seed, interval_instructions, workload.n_instructions)
     hit = _SERIES_CACHE.get(key)
     if hit is not None:
         return hit
-    trace = workload.generate(seed)
-    timing = QueueTimingModel()
-    series = {}
-    for w in windows:
-        result = OutOfOrderMachine(MachineConfig(window=w)).run(trace)
-        series[w] = interval_tpi_series(
-            result, timing.cycle_time_ns(w), interval_instructions
+    segments = [(s.ilp, s.n_instructions) for s in workload.segments]
+    cells = [
+        interval_series_cell(
+            workload.name, segments, w, seed, interval_instructions
         )
+        for w in windows
+    ]
+    eng = engine if engine is not None else default_engine()
+    series = {
+        w: IntervalSeries(
+            window=payload["window"],
+            cycle_time_ns=payload["cycle_time_ns"],
+            interval_instructions=payload["interval_instructions"],
+            tpi_ns=np.array(payload["tpi_ns"], dtype=np.float64),
+        )
+        for w, payload in zip(windows, eng.map(cells))
+    }
     _SERIES_CACHE[key] = series
     return series
 
@@ -101,6 +110,8 @@ def figure12(
     intervals_per_phase: int = 60,
     interval_instructions: int = PAPER_INTERVAL_INSTRUCTIONS,
     seed: int = 12,
+    *,
+    engine: ExperimentEngine | None = None,
 ) -> IntervalStudyResult:
     """turb3d snapshots: 64- vs. 128-entry queue over two stable phases."""
     workload = turb3d_snapshots(interval_instructions)
@@ -114,7 +125,7 @@ def figure12(
             PhaseSegment(s.ilp, span) for s in workload.segments
         ),
     )
-    series = _interval_series(workload, (64, 128), seed, interval_instructions)
+    series = _interval_series(workload, (64, 128), seed, interval_instructions, engine)
     return IntervalStudyResult(workload="turb3d", series=series)
 
 
@@ -122,6 +133,8 @@ def figure13(
     regular: bool,
     interval_instructions: int = PAPER_INTERVAL_INSTRUCTIONS,
     seed: int = 13,
+    *,
+    engine: ExperimentEngine | None = None,
 ) -> IntervalStudyResult:
     """vortex snapshots: 16- vs. 64-entry queue.
 
@@ -132,7 +145,7 @@ def figure13(
         workload = vortex_regular(interval_instructions, n_phases=8)
     else:
         workload = vortex_irregular(interval_instructions, n_phases=60, seed=seed + 1)
-    series = _interval_series(workload, (16, 64), seed, interval_instructions)
+    series = _interval_series(workload, (16, 64), seed, interval_instructions, engine)
     name = "vortex-regular" if regular else "vortex-irregular"
     return IntervalStudyResult(workload=name, series=series)
 

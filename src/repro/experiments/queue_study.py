@@ -15,9 +15,12 @@ Methodology, following the paper's Section 5.1:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from repro.core.metrics import TpiComparison
+from repro.engine.cells import queue_tpi_cell
+from repro.engine.engine import ExperimentEngine, default_engine
 from repro.ooo.machine import MachineResult, run_window_sweep
 from repro.ooo.timing import PAPER_QUEUE_SIZES, QueueTimingModel
 from repro.workloads.instruction_trace import generate_instruction_trace
@@ -30,7 +33,7 @@ DEFAULT_N_INSTRUCTIONS: int = 16_000
 _SWEEP_CACHE: dict[tuple, dict[int, MachineResult]] = {}
 
 
-def sweep_for(
+def _machine_sweep(
     profile: BenchmarkProfile,
     n_instructions: int = DEFAULT_N_INSTRUCTIONS,
     sizes: tuple[int, ...] = PAPER_QUEUE_SIZES,
@@ -46,27 +49,62 @@ def sweep_for(
     return results
 
 
+def sweep_for(
+    profile: BenchmarkProfile,
+    n_instructions: int = DEFAULT_N_INSTRUCTIONS,
+    sizes: tuple[int, ...] = PAPER_QUEUE_SIZES,
+) -> dict[int, MachineResult]:
+    """Deprecated alias of the internal machine sweep.
+
+    .. deprecated:: 1.1
+        Use :class:`repro.engine.sweeps.QueueStructureSweep` for the
+        unified :class:`~repro.core.metrics.SweepResult` API.
+    """
+    warnings.warn(
+        "queue_study.sweep_for is deprecated; use "
+        "repro.engine.sweeps.QueueStructureSweep (unified SweepResult API)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _machine_sweep(profile, n_instructions, sizes)
+
+
 def queue_tpi_table(
     n_instructions: int = DEFAULT_N_INSTRUCTIONS,
     timing: QueueTimingModel | None = None,
+    *,
+    engine: ExperimentEngine | None = None,
 ) -> dict[str, dict[int, float]]:
-    """TPI per application per queue size."""
+    """TPI per application per queue size.
+
+    One engine cell per application; the (pure-timing) cycle table is
+    applied to the simulated IPCs locally, so custom ``timing`` models
+    still ride the parallel/cached path.
+    """
     model = timing if timing is not None else QueueTimingModel()
     cycles = model.cycle_table()
-    table: dict[str, dict[int, float]] = {}
-    for profile in queue_study_profiles():
-        results = sweep_for(profile, n_instructions, model.sizes)
-        table[profile.name] = {
-            w: results[w].tpi_ns(cycles[w]) for w in model.sizes
+    eng = engine if engine is not None else default_engine()
+    profiles = queue_study_profiles()
+    cells = [
+        queue_tpi_cell(profile, n_instructions, model.sizes)
+        for profile in profiles
+    ]
+    payloads = eng.map(cells)
+    return {
+        profile.name: {
+            w: cycles[w] / payload["results"][str(w)]["ipc"] for w in model.sizes
         }
-    return table
+        for profile, payload in zip(profiles, payloads)
+    }
 
 
 def figure10(
     n_instructions: int = DEFAULT_N_INSTRUCTIONS,
+    *,
+    engine: ExperimentEngine | None = None,
 ) -> dict[str, dict[str, dict[int, float]]]:
     """Average TPI vs. queue size: ``{"integer"|"floating": {app: {size: tpi}}}``."""
-    table = queue_tpi_table(n_instructions)
+    table = queue_tpi_table(n_instructions, engine=engine)
     panels: dict[str, dict[str, dict[int, float]]] = {"integer": {}, "floating": {}}
     for profile in queue_study_profiles():
         panels[profile.domain][profile.name] = table[profile.name]
@@ -86,9 +124,11 @@ class QueueStudyResult:
 def figure11(
     n_instructions: int = DEFAULT_N_INSTRUCTIONS,
     timing: QueueTimingModel | None = None,
+    *,
+    engine: ExperimentEngine | None = None,
 ) -> QueueStudyResult:
     """Best conventional vs. process-level adaptive queue sizing."""
-    table = queue_tpi_table(n_instructions, timing)
+    table = queue_tpi_table(n_instructions, timing, engine=engine)
     sizes = sorted(next(iter(table.values())))
     apps = list(table)
 

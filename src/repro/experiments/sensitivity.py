@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.engine.engine import ExperimentEngine
 from repro.experiments.cache_study import DEFAULT_N_REFS, DEFAULT_WARMUP_REFS, figure8_9
 from repro.experiments.queue_study import DEFAULT_N_INSTRUCTIONS, figure11
 
@@ -59,13 +60,15 @@ class RobustnessResult:
 
 def cache_length_robustness(
     scales: tuple[float, ...] = (0.5, 1.0, 2.0),
+    *,
+    engine: ExperimentEngine | None = None,
 ) -> RobustnessResult:
     """Rerun the cache study at scaled trace lengths."""
     points = []
     for scale in scales:
         n = int(DEFAULT_N_REFS * scale)
         warm = int(DEFAULT_WARMUP_REFS * scale)
-        study = figure8_9(n_refs=n, warmup_refs=warm)
+        study = figure8_9(n_refs=n, warmup_refs=warm, engine=engine)
         points.append(
             RobustnessPoint(
                 length=n,
@@ -79,12 +82,14 @@ def cache_length_robustness(
 
 def queue_length_robustness(
     scales: tuple[float, ...] = (0.5, 1.0, 1.5),
+    *,
+    engine: ExperimentEngine | None = None,
 ) -> RobustnessResult:
     """Rerun the queue study at scaled trace lengths."""
     points = []
     for scale in scales:
         n = int(DEFAULT_N_INSTRUCTIONS * scale)
-        study = figure11(n_instructions=n)
+        study = figure11(n_instructions=n, engine=engine)
         points.append(
             RobustnessPoint(
                 length=n,

@@ -14,9 +14,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from repro.core.structure import ComplexityAdaptiveStructure, ReconfigurationCost
+from repro.core.structure import (
+    ComplexityAdaptiveStructure,
+    ReconfigurationCost,
+    StructureRunResult,
+)
+from repro.ooo.machine import MachineConfig, OutOfOrderMachine
 from repro.ooo.queue import InstructionQueue
 from repro.ooo.timing import PAPER_QUEUE_SIZES, QueueTimingModel
+from repro.workloads.instruction_trace import InstructionTrace
 
 
 class AdaptiveInstructionQueue(ComplexityAdaptiveStructure[int]):
@@ -69,6 +75,35 @@ class AdaptiveInstructionQueue(ComplexityAdaptiveStructure[int]):
     def queue(self) -> InstructionQueue:
         """The underlying entry bookkeeping."""
         return self._queue
+
+    def run(
+        self,
+        trace: InstructionTrace,
+        *,
+        memory_system=None,
+        record_outcomes: bool = True,
+    ) -> StructureRunResult:
+        """Schedule a trace with the window at the current queue size.
+
+        ``outcomes`` holds the per-instruction issue-cycle array
+        (omitted when ``record_outcomes`` is false); ``stats`` carries
+        ``ipc`` and ``cycles``.
+        """
+        machine = OutOfOrderMachine(
+            MachineConfig(
+                window=self.configuration,
+                issue_width=self.issue_width,
+                dispatch_width=self.issue_width,
+            )
+        )
+        result = machine.run(trace, memory_system=memory_system)
+        return StructureRunResult(
+            structure=self.name,
+            configuration=self.configuration,
+            n_events=result.n_instructions,
+            stats={"ipc": result.ipc, "cycles": float(result.cycles)},
+            outcomes=result.issue_times if record_outcomes else None,
+        )
 
 
 @dataclass(frozen=True)

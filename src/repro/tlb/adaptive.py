@@ -10,7 +10,14 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.core.structure import ComplexityAdaptiveStructure, ReconfigurationCost
+import numpy as np
+
+from repro.core.structure import (
+    ComplexityAdaptiveStructure,
+    ReconfigurationCost,
+    StructureRunResult,
+)
+from repro.tlb.simulator import PageStackEngine, TlbDepthHistogram
 from repro.tlb.timing import TlbTimingModel
 
 
@@ -51,3 +58,34 @@ class AdaptiveTlb(ComplexityAdaptiveStructure[int]):
         changed = config != self._current
         self._current = config
         return ReconfigurationCost(cleanup_cycles=0, requires_clock_switch=changed)
+
+    def run(
+        self, addresses: np.ndarray, *, record_outcomes: bool = True
+    ) -> StructureRunResult:
+        """Translate a byte-address trace at the current boundary.
+
+        ``outcomes`` holds the per-access page stack depths (omitted
+        when ``record_outcomes`` is false); ``stats`` carries the
+        fast/backup/walk tallies and ratios.
+        """
+        engine = PageStackEngine(self.timing.total_entries)
+        depths = engine.process(addresses)
+        hist = TlbDepthHistogram.from_depths(self.timing.total_entries, depths)
+        n = hist.n_accesses
+        fast = hist.fast_hits(self._current)
+        backup = hist.backup_hits(self._current)
+        walks = hist.walk_count()
+        return StructureRunResult(
+            structure=self.name,
+            configuration=self._current,
+            n_events=n,
+            stats={
+                "fast_hits": float(fast),
+                "backup_hits": float(backup),
+                "walks": float(walks),
+                "fast_hit_ratio": fast / n if n else 0.0,
+                "backup_hit_ratio": backup / n if n else 0.0,
+                "walk_ratio": walks / n if n else 0.0,
+            },
+            outcomes=depths if record_outcomes else None,
+        )

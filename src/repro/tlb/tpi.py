@@ -14,6 +14,7 @@ costs a page walk.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from repro.errors import WorkloadError
@@ -83,7 +84,7 @@ class TlbTpiModel:
             fast_hit_ratio=histogram.fast_hits(fast_entries) / n,
         )
 
-    def sweep(
+    def sweep_breakdowns(
         self, histogram: TlbDepthHistogram, load_store_fraction: float
     ) -> dict[int, TlbBreakdown]:
         """Evaluate every legal boundary."""
@@ -92,11 +93,30 @@ class TlbTpiModel:
             for f in self.timing.boundaries()
         }
 
+    def sweep(
+        self, histogram: TlbDepthHistogram, load_store_fraction: float
+    ) -> dict[int, TlbBreakdown]:
+        """Deprecated alias of :meth:`sweep_breakdowns`.
+
+        .. deprecated:: 1.1
+            Use :class:`repro.engine.sweeps.TlbStructureSweep` for the
+            unified :class:`~repro.core.metrics.SweepResult` API, or
+            :meth:`sweep_breakdowns` for the raw breakdowns.
+        """
+        warnings.warn(
+            "TlbTpiModel.sweep is deprecated; use "
+            "repro.engine.sweeps.TlbStructureSweep (unified SweepResult "
+            "API) or TlbTpiModel.sweep_breakdowns",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.sweep_breakdowns(histogram, load_store_fraction)
+
     def best_boundary(
         self, histogram: TlbDepthHistogram, load_store_fraction: float
     ) -> TlbBreakdown:
         """The TPI-minimising fast-section size."""
         return min(
-            self.sweep(histogram, load_store_fraction).values(),
+            self.sweep_breakdowns(histogram, load_store_fraction).values(),
             key=lambda b: b.tpi_ns,
         )
