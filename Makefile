@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-engine figures examples clean
+.PHONY: install test bench bench-engine obs-check figures examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -15,6 +15,12 @@ bench:
 
 bench-engine:
 	$(PYTHON) -m pytest benchmarks/test_bench_engine.py --benchmark-only -s
+
+# Tiny traced sweep, every record validated against the trace schema
+# (PYTHONPATH=src so it works from a bare checkout too).
+obs-check:
+	PYTHONPATH=src $(PYTHON) -m repro obs check
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_obs_schema.py
 
 figures:
 	$(PYTHON) -m repro export all --out figures

@@ -21,6 +21,9 @@ from repro.core.structure import (
     ReconfigurationCost,
     StructureRunResult,
 )
+from repro.obs import trace as obs
+from repro.obs.metrics import metrics
+from repro.obs.profile import profiled
 
 #: Nominal cleanup charged for the retraining transient, in cycles.
 RETRAIN_CLEANUP_CYCLES: int = 16
@@ -59,6 +62,13 @@ class AdaptiveBranchPredictor(ComplexityAdaptiveStructure[int]):
         """Resize the table, charging the retraining transient."""
         self.validate(config)
         changed = config != self._current
+        obs.event(
+            "structure.reconfigure", structure=self.name,
+            from_config=self._current, to_config=config, changed=changed,
+        )
+        metrics().counter(
+            "repro_reconfigurations_total", "CAS reconfigure() calls"
+        ).inc(structure=self.name, changed=str(changed).lower())
         self._current = config
         return ReconfigurationCost(
             cleanup_cycles=RETRAIN_CLEANUP_CYCLES if changed else 0,
@@ -78,8 +88,16 @@ class AdaptiveBranchPredictor(ComplexityAdaptiveStructure[int]):
         measurement methodology of the TPI sweep; ``stats`` carries the
         ``misprediction_rate`` and its complement ``accuracy``.
         """
-        predictor = make_predictor(kind, self._current)
-        rate = predictor.run(pcs, taken)
+        with obs.span(
+            "structure.run", level="structure",
+            structure=self.name, configuration=self._current,
+            n_events=len(pcs),
+        ), profiled(f"structure.run:{self.name}"):
+            predictor = make_predictor(kind, self._current)
+            rate = predictor.run(pcs, taken)
+        metrics().counter(
+            "repro_structure_runs_total", "adaptive-structure run() calls"
+        ).inc(structure=self.name)
         return StructureRunResult(
             structure=self.name,
             configuration=self._current,

@@ -31,6 +31,9 @@ from repro.core.structure import (
     ReconfigurationCost,
     StructureRunResult,
 )
+from repro.obs import trace as obs
+from repro.obs.metrics import metrics
+from repro.obs.profile import profiled
 
 
 class AdaptiveCacheHierarchy(ComplexityAdaptiveStructure[int]):
@@ -72,6 +75,13 @@ class AdaptiveCacheHierarchy(ComplexityAdaptiveStructure[int]):
         """Move the boundary; data stays put, only the clock may change."""
         self.validate(config)
         changed = config != self.configuration
+        obs.event(
+            "structure.reconfigure", structure=self.name,
+            from_config=self.configuration, to_config=config, changed=changed,
+        )
+        metrics().counter(
+            "repro_reconfigurations_total", "CAS reconfigure() calls"
+        ).inc(structure=self.name, changed=str(changed).lower())
         self._cache.move_boundary(
             HierarchyConfig(geometry=self.geometry, l1_increments=config)
         )
@@ -93,7 +103,15 @@ class AdaptiveCacheHierarchy(ComplexityAdaptiveStructure[int]):
         (omitted when ``record_outcomes`` is false); ``stats`` carries
         the level tallies and hit/miss ratios.
         """
-        levels = self._cache.run(addresses)
+        with obs.span(
+            "structure.run", level="structure",
+            structure=self.name, configuration=self.configuration,
+            n_events=len(addresses),
+        ), profiled(f"structure.run:{self.name}"):
+            levels = self._cache.run(addresses)
+        metrics().counter(
+            "repro_structure_runs_total", "adaptive-structure run() calls"
+        ).inc(structure=self.name)
         n = len(levels)
         counts = np.bincount(levels, minlength=4)
         n_l1 = int(counts[AccessLevel.L1])

@@ -17,6 +17,12 @@ experiment engine and accepts its knobs::
     python -m repro figure 9 --jobs 8 --cache-dir .repro-cache \\
         --telemetry run.jsonl
     python -m repro cache-clear --cache-dir .repro-cache
+
+Observability (see docs/observability.md)::
+
+    python -m repro figure 9 --trace t.jsonl --metrics m.prom --profile
+    python -m repro obs summarize t.jsonl
+    python -m repro obs check
 """
 
 from __future__ import annotations
@@ -330,7 +336,22 @@ def _engine_options() -> argparse.ArgumentParser:
     )
     group.add_argument(
         "--telemetry", default=None, metavar="PATH",
-        help="write per-cell run telemetry as JSONL to PATH",
+        help="write per-cell run telemetry as JSONL to PATH (legacy format; "
+        "--trace supersedes it)",
+    )
+    obs_group = opts.add_argument_group("observability options")
+    obs_group.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write a structured span/event decision trace as JSONL to PATH",
+    )
+    obs_group.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="write a Prometheus text snapshot of the metrics registry to PATH",
+    )
+    obs_group.add_argument(
+        "--profile", action="store_true",
+        help="print a wall-time profile (per evaluator kind, per structure) "
+        "to stderr after the run",
     )
     return opts
 
@@ -345,9 +366,85 @@ def _engine_from_args(args: argparse.Namespace) -> ExperimentEngine:
 
 
 def _print_telemetry_summary(path: str) -> None:
-    from repro.engine.telemetry import summarize
+    from repro.obs.summarize import summarize_path
 
-    print(summarize(path), file=sys.stderr)
+    print(summarize_path(path), file=sys.stderr)
+
+
+def _run_observed(
+    args: argparse.Namespace, span_name: str, runner: Callable[[], None],
+    **span_attrs,
+) -> None:
+    """Run one command under the requested observability sinks.
+
+    ``--trace`` activates a tracer (the whole command becomes one
+    ``run``-level span), ``--profile`` activates a wall-time profiler
+    (report on stderr), and ``--metrics`` snapshots the process-wide
+    registry to a Prometheus text file after the run.
+    """
+    from contextlib import ExitStack
+
+    from repro.obs import metrics
+    from repro.obs.profile import profiling
+    from repro.obs.trace import Tracer, span
+
+    profiler = None
+    with ExitStack() as stack:
+        if args.trace:
+            stack.enter_context(Tracer(args.trace))
+        if args.profile:
+            profiler = stack.enter_context(profiling())
+        with span(span_name, level="run", **span_attrs):
+            runner()
+    if args.metrics:
+        metrics().write_prometheus(args.metrics)
+    if profiler is not None:
+        print(profiler.report(), file=sys.stderr)
+
+
+def _obs_summarize(path: str) -> int:
+    from repro.obs.summarize import summarize_path
+
+    print(summarize_path(path))
+    return 0
+
+
+def _obs_check() -> int:
+    """Run a tiny traced sweep; validate every emitted record."""
+    import tempfile
+    from pathlib import Path
+
+    from repro.experiments.cache_study import figure8_9
+    from repro.obs import metrics, read_records, validate_trace
+    from repro.obs.trace import Tracer, span
+
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = Path(tmp) / "obs-check.jsonl"
+        with Tracer(trace_path):
+            with span("obs_check", level="run"):
+                figure8_9(n_refs=4000, warmup_refs=1000)
+        records = read_records(trace_path)
+        validate_trace(records)  # raises on any malformed record
+    levels = {r["level"] for r in records if r["record"] == "span"}
+    needed = {"run", "interval", "candidate", "reconfigure", "engine"}
+    missing = needed - levels
+    if missing:
+        print(
+            f"obs check FAILED: missing span levels {sorted(missing)}",
+            file=sys.stderr,
+        )
+        return 1
+    if "repro_manager_decisions_total" not in metrics().to_prometheus():
+        print(
+            "obs check FAILED: registry missing repro_manager_decisions_total",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"obs check ok: {len(records)} records schema-valid, "
+        f"span levels: {', '.join(sorted(levels))}"
+    )
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -383,6 +480,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--kind", default=None, choices=sorted(cell_kinds()),
         help="only drop entries of this cell kind (default: all)",
     )
+    obsp = sub.add_parser(
+        "obs", help="observability: summarize or validate decision traces"
+    )
+    obs_sub = obsp.add_subparsers(dest="obs_command", required=True)
+    osum = obs_sub.add_parser(
+        "summarize",
+        help="render a trace file (or legacy telemetry log) human-readable",
+    )
+    osum.add_argument("path", help="JSONL trace file written via --trace")
+    obs_sub.add_parser(
+        "check",
+        help="run a tiny traced sweep and validate every record's schema",
+    )
     sub.add_parser("suite", help="print the calibrated application suite")
     sub.add_parser("clock", help="print the CAP clock table")
     sub.add_parser("power", help="print the Section 4.1 power modes")
@@ -409,23 +519,35 @@ def _dispatch(args) -> int:
         print("regenerable figures:", ", ".join(sorted(_FIGURES)))
     elif args.command == "figure":
         engine = _engine_from_args(args)
-        _FIGURES[args.id](engine)
+        _run_observed(
+            args, "figure", lambda: _FIGURES[args.id](engine), figure=args.id
+        )
         if args.telemetry:
             _print_telemetry_summary(args.telemetry)
     elif args.command == "ablations":
         print("ablations:", ", ".join(_ABLATIONS))
     elif args.command == "ablation":
         engine = _engine_from_args(args)
-        _ablation(args.name, engine)
+        _run_observed(
+            args, "ablation", lambda: _ablation(args.name, engine),
+            ablation=args.name,
+        )
         if args.telemetry:
             _print_telemetry_summary(args.telemetry)
     elif args.command == "extensions":
         print("extensions:", ", ".join(_EXTENSIONS))
     elif args.command == "extension":
         engine = _engine_from_args(args)
-        _extension(args.name, engine)
+        _run_observed(
+            args, "extension", lambda: _extension(args.name, engine),
+            extension=args.name,
+        )
         if args.telemetry:
             _print_telemetry_summary(args.telemetry)
+    elif args.command == "obs":
+        if args.obs_command == "summarize":
+            return _obs_summarize(args.path)
+        return _obs_check()
     elif args.command == "cache-clear":
         engine = ExperimentEngine(cache_dir=args.cache_dir)
         dropped = engine.invalidate_cache(kind=args.kind)

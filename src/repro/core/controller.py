@@ -28,7 +28,14 @@ import numpy as np
 
 from repro.core.monitor import IntervalSample, PerformanceMonitor
 from repro.errors import ConfigurationError, SimulationError
+from repro.obs import trace as obs
+from repro.obs.metrics import metrics
 from repro.ooo.intervals import IntervalSeries
+
+#: Histogram buckets for per-interval TPI observations (ns).
+INTERVAL_TPI_BUCKETS: tuple[float, ...] = (
+    0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 5.0, 10.0, 100.0,
+)
 
 
 @dataclass(frozen=True)
@@ -104,6 +111,24 @@ class OnlineController:
             # the running configuration's behaviour jumped: a phase
             # change — stale estimates for the others, probe soon
             self._change_flag = True
+            obs.event(
+                "controller.phase_change",
+                interval=self._interval, configuration=configuration,
+                tpi_ns=tpi_ns, estimate_ns=old,
+            )
+            metrics().counter(
+                "repro_controller_phase_changes_total",
+                "phase changes flagged by the online controller",
+            ).inc()
+        metrics().counter(
+            "repro_controller_observations_total",
+            "interval measurements fed to the online controller",
+        ).inc()
+        metrics().histogram(
+            "repro_controller_interval_tpi_ns",
+            "observed per-interval TPI (ns)",
+            buckets=INTERVAL_TPI_BUCKETS,
+        ).observe(tpi_ns)
         self._estimate[configuration] = (
             tpi_ns if old is None else (1 - alpha) * old + alpha * tpi_ns
         )
@@ -133,7 +158,33 @@ class OnlineController:
         """
         if home not in self.configurations:
             raise ConfigurationError(f"unknown configuration {home}")
+        choice, is_probe, trigger = self._decide(home)
+        reg = metrics()
+        reg.counter(
+            "repro_controller_choose_total",
+            "next-interval decisions made by the online controller",
+        ).inc()
+        if is_probe:
+            reg.counter(
+                "repro_controller_probe_steps_total",
+                "exploration steps (probing a stale neighbour)",
+            ).inc()
+        else:
+            reg.counter(
+                "repro_controller_exploit_steps_total",
+                "exploitation steps (running the best-known configuration)",
+            ).inc()
+        obs.event(
+            "controller.choose",
+            interval=self._interval, home=home, chosen=choice,
+            probe=is_probe, trigger=trigger,
+        )
+        return choice, is_probe
+
+    def _decide(self, home: int) -> tuple[int, bool, str]:
+        """The decision rule of :meth:`choose`, plus why it fired."""
         cfg = self.config
+        change_pending = self._change_flag
         due = self._interval > 0 and (
             self._interval % cfg.probe_period == 0 or self._change_flag
         )
@@ -142,15 +193,18 @@ class OnlineController:
             age = self._interval - self._last_seen.get(neighbour, -(10**9))
             if age >= min(cfg.probe_period, 2) or self._change_flag:
                 self._change_flag = False
-                return neighbour, True
+                return neighbour, True, (
+                    "change_detected" if change_pending else "probe_period"
+                )
         known = {c: e for c, e in self._estimate.items()}
         if not known:
-            return home, False
+            return home, False, "stay"
         best = min(known, key=known.__getitem__)
         if best != home and home in known:
             if known[best] < known[home] * (1 - cfg.switch_margin):
-                return best, False
-        return home, False
+                return best, False, "switch"
+            return home, False, "hysteresis_hold"
+        return home, False, "stay"
 
 
 def run_online(
@@ -181,23 +235,49 @@ def run_online(
     probes = 0
     chosen = np.empty(n_intervals, dtype=np.int64)
 
-    for i in range(n_intervals):
-        chosen[i] = current
-        tpi = float(series[current].tpi_ns[i])
-        total_ns += tpi * instr
-        controller.observe(current, tpi, instr)
-        nxt, is_probe = controller.choose(home)
-        if is_probe:
-            probes += 1
-        else:
-            home = nxt
-        if nxt != current:
-            # covers both deliberate moves and the return from a probe
-            pause = switch_pause_cycles * series[nxt].cycle_time_ns
-            overhead_ns += pause
-            total_ns += pause
-            switches += 1
-            current = nxt
+    with obs.span(
+        "online_run", level="run",
+        initial=initial, n_intervals=n_intervals,
+        switch_pause_cycles=switch_pause_cycles,
+    ) as run_sp:
+        for i in range(n_intervals):
+            with obs.span(
+                "interval", level="interval", index=i, configuration=current
+            ) as sp:
+                chosen[i] = current
+                tpi = float(series[current].tpi_ns[i])
+                total_ns += tpi * instr
+                controller.observe(current, tpi, instr)
+                nxt, is_probe = controller.choose(home)
+                if is_probe:
+                    probes += 1
+                    trigger = "probe"
+                else:
+                    trigger = (
+                        "controller_switch" if nxt != home else "probe_return"
+                    )
+                    home = nxt
+                sp.set(tpi_ns=tpi)
+                if nxt != current:
+                    # covers both deliberate moves and the return from a probe
+                    with obs.span(
+                        "reconfigure", level="reconfigure",
+                        from_config=current, to_config=nxt, trigger=trigger,
+                    ) as rsp:
+                        pause = switch_pause_cycles * series[nxt].cycle_time_ns
+                        overhead_ns += pause
+                        total_ns += pause
+                        switches += 1
+                        current = nxt
+                        rsp.set(pause_ns=pause)
+                        metrics().counter(
+                            "repro_controller_switches_total",
+                            "configuration switches during online runs",
+                        ).inc(trigger=trigger)
+        run_sp.set(
+            n_switches=switches, n_probes=probes,
+            total_time_ns=total_ns, switch_overhead_ns=overhead_ns,
+        )
 
     return ControllerOutcome(
         total_time_ns=total_ns,

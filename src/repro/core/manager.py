@@ -21,6 +21,8 @@ from typing import Callable, Hashable
 from repro.core.clock import DynamicClock
 from repro.core.structure import ComplexityAdaptiveStructure
 from repro.errors import ConfigurationError
+from repro.obs import trace as obs
+from repro.obs.metrics import metrics
 
 
 @dataclass(frozen=True)
@@ -68,7 +70,16 @@ class ConfigurationManager:
         configuration.
         """
         cas = self._structure(structure)
-        evaluated = {cfg: evaluate_tpi(cfg) for cfg in cas.configurations()}
+        tracer = obs.current_tracer()
+        evaluated: dict[Hashable, float] = {}
+        for cfg in cas.configurations():
+            with tracer.span(
+                "candidate", level="candidate",
+                process=process, structure=structure, configuration=cfg,
+            ) as sp:
+                tpi = evaluate_tpi(cfg)
+                sp.set(predicted_tpi_ns=tpi)
+            evaluated[cfg] = tpi
         best = min(evaluated, key=evaluated.__getitem__)
         decision = ConfigurationDecision(
             process=process,
@@ -80,6 +91,16 @@ class ConfigurationManager:
         )
         self._registers.setdefault(process, {})[structure] = best
         self._decisions.append(decision)
+        metrics().counter(
+            "repro_manager_decisions_total",
+            "process-level configuration decisions made",
+        ).inc(structure=structure)
+        tracer.event(
+            "manager.decision",
+            process=process, structure=structure, configuration=best,
+            predicted_tpi_ns=decision.predicted_tpi_ns,
+            cycle_time_ns=decision.cycle_time_ns,
+        )
         return decision
 
     def context_switch(self, process: str) -> float:
@@ -88,20 +109,44 @@ class ConfigurationManager:
         registers = self._registers.get(process)
         if registers is None:
             raise ConfigurationError(f"no configuration registers saved for {process!r}")
-        overhead_ns = 0.0
-        for structure, config in registers.items():
-            overhead_ns += self.apply(structure, config)
+        with obs.span("context_switch", level="section", process=process) as sp:
+            overhead_ns = 0.0
+            for structure, config in registers.items():
+                overhead_ns += self.apply(structure, config, trigger="context_switch")
+            sp.set(overhead_ns=overhead_ns)
+        metrics().counter(
+            "repro_context_switches_total", "process context switches replayed"
+        ).inc()
         return overhead_ns
 
-    def apply(self, structure: str, config: Hashable) -> float:
-        """Reconfigure one structure now; return overhead in ns."""
+    def apply(self, structure: str, config: Hashable, trigger: str = "apply") -> float:
+        """Reconfigure one structure now; return overhead in ns.
+
+        ``trigger`` names why the reconfiguration fired — it is recorded
+        on the emitted ``reconfigure`` trace span and surfaced by
+        ``repro obs summarize`` as the per-trigger breakdown.
+        """
         cas = self._structure(structure)
-        old_cycle = self.clock.cycle_time_ns()
-        cost = cas.reconfigure(config)
-        new_cycle = self.clock.cycle_time_ns()
-        overhead_ns = cost.cleanup_cycles * old_cycle
-        if cost.requires_clock_switch:
-            overhead_ns += self.clock.switch(old_cycle, new_cycle).pause_ns
+        with obs.span(
+            "reconfigure", level="reconfigure",
+            structure=structure, trigger=trigger,
+            from_config=cas.configuration, to_config=config,
+        ) as sp:
+            old_cycle = self.clock.cycle_time_ns()
+            cost = cas.reconfigure(config)
+            new_cycle = self.clock.cycle_time_ns()
+            overhead_ns = cost.cleanup_cycles * old_cycle
+            if cost.requires_clock_switch:
+                overhead_ns += self.clock.switch(old_cycle, new_cycle).pause_ns
+            sp.set(
+                overhead_ns=overhead_ns,
+                cleanup_cycles=cost.cleanup_cycles,
+                clock_switch=cost.requires_clock_switch,
+                cycle_time_ns=new_cycle,
+            )
+        metrics().gauge(
+            "repro_clock_cycle_ns", "cycle time after the latest reconfiguration"
+        ).set(new_cycle)
         return overhead_ns
 
     def saved_configuration(self, process: str, structure: str) -> Hashable:

@@ -9,6 +9,7 @@ reconfiguration points.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Hashable
 
@@ -37,23 +38,36 @@ class PerformanceMonitor:
     ``depth`` bounds how much history the hardware retains; heuristics
     that want more must maintain their own state (as the predictor's
     pattern table does).
+
+    Two deliberately different TPI views coexist (each documents its
+    own semantics):
+
+    * :attr:`cumulative_tpi_ns` is **lifetime**: the hardware keeps
+      running time/instruction accumulators that survive window
+      eviction, so the average covers *every* sample ever recorded —
+      eviction from the bounded window never changes it.
+    * :meth:`window_tpi_ns` is **windowed**: it reads only the retained
+      samples, which is what interval heuristics actually see.
     """
 
     def __init__(self, depth: int = 64) -> None:
         if depth < 1:
             raise SimulationError("monitor depth must be positive")
         self.depth = depth
-        self._samples: list[IntervalSample] = []
+        self._samples: deque[IntervalSample] = deque(maxlen=depth)
         self._total_time_ns = 0.0
         self._total_instructions = 0
 
     def record(self, sample: IntervalSample) -> None:
-        """Store a new interval sample, evicting beyond ``depth``."""
-        self._samples.append(sample)
-        if len(self._samples) > self.depth:
-            del self._samples[0]
+        """Store a new interval sample, evicting beyond ``depth``.
+
+        The lifetime accumulators behind :attr:`cumulative_tpi_ns` are
+        updated *before* any eviction, so evicted samples keep counting
+        toward the cumulative average.
+        """
         self._total_time_ns += sample.tpi_ns * sample.instructions
         self._total_instructions += sample.instructions
+        self._samples.append(sample)  # deque(maxlen) evicts the oldest
 
     @property
     def samples(self) -> tuple[IntervalSample, ...]:
@@ -66,11 +80,29 @@ class PerformanceMonitor:
 
     @property
     def cumulative_tpi_ns(self) -> float:
-        """Overall average TPI across everything recorded (not just the
-        retained window)."""
+        """Instruction-weighted average TPI over **all** samples ever
+        recorded — including those already evicted from the window."""
         if self._total_instructions == 0:
             raise SimulationError("monitor has recorded nothing")
         return self._total_time_ns / self._total_instructions
+
+    def window_tpi_ns(self, n: int | None = None) -> float:
+        """Instruction-weighted average TPI over the last ``n`` retained
+        samples (all retained samples when ``n`` is ``None``).
+
+        Unlike :attr:`cumulative_tpi_ns` this sees only the bounded
+        window, so it tracks the *recent* phase of the workload.
+        """
+        if n is not None and n < 1:
+            raise SimulationError(f"window must be positive, got {n}")
+        if not self._samples:
+            raise SimulationError("monitor has recorded nothing")
+        window = list(self._samples)
+        if n is not None:
+            window = window[-n:]
+        time_ns = sum(s.tpi_ns * s.instructions for s in window)
+        instructions = sum(s.instructions for s in window)
+        return time_ns / instructions
 
     @property
     def total_instructions(self) -> int:

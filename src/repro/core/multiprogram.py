@@ -28,6 +28,7 @@ from repro.cache.tpi import BASE_IPC
 from repro.core.clock import DynamicClock
 from repro.core.manager import ConfigurationManager
 from repro.errors import SimulationError, WorkloadError
+from repro.obs import trace as obs
 from repro.workloads.address_trace import generate_address_trace
 from repro.workloads.suite import get_profile
 
@@ -87,57 +88,77 @@ def run_multiprogrammed(
     manager = ConfigurationManager(clock=clock, structures=(dcache,))
     timing = CacheTimingModel(geometry=PAPER_GEOMETRY)
 
-    traces: dict[str, np.ndarray] = {}
-    cursors: dict[str, int] = {}
-    ls: dict[str, float] = {}
-    for spec in processes:
-        profile = get_profile(spec.app)
-        traces[spec.app] = generate_address_trace(
-            profile.memory, total_refs_per_process, profile.seed + seed_offset
-        )
-        cursors[spec.app] = 0
-        ls[spec.app] = profile.memory.load_store_fraction
-        # pre-load the process's configuration registers
-        manager.select_for_process(
-            spec.app, "dcache", lambda k, b=spec.boundary: 0.0 if k == b else 1.0
-        )
-
-    total_ns = 0.0
-    overhead_ns = 0.0
-    per_process: dict[str, float] = {name: 0.0 for name in names}
-    switches = 0
-    instructions = 0.0
-
-    while any(cursors[n] < total_refs_per_process for n in names):
+    with obs.span(
+        "multiprogram_run", level="run",
+        processes=names, timeslice_refs=timeslice_refs,
+        total_refs_per_process=total_refs_per_process,
+    ) as run_sp:
+        traces: dict[str, np.ndarray] = {}
+        cursors: dict[str, int] = {}
+        ls: dict[str, float] = {}
         for spec in processes:
-            name = spec.app
-            start = cursors[name]
-            if start >= total_refs_per_process:
-                continue
-            cost = manager.context_switch(name)
-            overhead_ns += cost
-            total_ns += cost
-            switches += 1
-
-            stop = min(start + timeslice_refs, total_refs_per_process)
-            chunk = traces[name][start:stop]
-            cursors[name] = stop
-            slice_run = dcache.run(chunk, record_outcomes=False)
-
-            k = slice_run.configuration
-            cycle = timing.cycle_time_ns(k)
-            l2_lat = timing.l2_hit_latency_cycles(k)
-            n_l2 = int(slice_run.stat("l2_hits"))
-            n_miss = int(slice_run.stat("misses"))
-            n_instr = len(chunk) / ls[name]
-            slice_ns = (
-                n_instr * cycle / BASE_IPC
-                + n_l2 * l2_lat * cycle
-                + n_miss * timing.miss_latency_ns()
+            profile = get_profile(spec.app)
+            traces[spec.app] = generate_address_trace(
+                profile.memory, total_refs_per_process, profile.seed + seed_offset
             )
-            total_ns += slice_ns
-            per_process[name] += slice_ns
-            instructions += n_instr
+            cursors[spec.app] = 0
+            ls[spec.app] = profile.memory.load_store_fraction
+            # pre-load the process's configuration registers
+            with obs.span("process_setup", level="section", app=spec.app):
+                manager.select_for_process(
+                    spec.app, "dcache",
+                    lambda k, b=spec.boundary: 0.0 if k == b else 1.0,
+                )
+
+        total_ns = 0.0
+        overhead_ns = 0.0
+        per_process: dict[str, float] = {name: 0.0 for name in names}
+        switches = 0
+        instructions = 0.0
+
+        while any(cursors[n] < total_refs_per_process for n in names):
+            for spec in processes:
+                name = spec.app
+                start = cursors[name]
+                if start >= total_refs_per_process:
+                    continue
+                with obs.span(
+                    "interval", level="interval", index=switches, app=name,
+                    configuration=spec.boundary,
+                ) as sp:
+                    cost = manager.context_switch(name)
+                    overhead_ns += cost
+                    total_ns += cost
+                    switches += 1
+
+                    stop = min(start + timeslice_refs, total_refs_per_process)
+                    chunk = traces[name][start:stop]
+                    cursors[name] = stop
+                    slice_run = dcache.run(chunk, record_outcomes=False)
+
+                    k = slice_run.configuration
+                    cycle = timing.cycle_time_ns(k)
+                    l2_lat = timing.l2_hit_latency_cycles(k)
+                    n_l2 = int(slice_run.stat("l2_hits"))
+                    n_miss = int(slice_run.stat("misses"))
+                    n_instr = len(chunk) / ls[name]
+                    slice_ns = (
+                        n_instr * cycle / BASE_IPC
+                        + n_l2 * l2_lat * cycle
+                        + n_miss * timing.miss_latency_ns()
+                    )
+                    total_ns += slice_ns
+                    per_process[name] += slice_ns
+                    instructions += n_instr
+                    sp.set(
+                        tpi_ns=slice_ns / n_instr, switch_overhead_ns=cost,
+                        n_refs=len(chunk),
+                    )
+
+        run_sp.set(
+            n_context_switches=switches, total_time_ns=total_ns,
+            reconfiguration_overhead_ns=overhead_ns,
+        )
 
     return MultiprogramResult(
         total_time_ns=total_ns,

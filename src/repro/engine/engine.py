@@ -33,6 +33,9 @@ from repro.engine.cache import ResultCache
 from repro.engine.cells import SweepCell, evaluate_chunk
 from repro.engine.telemetry import TelemetryLog, new_run_id
 from repro.errors import EngineError
+from repro.obs import trace as obs
+from repro.obs.metrics import metrics
+from repro.obs.profile import add_sample, profiled
 
 #: Chunks submitted per worker: small enough to load-balance uneven
 #: cells, large enough to amortise pickling and per-future overhead.
@@ -118,6 +121,14 @@ class ExperimentEngine:
         """Evaluate every cell, returning payloads in submission order."""
         cells = list(cells)
         run_id = new_run_id()
+        with obs.span(
+            "engine.map", level="engine",
+            run_id=run_id, jobs=self.jobs, n_cells=len(cells),
+            cache_enabled=self._cache is not None,
+        ) as span, profiled("engine.map"):
+            return self._map_traced(cells, run_id, span)
+
+    def _map_traced(self, cells: list[SweepCell], run_id: str, span) -> list[dict]:
         start = time.perf_counter()
         self._telemetry.emit(
             "run_start",
@@ -161,6 +172,9 @@ class ExperimentEngine:
         elapsed = time.perf_counter() - start
         busy = sum(walls[i] for i in misses)
         n_hits = len(cells) - len(misses)
+        wall_hist = metrics().histogram(
+            "repro_engine_cell_wall_seconds", "wall time per evaluated sweep cell"
+        )
         for i, cell in enumerate(cells):
             self._telemetry.emit(
                 "cell",
@@ -171,6 +185,14 @@ class ExperimentEngine:
                 source=sources[i],
                 wall_s=walls[i],
             )
+            span.event(
+                "engine.cell",
+                index=i, kind=cell.kind, key=keys[i],
+                source=sources[i], wall_s=walls[i],
+            )
+            wall_hist.observe(walls[i], kind=cell.kind, source=sources[i])
+            if sources[i] == "computed":
+                add_sample(f"evaluator:{cell.kind}", walls[i])
         self._telemetry.emit(
             "run_end",
             run_id=run_id,
@@ -185,6 +207,23 @@ class ExperimentEngine:
             ),
         )
         self.stats.merge_run(n_hits, len(misses), elapsed, busy)
+        reg = metrics()
+        reg.counter("repro_engine_runs_total", "engine map() batches").inc()
+        reg.counter(
+            "repro_engine_cache_hits_total", "sweep cells served from cache"
+        ).inc(n_hits)
+        reg.counter(
+            "repro_engine_cache_misses_total", "sweep cells computed"
+        ).inc(len(misses))
+        if self.stats.cells:
+            reg.gauge(
+                "repro_engine_cache_hit_ratio",
+                "lifetime cache-hit ratio of this engine",
+            ).set(self.stats.cache_hits / self.stats.cells)
+        span.set(
+            cache_hits=n_hits, cache_misses=len(misses),
+            elapsed_s=elapsed, busy_s=busy,
+        )
         return payloads  # type: ignore[return-value]
 
     def _evaluate(self, cells: list[SweepCell]) -> list[tuple[dict, float]]:

@@ -15,6 +15,13 @@ The exact field set of each event is declared in :data:`EVENT_SCHEMA`;
 :func:`validate_events` enforces it, and the engine's own tests validate
 every log they produce against it.  :func:`summarize` renders a log
 human-readable.
+
+This format predates the decision tracer (:mod:`repro.obs.trace`) and
+is kept as a compatibility layer: the engine still honours the
+``--telemetry`` knob, and ``repro obs summarize`` accepts these logs
+alongside trace files.  New instrumentation should use the tracer —
+the engine itself now additionally emits ``engine``-level spans with
+one ``engine.cell`` event per cell whenever a tracer is active.
 """
 
 from __future__ import annotations
@@ -154,20 +161,24 @@ def read_events(path: str | Path) -> list[dict]:
 
 
 def summarize(path: str | Path) -> str:
-    """Human-readable digest of a telemetry log, one line per run."""
-    events = read_events(path)
-    validate_events(events)
-    lines = []
-    for record in events:
-        if record["event"] != "run_end":
-            continue
-        lines.append(
-            f"run {record['run_id']}: {record['n_cells']} cells "
-            f"({record['cache_hits']} cached, {record['cache_misses']} computed) "
-            f"in {record['elapsed_s']:.3f}s on {record['jobs']} job(s), "
-            f"busy {record['busy_s']:.3f}s, "
-            f"utilization {record['worker_utilization']:.0%}"
-        )
-    if not lines:
-        return "no completed runs"
-    return "\n".join(lines)
+    """Human-readable digest of a telemetry log, one line per run.
+
+    .. deprecated::
+        Use ``repro obs summarize`` /
+        :func:`repro.obs.summarize.summarize_path`, which renders both
+        the tracer's span/event files and these legacy telemetry logs.
+        This shim delegates there; unlike the original it tolerates
+        events missing optional fields (``?`` placeholders) instead of
+        raising ``KeyError``.
+    """
+    import warnings
+
+    from repro.obs.summarize import summarize_engine_events
+
+    warnings.warn(
+        "repro.engine.telemetry.summarize is deprecated; use "
+        "`repro obs summarize` (repro.obs.summarize.summarize_path)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return summarize_engine_events(read_events(path))

@@ -33,6 +33,15 @@ class TimingModelError(ReproError):
     """A timing model was evaluated outside its calibrated domain."""
 
 
+class ObservabilityError(ReproError):
+    """A trace record or metric was malformed.
+
+    Raised, for example, for a span whose ``level`` is outside the
+    schema vocabulary, a record referencing a parent span that never
+    closed, or a metric re-registered under a different type.
+    """
+
+
 class EngineError(ReproError):
     """The experiment engine was misused or met a corrupt artefact.
 

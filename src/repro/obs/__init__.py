@@ -1,0 +1,62 @@
+"""Decision-trace observability for the adaptive-control stack.
+
+The paper's Configuration Manager claims to pick the TPI-minimising
+configuration per process or per interval; this package makes that
+decision process *visible*.  Three cooperating, zero-dependency layers:
+
+* :mod:`repro.obs.trace` — a :class:`Tracer` emitting structured,
+  schema-validated span/event records as JSONL.  Spans nest naturally:
+  run → interval → candidate-evaluation → reconfiguration, mirroring
+  the levels at which the adaptive stack makes decisions.
+* :mod:`repro.obs.metrics` — a process-wide :class:`MetricsRegistry`
+  of counters, gauges and histograms (reconfigurations, per-interval
+  TPI, cache-hit ratios, exploration vs. exploitation steps...) with
+  snapshot/diff support and Prometheus text export.
+* :mod:`repro.obs.profile` — lightweight wall-time profiling hooks
+  attached via context managers; a strict no-op unless a profiler is
+  activated.
+
+Instrumented code never checks whether observability is on: the
+module-level :func:`~repro.obs.trace.span` / :func:`~repro.obs.trace.event`
+helpers dispatch to a null tracer when no real tracer is active, and
+:func:`~repro.obs.profile.profiled` returns a shared no-op context
+manager when no profiler is active, so the disabled path costs a few
+dictionary operations and nothing else — results are byte-identical
+with instrumentation on or off.
+
+See ``docs/observability.md`` for the trace schema, the metrics
+catalog, and CLI usage (``--trace`` / ``--metrics`` / ``--profile`` and
+``repro obs summarize``).
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry, metrics
+from repro.obs.profile import Profiler, profiled, profiling
+from repro.obs.schema import (
+    SPAN_LEVELS,
+    read_records,
+    validate_record,
+    validate_trace,
+)
+from repro.obs.summarize import summarize_path, summarize_trace
+from repro.obs.trace import Tracer, current_tracer, event, span, use_tracer
+
+__all__ = [
+    "MetricsRegistry",
+    "Profiler",
+    "SPAN_LEVELS",
+    "Tracer",
+    "current_tracer",
+    "event",
+    "metrics",
+    "profiled",
+    "profiling",
+    "read_records",
+    "span",
+    "summarize_path",
+    "summarize_trace",
+    "use_tracer",
+    "validate_record",
+    "validate_trace",
+]

@@ -1,0 +1,139 @@
+"""Wall-time profiling hooks: where does a sweep actually spend time?
+
+A :class:`Profiler` aggregates wall time per *section key* — one key
+per evaluator kind, per structure ``run()``, per engine batch.  Hooks
+are attached with :func:`profiled`::
+
+    with profiled(f"structure.run:{self.name}"):
+        ...hot work...
+
+When no profiler is active (the default), :func:`profiled` returns a
+shared no-op context manager and :func:`add_sample` returns without
+touching anything, so permanently-instrumented hot paths cost a single
+global read when profiling is off.  Activate with::
+
+    with profiling() as prof:
+        figure8_9()
+    print(prof.report())
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class _NullSection:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSection":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+
+_NULL_SECTION = _NullSection()
+
+
+class _Section:
+    """One timed region feeding a profiler."""
+
+    __slots__ = ("_profiler", "_key", "_t0")
+
+    def __init__(self, profiler: "Profiler", key: str) -> None:
+        self._profiler = profiler
+        self._key = key
+
+    def __enter__(self) -> "_Section":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._profiler.add(self._key, time.perf_counter() - self._t0)
+
+
+class Profiler:
+    """Aggregates (count, total, max) wall time per section key."""
+
+    def __init__(self) -> None:
+        self._acc: dict[str, list[float]] = {}
+
+    def section(self, key: str) -> _Section:
+        """A context manager timing one region under ``key``."""
+        return _Section(self, key)
+
+    def add(self, key: str, wall_s: float) -> None:
+        """Fold one externally measured sample in."""
+        entry = self._acc.get(key)
+        if entry is None:
+            self._acc[key] = [1.0, wall_s, wall_s]
+        else:
+            entry[0] += 1.0
+            entry[1] += wall_s
+            entry[2] = max(entry[2], wall_s)
+
+    def stats(self) -> dict[str, dict[str, float]]:
+        """Per-key aggregates: ``{key: {count, total_s, mean_s, max_s}}``."""
+        return {
+            key: {
+                "count": count,
+                "total_s": total,
+                "mean_s": total / count if count else 0.0,
+                "max_s": peak,
+            }
+            for key, (count, total, peak) in self._acc.items()
+        }
+
+    def report(self, top: int = 20) -> str:
+        """Human-readable table, hottest section first."""
+        stats = sorted(
+            self.stats().items(), key=lambda kv: kv[1]["total_s"], reverse=True
+        )
+        if not stats:
+            return "profile: no sections recorded"
+        width = max(len(k) for k, _ in stats[:top])
+        lines = [f"{'section'.ljust(width)}  {'calls':>7}  {'total':>9}  "
+                 f"{'mean':>9}  {'max':>9}"]
+        for key, s in stats[:top]:
+            lines.append(
+                f"{key.ljust(width)}  {int(s['count']):>7}  {s['total_s']:>8.3f}s  "
+                f"{s['mean_s']:>8.4f}s  {s['max_s']:>8.4f}s"
+            )
+        if len(stats) > top:
+            lines.append(f"... {len(stats) - top} more section(s)")
+        return "\n".join(lines)
+
+
+_ACTIVE: Profiler | None = None
+
+
+def active_profiler() -> Profiler | None:
+    """The profiler currently receiving samples, if any."""
+    return _ACTIVE
+
+
+@contextmanager
+def profiling(profiler: Profiler | None = None) -> Iterator[Profiler]:
+    """Activate a profiler for the duration of the block."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = profiler if profiler is not None else Profiler()
+    try:
+        yield _ACTIVE
+    finally:
+        _ACTIVE = previous
+
+
+def profiled(key: str) -> _Section | _NullSection:
+    """Time a region under ``key`` (no-op unless a profiler is active)."""
+    if _ACTIVE is None:
+        return _NULL_SECTION
+    return _ACTIVE.section(key)
+
+
+def add_sample(key: str, wall_s: float) -> None:
+    """Record an externally measured wall time (no-op when inactive)."""
+    if _ACTIVE is not None:
+        _ACTIVE.add(key, wall_s)

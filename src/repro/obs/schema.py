@@ -1,0 +1,128 @@
+"""The trace-record schema: what a span or event must look like.
+
+A trace file is JSONL — one record per line, written as each span
+*closes* (so children precede their parents in the file).  Two record
+shapes exist:
+
+``span``
+    A timed region.  ``level`` places it in the decision hierarchy:
+    ``run`` → ``interval`` → ``candidate`` → ``reconfigure`` are the
+    adaptive-control levels the paper's Configuration Manager moves
+    through, while ``engine``, ``structure`` and ``section`` cover the
+    experiment engine, the structure simulators, and everything else.
+
+``event``
+    A point-in-time fact (a controller decision, one engine cell, a
+    detected phase change) attached to the enclosing span.
+
+Every record carries a ``trace_id`` (one per tracer), its own ``id``,
+and a ``parent`` (the id of the enclosing span, or ``None`` at the
+root).  Free-form details live under ``attrs`` and must be JSON-able.
+
+:func:`validate_record` enforces per-record shape;
+:func:`validate_trace` additionally checks referential integrity of
+the whole stream.  Both raise
+:class:`~repro.errors.ObservabilityError`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.errors import ObservabilityError
+
+#: Legal values of a span's ``level`` field, most significant first.
+SPAN_LEVELS: tuple[str, ...] = (
+    "run",          # one whole traced activity (a figure, an online run)
+    "interval",     # one adaptation interval (process-level: one app)
+    "candidate",    # evaluation of one candidate configuration
+    "reconfigure",  # one applied reconfiguration (incl. clock switch)
+    "engine",       # one engine map() batch
+    "structure",    # one adaptive structure's run() over a trace
+    "section",      # any other timed region (context switch, ...)
+)
+
+#: Required fields of each record shape.
+RECORD_FIELDS: dict[str, tuple[str, ...]] = {
+    "span": ("record", "name", "level", "trace_id", "id", "parent", "ts", "dur_s", "attrs"),
+    "event": ("record", "name", "trace_id", "id", "parent", "ts", "attrs"),
+}
+
+
+def validate_record(record: Mapping[str, Any]) -> None:
+    """Raise :class:`ObservabilityError` if one record is malformed."""
+    shape = record.get("record")
+    if shape not in RECORD_FIELDS:
+        raise ObservabilityError(
+            f"unknown record shape {shape!r}; known: {sorted(RECORD_FIELDS)}"
+        )
+    missing = [f for f in RECORD_FIELDS[shape] if f not in record]
+    if missing:
+        raise ObservabilityError(f"{shape} record is missing fields {missing}")
+    if not isinstance(record["name"], str) or not record["name"]:
+        raise ObservabilityError(f"{shape} record needs a non-empty string name")
+    for id_field in ("trace_id", "id"):
+        if not isinstance(record[id_field], str) or not record[id_field]:
+            raise ObservabilityError(
+                f"{shape} record field {id_field!r} must be a non-empty string"
+            )
+    if record["parent"] is not None and not isinstance(record["parent"], str):
+        raise ObservabilityError("record parent must be a span id or None")
+    if not isinstance(record["ts"], (int, float)):
+        raise ObservabilityError("record ts must be a number (epoch seconds)")
+    if not isinstance(record["attrs"], Mapping):
+        raise ObservabilityError("record attrs must be a mapping")
+    if shape == "span":
+        if record["level"] not in SPAN_LEVELS:
+            raise ObservabilityError(
+                f"span level {record['level']!r} not in {SPAN_LEVELS}"
+            )
+        dur = record["dur_s"]
+        if not isinstance(dur, (int, float)) or dur < 0:
+            raise ObservabilityError(f"span dur_s must be >= 0, got {dur!r}")
+
+
+def validate_trace(records: Iterable[Mapping[str, Any]]) -> None:
+    """Validate a whole record stream: shapes plus referential integrity.
+
+    Every ``parent`` must name a span that appears somewhere in the
+    stream (children are written before parents, so order is not
+    checked), and record ids must be unique within their trace.
+    """
+    records = list(records)
+    span_ids: set[tuple[str, str]] = set()
+    seen: set[tuple[str, str]] = set()
+    for record in records:
+        validate_record(record)
+        key = (record["trace_id"], record["id"])
+        if key in seen:
+            raise ObservabilityError(f"duplicate record id {record['id']!r}")
+        seen.add(key)
+        if record["record"] == "span":
+            span_ids.add(key)
+    for record in records:
+        parent = record["parent"]
+        if parent is not None and (record["trace_id"], parent) not in span_ids:
+            raise ObservabilityError(
+                f"record {record['id']!r} references unknown parent {parent!r} "
+                f"(was the parent span never closed?)"
+            )
+
+
+def read_records(path: str | Path) -> list[dict]:
+    """Parse a trace JSONL file (no validation)."""
+    records: list[dict] = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except ValueError as exc:
+                raise ObservabilityError(
+                    f"{path}:{line_no}: not valid JSON ({exc})"
+                ) from exc
+    return records

@@ -1,0 +1,188 @@
+"""Render a trace file human-readable: what did the stack decide, and why?
+
+:func:`summarize_trace` digests a span/event stream into the report the
+``repro obs summarize`` subcommand prints:
+
+* **reconfigurations** — how many fired, per structure, and the top
+  triggers (probe, controller switch, context switch, process-level
+  selection...);
+* **interval TPI timeline** — the per-interval TPI the monitoring
+  hardware observed, in order;
+* **candidate evaluations** — how many configurations were scored;
+* **hottest evaluators** — wall time per engine cell kind and per
+  structure ``run()``.
+
+:func:`summarize_path` sniffs the file format first, so it also accepts
+the legacy engine telemetry logs (``run_start``/``cell``/``run_end``
+events) that predate the tracer; those get the old one-line-per-run
+digest, now tolerant of events with missing optional fields.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.errors import ObservabilityError
+from repro.obs.schema import read_records, validate_trace
+
+#: Most intervals shown individually in the timeline before eliding.
+TIMELINE_LIMIT: int = 24
+
+
+def _fmt(value: Any, spec: str = "") -> str:
+    if isinstance(value, (int, float)):
+        return format(value, spec)
+    return "?"
+
+
+def summarize_engine_events(events: Iterable[Mapping[str, Any]]) -> str:
+    """Digest of a legacy engine telemetry log, one line per run.
+
+    Tolerates events missing optional fields — a truncated or
+    hand-edited log renders with ``?`` placeholders instead of raising.
+    """
+    lines = []
+    for record in events:
+        if record.get("event") != "run_end":
+            continue
+        util = record.get("worker_utilization")
+        lines.append(
+            f"run {record.get('run_id', '?')}: {_fmt(record.get('n_cells'))} cells "
+            f"({_fmt(record.get('cache_hits'))} cached, "
+            f"{_fmt(record.get('cache_misses'))} computed) "
+            f"in {_fmt(record.get('elapsed_s'), '.3f')}s "
+            f"on {_fmt(record.get('jobs'))} job(s), "
+            f"busy {_fmt(record.get('busy_s'), '.3f')}s, "
+            f"utilization {_fmt(util, '.0%') if util is not None else '?'}"
+        )
+    if not lines:
+        return "no completed runs"
+    return "\n".join(lines)
+
+
+def _timeline(intervals: Sequence[Mapping[str, Any]]) -> list[str]:
+    lines = [f"interval TPI timeline ({len(intervals)} interval(s)):"]
+    tpis = [
+        s["attrs"]["tpi_ns"]
+        for s in intervals
+        if isinstance(s["attrs"].get("tpi_ns"), (int, float))
+    ]
+    shown = intervals[:TIMELINE_LIMIT]
+    for i, s in enumerate(shown):
+        attrs = s["attrs"]
+        label = attrs.get("app", attrs.get("index", i))
+        cfg = attrs.get("configuration", "?")
+        lines.append(
+            f"  [{label}] config={cfg} tpi={_fmt(attrs.get('tpi_ns'), '.4f')} ns"
+        )
+    if len(intervals) > len(shown):
+        lines.append(f"  ... {len(intervals) - len(shown)} more interval(s)")
+    if tpis:
+        lines.append(
+            f"  mean {sum(tpis) / len(tpis):.4f} ns, "
+            f"min {min(tpis):.4f} ns, max {max(tpis):.4f} ns"
+        )
+    return lines
+
+
+def summarize_trace(records: Sequence[Mapping[str, Any]]) -> str:
+    """Human-readable report over validated trace records."""
+    validate_trace(records)
+    spans = [r for r in records if r["record"] == "span"]
+    events = [r for r in records if r["record"] == "event"]
+    traces = {r["trace_id"] for r in records}
+    out: list[str] = [
+        f"trace summary: {len(spans)} span(s), {len(events)} event(s), "
+        f"{len(traces)} trace(s)"
+    ]
+
+    # -- reconfigurations -------------------------------------------------
+    reconfigures = [s for s in spans if s["level"] == "reconfigure"]
+    out.append("")
+    out.append(f"reconfigurations: {len(reconfigures)} total")
+    by_structure: dict[str, int] = {}
+    by_trigger: dict[str, int] = {}
+    for s in reconfigures:
+        by_structure[str(s["attrs"].get("structure", "?"))] = (
+            by_structure.get(str(s["attrs"].get("structure", "?")), 0) + 1
+        )
+        by_trigger[str(s["attrs"].get("trigger", "?"))] = (
+            by_trigger.get(str(s["attrs"].get("trigger", "?")), 0) + 1
+        )
+    if by_structure:
+        out.append(
+            "  by structure: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(by_structure.items()))
+        )
+    if by_trigger:
+        out.append("  top triggers:")
+        for trigger, count in sorted(
+            by_trigger.items(), key=lambda kv: (-kv[1], kv[0])
+        ):
+            out.append(f"    {trigger}: {count}")
+
+    # -- interval timeline ------------------------------------------------
+    intervals = [s for s in spans if s["level"] == "interval"]
+    out.append("")
+    if intervals:
+        out.extend(_timeline(intervals))
+    else:
+        out.append("interval TPI timeline: no interval spans recorded")
+
+    # -- candidate evaluations -------------------------------------------
+    candidates = [s for s in spans if s["level"] == "candidate"]
+    if candidates:
+        per_structure: dict[str, int] = {}
+        for s in candidates:
+            name = str(s["attrs"].get("structure", "?"))
+            per_structure[name] = per_structure.get(name, 0) + 1
+        out.append("")
+        out.append(
+            f"candidate evaluations: {len(candidates)} "
+            + "("
+            + ", ".join(f"{k}={v}" for k, v in sorted(per_structure.items()))
+            + ")"
+        )
+
+    # -- hottest evaluators ----------------------------------------------
+    hot: dict[str, list[float]] = {}
+    for e in events:
+        if e["name"] != "engine.cell":
+            continue
+        kind = str(e["attrs"].get("kind", "?"))
+        wall = e["attrs"].get("wall_s")
+        entry = hot.setdefault(f"cell:{kind}", [0.0, 0.0])
+        entry[0] += 1
+        entry[1] += wall if isinstance(wall, (int, float)) else 0.0
+    for s in spans:
+        if s["level"] != "structure":
+            continue
+        key = f"structure:{s['attrs'].get('structure', '?')}"
+        entry = hot.setdefault(key, [0.0, 0.0])
+        entry[0] += 1
+        entry[1] += s["dur_s"]
+    if hot:
+        out.append("")
+        out.append("hottest evaluators:")
+        for key, (count, total) in sorted(
+            hot.items(), key=lambda kv: -kv[1][1]
+        )[:10]:
+            out.append(f"  {key}: {total:.4f}s over {int(count)} run(s)")
+
+    return "\n".join(out)
+
+
+def summarize_path(path: str | Path) -> str:
+    """Summarize a JSONL file, sniffing trace vs. legacy telemetry format."""
+    records = read_records(path)
+    if not records:
+        return "empty trace"
+    if "record" in records[0]:
+        return summarize_trace(records)
+    if "event" in records[0]:
+        return summarize_engine_events(records)
+    raise ObservabilityError(
+        f"{path}: neither a trace (record=...) nor an engine telemetry "
+        f"(event=...) file"
+    )

@@ -19,6 +19,9 @@ from repro.core.structure import (
     ReconfigurationCost,
     StructureRunResult,
 )
+from repro.obs import trace as obs
+from repro.obs.metrics import metrics
+from repro.obs.profile import profiled
 from repro.ooo.machine import MachineConfig, OutOfOrderMachine
 from repro.ooo.queue import InstructionQueue
 from repro.ooo.timing import PAPER_QUEUE_SIZES, QueueTimingModel
@@ -64,6 +67,13 @@ class AdaptiveInstructionQueue(ComplexityAdaptiveStructure[int]):
         """Resize the queue, paying the drain cost when shrinking."""
         self.validate(config)
         changed = config != self.configuration
+        obs.event(
+            "structure.reconfigure", structure=self.name,
+            from_config=self.configuration, to_config=config, changed=changed,
+        )
+        metrics().counter(
+            "repro_reconfigurations_total", "CAS reconfigure() calls"
+        ).inc(structure=self.name, changed=str(changed).lower())
         drain = self._queue.resize(config, issue_width=self.issue_width)
         return ReconfigurationCost(
             cleanup_cycles=drain, requires_clock_switch=changed
@@ -96,7 +106,15 @@ class AdaptiveInstructionQueue(ComplexityAdaptiveStructure[int]):
                 dispatch_width=self.issue_width,
             )
         )
-        result = machine.run(trace, memory_system=memory_system)
+        with obs.span(
+            "structure.run", level="structure",
+            structure=self.name, configuration=self.configuration,
+            n_events=len(trace),
+        ), profiled(f"structure.run:{self.name}"):
+            result = machine.run(trace, memory_system=memory_system)
+        metrics().counter(
+            "repro_structure_runs_total", "adaptive-structure run() calls"
+        ).inc(structure=self.name)
         return StructureRunResult(
             structure=self.name,
             configuration=self.configuration,

@@ -17,6 +17,9 @@ from repro.core.structure import (
     ReconfigurationCost,
     StructureRunResult,
 )
+from repro.obs import trace as obs
+from repro.obs.metrics import metrics
+from repro.obs.profile import profiled
 from repro.tlb.simulator import PageStackEngine, TlbDepthHistogram
 from repro.tlb.timing import TlbTimingModel
 
@@ -56,6 +59,13 @@ class AdaptiveTlb(ComplexityAdaptiveStructure[int]):
         """Move the fast/backup boundary; translations stay resident."""
         self.validate(config)
         changed = config != self._current
+        obs.event(
+            "structure.reconfigure", structure=self.name,
+            from_config=self._current, to_config=config, changed=changed,
+        )
+        metrics().counter(
+            "repro_reconfigurations_total", "CAS reconfigure() calls"
+        ).inc(structure=self.name, changed=str(changed).lower())
         self._current = config
         return ReconfigurationCost(cleanup_cycles=0, requires_clock_switch=changed)
 
@@ -68,9 +78,17 @@ class AdaptiveTlb(ComplexityAdaptiveStructure[int]):
         when ``record_outcomes`` is false); ``stats`` carries the
         fast/backup/walk tallies and ratios.
         """
-        engine = PageStackEngine(self.timing.total_entries)
-        depths = engine.process(addresses)
-        hist = TlbDepthHistogram.from_depths(self.timing.total_entries, depths)
+        with obs.span(
+            "structure.run", level="structure",
+            structure=self.name, configuration=self._current,
+            n_events=len(addresses),
+        ), profiled(f"structure.run:{self.name}"):
+            engine = PageStackEngine(self.timing.total_entries)
+            depths = engine.process(addresses)
+            hist = TlbDepthHistogram.from_depths(self.timing.total_entries, depths)
+        metrics().counter(
+            "repro_structure_runs_total", "adaptive-structure run() calls"
+        ).inc(structure=self.name)
         n = hist.n_accesses
         fast = hist.fast_hits(self._current)
         backup = hist.backup_hits(self._current)

@@ -103,6 +103,95 @@ class TestOnlineController:
         assert ctrl.monitor.total_instructions == 5000
 
 
+class TestExplorationBookkeeping:
+    """The explore/exploit bookkeeping behind observe()/choose()."""
+
+    def test_stalest_neighbour_tie_break_is_deterministic(self):
+        # with both neighbours equally stale the lower configuration
+        # wins (configuration order breaks the tie), and afterwards the
+        # probe alternates to whichever neighbour is now stalest
+        ctrl = OnlineController(
+            (16, 32, 64), ControllerConfig(probe_period=2)
+        )
+        ctrl.observe(32, 0.3, 1000)
+        ctrl.observe(32, 0.3, 1000)
+        assert ctrl.choose(32) == (16, True)  # tie: lower neighbour
+
+        ctrl.observe(16, 0.3, 1000)  # run the probe
+        ctrl.observe(32, 0.3, 1000)
+        assert ctrl.choose(32) == (64, True)  # 64 never seen: stalest
+
+        ctrl.observe(64, 0.3, 1000)
+        ctrl.observe(32, 0.3, 1000)
+        assert ctrl.choose(32) == (16, True)  # 16 now older than 64
+
+    def test_repeated_tie_break_is_reproducible(self):
+        def probes():
+            ctrl = OnlineController(
+                (16, 32, 64), ControllerConfig(probe_period=2)
+            )
+            out = []
+            for _ in range(12):
+                ctrl.observe(32, 0.3, 1000)
+                nxt, probe = ctrl.choose(32)
+                if probe:
+                    out.append(nxt)
+                    ctrl.observe(nxt, 0.3, 1000)
+            return out
+
+        assert probes() == probes()
+
+    def test_choose_emits_decision_events_with_triggers(self):
+        from repro.obs.trace import Tracer
+
+        ctrl = OnlineController(
+            (16, 64),
+            ControllerConfig(probe_period=50, staleness_limit=200,
+                             switch_margin=0.10, change_threshold=0.10),
+        )
+        with Tracer() as t:
+            for _ in range(3):
+                ctrl.observe(16, 0.21, 1000)
+                ctrl.observe(64, 0.20, 1000)  # within the margin
+            ctrl.choose(16)
+            ctrl.observe(16, 0.40, 1000)  # phase change
+            ctrl.choose(16)
+        chooses = [r for r in t.records if r["name"] == "controller.choose"]
+        assert [c["attrs"]["trigger"] for c in chooses] == [
+            "hysteresis_hold",  # 64 better, but not by enough
+            "change_detected",  # TPI jump forces an immediate probe
+        ]
+        assert chooses[0]["attrs"]["probe"] is False
+        assert chooses[1]["attrs"]["probe"] is True
+        phase = [r for r in t.records if r["name"] == "controller.phase_change"]
+        assert len(phase) == 1
+
+    def test_metrics_counters_match_call_counts(self):
+        from repro.obs.metrics import MetricsRegistry, metrics
+
+        ctrl = OnlineController((16, 64), ControllerConfig(probe_period=4))
+        before = metrics().snapshot()
+        n_probes = 0
+        for _ in range(9):
+            ctrl.observe(16, 0.3, 1000)
+            _nxt, probe = ctrl.choose(16)
+            n_probes += probe
+        delta = MetricsRegistry.diff(before, metrics().snapshot())
+        assert delta["repro_controller_observations_total"]["values"][""] == 9
+        assert delta["repro_controller_choose_total"]["values"][""] == 9
+        probe_delta = delta.get(
+            "repro_controller_probe_steps_total", {"values": {"": 0}}
+        )["values"].get("", 0)
+        exploit_delta = delta.get(
+            "repro_controller_exploit_steps_total", {"values": {"": 0}}
+        )["values"].get("", 0)
+        assert probe_delta == n_probes
+        assert probe_delta + exploit_delta == 9
+        tpi_hist = delta["repro_controller_interval_tpi_ns"]["values"][""]
+        assert tpi_hist["count"] == 9
+        assert tpi_hist["sum"] == pytest.approx(9 * 0.3)
+
+
 class TestRunOnline:
     def test_tracks_stable_best(self):
         series = _series({16: [0.4] * 30, 64: [0.2] * 30})

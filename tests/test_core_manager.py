@@ -100,3 +100,42 @@ class TestPerformanceMonitor:
     def test_rejects_bad_depth(self):
         with pytest.raises(SimulationError):
             PerformanceMonitor(depth=0)
+
+    def test_cumulative_tpi_survives_window_eviction(self):
+        # the lifetime accumulators keep counting evicted samples, so
+        # the cumulative average is independent of the window depth
+        deep = PerformanceMonitor(depth=64)
+        shallow = PerformanceMonitor(depth=2)
+        for i in range(8):
+            sample = IntervalSample(i, 16, 0.2 + i * 0.05, 1000 + i * 100)
+            deep.record(sample)
+            shallow.record(sample)
+        assert len(shallow.samples) == 2
+        assert shallow.cumulative_tpi_ns == pytest.approx(deep.cumulative_tpi_ns)
+        assert shallow.total_instructions == deep.total_instructions
+
+    def test_window_tpi_reads_only_retained_samples(self):
+        m = PerformanceMonitor(depth=2)
+        m.record(IntervalSample(0, 16, 1.0, 1000))  # evicted below
+        m.record(IntervalSample(1, 16, 0.2, 1000))
+        m.record(IntervalSample(2, 16, 0.4, 3000))
+        assert m.window_tpi_ns() == pytest.approx((0.2 * 1000 + 0.4 * 3000) / 4000)
+        assert m.cumulative_tpi_ns > m.window_tpi_ns()  # remembers the 1.0
+
+    def test_window_tpi_last_n(self):
+        m = PerformanceMonitor(depth=8)
+        m.record(IntervalSample(0, 16, 1.0, 1000))
+        m.record(IntervalSample(1, 16, 0.2, 1000))
+        m.record(IntervalSample(2, 16, 0.4, 1000))
+        assert m.window_tpi_ns(1) == pytest.approx(0.4)
+        assert m.window_tpi_ns(2) == pytest.approx(0.3)
+        # n larger than the retained window just reads everything
+        assert m.window_tpi_ns(99) == pytest.approx(m.window_tpi_ns())
+
+    def test_window_tpi_validation(self):
+        m = PerformanceMonitor()
+        with pytest.raises(SimulationError):
+            m.window_tpi_ns()  # nothing recorded
+        m.record(IntervalSample(0, 16, 0.2, 1000))
+        with pytest.raises(SimulationError):
+            m.window_tpi_ns(0)
