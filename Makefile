@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-engine obs-check figures examples clean
+.PHONY: install test bench bench-engine obs-check resilience-check figures examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -21,6 +21,13 @@ bench-engine:
 obs-check:
 	PYTHONPATH=src $(PYTHON) -m repro obs check
 	PYTHONPATH=src $(PYTHON) -m pytest tests/test_obs_schema.py
+
+# Drill every recovery path: injected crash/hang/transient/corruption
+# faults recovered byte-identically, plus an interrupted-then-resumed
+# journaled sweep (includes a real SIGKILL test).
+resilience-check:
+	PYTHONPATH=src $(PYTHON) -m repro resilience check
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_resilience.py
 
 figures:
 	$(PYTHON) -m repro export all --out figures

@@ -23,6 +23,14 @@ Observability (see docs/observability.md)::
     python -m repro figure 9 --trace t.jsonl --metrics m.prom --profile
     python -m repro obs summarize t.jsonl
     python -m repro obs check
+
+Fault tolerance (see docs/resilience.md)::
+
+    python -m repro figure 9 --jobs 8 --retries 5 --timeout 120 \\
+        --journal fig9.journal
+    python -m repro figure 9 --jobs 8 --journal fig9.journal --resume
+    python -m repro cache-verify --cache-dir .repro-cache
+    python -m repro resilience check
 """
 
 from __future__ import annotations
@@ -339,6 +347,32 @@ def _engine_options() -> argparse.ArgumentParser:
         help="write per-cell run telemetry as JSONL to PATH (legacy format; "
         "--trace supersedes it)",
     )
+    group.add_argument(
+        "--chunk-size", type=int, default=None, metavar="N",
+        help="cells per worker chunk (default: automatic load-balancing "
+        "heuristic)",
+    )
+    res_group = opts.add_argument_group("resilience options")
+    res_group.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="total attempts per chunk before a transient failure is fatal "
+        "(default: 3)",
+    )
+    res_group.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="per-chunk deadline in seconds; a chunk exceeding it is treated "
+        "as a hung worker (default: no deadline)",
+    )
+    res_group.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="durably record each completed cell to PATH so an interrupted "
+        "sweep can be resumed",
+    )
+    res_group.add_argument(
+        "--resume", action="store_true",
+        help="serve cells already recorded in --journal instead of "
+        "recomputing them",
+    )
     obs_group = opts.add_argument_group("observability options")
     obs_group.add_argument(
         "--trace", default=None, metavar="PATH",
@@ -357,11 +391,28 @@ def _engine_options() -> argparse.ArgumentParser:
 
 
 def _engine_from_args(args: argparse.Namespace) -> ExperimentEngine:
+    from repro.resilience import RetryPolicy
+
+    if args.resume and not args.journal:
+        raise SystemExit("error: --resume requires --journal PATH")
+    retry = None
+    if args.retries is not None or args.timeout is not None:
+        defaults = RetryPolicy()
+        retry = RetryPolicy(
+            max_attempts=(
+                args.retries if args.retries is not None else defaults.max_attempts
+            ),
+            timeout_s=args.timeout,
+        )
     return ExperimentEngine(
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
         telemetry=args.telemetry,
+        chunk_size=args.chunk_size,
+        retry=retry,
+        journal=args.journal,
+        resume=args.resume,
     )
 
 
@@ -447,6 +498,143 @@ def _obs_check() -> int:
     return 0
 
 
+def _cache_verify(cache_dir: str) -> int:
+    """Integrity-check a result cache; exit non-zero if anything is corrupt."""
+    from repro.engine.cache import ResultCache
+
+    cache = ResultCache(cache_dir)
+    report = cache.verify()
+    print(
+        f"{cache_dir}: {report.total} entr{'y' if report.total == 1 else 'ies'} "
+        f"checked, {report.ok} ok, {report.stale} stale, "
+        f"{len(report.corrupt)} corrupt"
+    )
+    for key in report.corrupt:
+        print(f"  quarantined {key[:16]}… -> {cache.quarantine_dir}")
+    return 0 if report.healthy else 1
+
+
+def _resilience_check() -> int:
+    """Prove the recovery paths on a tiny sweep; exit non-zero on drift.
+
+    Injects a worker crash, a hang, a transient exception and a corrupt
+    cache entry into a small batch and asserts the results stay
+    byte-identical to a fault-free run; then interrupts a journaled
+    sweep partway and verifies ``--resume`` re-executes only the
+    unfinished cells.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.branch.predictors import PredictorKind
+    from repro.engine.cells import (
+        branch_tpi_cell,
+        cache_tpi_cell,
+        queue_tpi_cell,
+        tlb_tpi_cell,
+    )
+    from repro.obs.metrics import metrics
+    from repro.resilience import FaultEvent, FaultPlan, RetryPolicy
+    from repro.workloads.suite import get_profile
+
+    compress, stereo = get_profile("compress"), get_profile("stereo")
+    cells = [
+        cache_tpi_cell(compress, 4_000, 1_000, (1, 2)),
+        tlb_tpi_cell(stereo, 4_000, 1_000),
+        queue_tpi_cell(compress, 1_000, (16, 32)),
+        branch_tpi_cell(stereo, PredictorKind.GSHARE, 1_000),
+    ]
+    baseline = ExperimentEngine(jobs=1).map(cells)
+
+    # One round per fault kind: a crash kills the whole pool and would
+    # re-queue co-pending chunks at attempt 1, skipping their attempt-0
+    # faults — separate rounds keep every injection deterministic.
+    policy = RetryPolicy(base_delay_s=0.01, timeout_s=5.0)
+    rounds = {
+        "crash": FaultPlan(events=(FaultEvent("crash", chunk=0, attempt=0),)),
+        "transient": FaultPlan(
+            events=(FaultEvent("transient", chunk=1, attempt=0),)
+        ),
+        "hang": FaultPlan(
+            events=(FaultEvent("hang", chunk=2, attempt=0, hang_s=60.0),)
+        ),
+    }
+    for name, plan in rounds.items():
+        faulted = ExperimentEngine(
+            jobs=2, chunk_size=1, retry=policy, fault_plan=plan
+        )
+        if faulted.map(cells) != baseline:
+            print(
+                f"resilience check FAILED: {name}-faulted run diverged "
+                "from the fault-free baseline",
+                file=sys.stderr,
+            )
+            return 1
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache_dir = Path(tmp) / "cache"
+        ExperimentEngine(jobs=1, cache_dir=cache_dir).map(cells)  # warm
+        corrupting = ExperimentEngine(
+            jobs=1, cache_dir=cache_dir,
+            fault_plan=FaultPlan(events=(FaultEvent("corrupt_cache", chunk=0),)),
+        )
+        if corrupting.map(cells) != baseline:
+            print(
+                "resilience check FAILED: corrupt-cache run diverged",
+                file=sys.stderr,
+            )
+            return 1
+        if corrupting.stats.cache_misses != 1:
+            print(
+                "resilience check FAILED: corrupt entry was not recomputed "
+                f"(expected 1 miss, saw {corrupting.stats.cache_misses})",
+                file=sys.stderr,
+            )
+            return 1
+
+        journal = Path(tmp) / "sweep.journal"
+        interrupted = ExperimentEngine(jobs=1, journal=journal)
+        interrupted.map(cells[:2])  # "killed" after two cells
+        resumed = ExperimentEngine(jobs=1, journal=journal, resume=True)
+        if resumed.map(cells) != baseline:
+            print("resilience check FAILED: resumed run diverged", file=sys.stderr)
+            return 1
+        if resumed.stats.resumed != 2 or resumed.stats.cache_misses != 2:
+            print(
+                "resilience check FAILED: resume recomputed the wrong cells "
+                f"(resumed {resumed.stats.resumed}, computed "
+                f"{resumed.stats.cache_misses}; expected 2 and 2)",
+                file=sys.stderr,
+            )
+            return 1
+
+    reg = metrics()
+    counters = {
+        "repro_engine_retries_total",
+        "repro_engine_pool_respawns_total",
+        "repro_engine_chunk_timeouts_total",
+        "repro_engine_cache_corrupt_total",
+        "repro_engine_journal_resumed_total",
+    }
+    quiet = sorted(c for c in counters if reg.counter(c).value() == 0)
+    if quiet:
+        print(
+            f"resilience check FAILED: counters never fired: {quiet}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        "resilience check ok: crash, hang, transient, cache corruption and "
+        "interrupt/resume all recovered byte-identically "
+        f"(retries={reg.counter('repro_engine_retries_total').value():.0f}, "
+        f"respawns={reg.counter('repro_engine_pool_respawns_total').value():.0f}, "
+        f"timeouts={reg.counter('repro_engine_chunk_timeouts_total').value():.0f}, "
+        f"corrupt={reg.counter('repro_engine_cache_corrupt_total').value():.0f}, "
+        f"resumed={reg.counter('repro_engine_journal_resumed_total').value():.0f})"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -492,6 +680,23 @@ def build_parser() -> argparse.ArgumentParser:
     obs_sub.add_parser(
         "check",
         help="run a tiny traced sweep and validate every record's schema",
+    )
+    cver = sub.add_parser(
+        "cache-verify",
+        help="integrity-check every cached result, quarantining corrupt ones",
+    )
+    cver.add_argument(
+        "--cache-dir", required=True, metavar="DIR",
+        help="cache directory to verify",
+    )
+    resp = sub.add_parser(
+        "resilience", help="fault tolerance: self-check the recovery paths"
+    )
+    res_sub = resp.add_subparsers(dest="resilience_command", required=True)
+    res_sub.add_parser(
+        "check",
+        help="inject crash/hang/transient/corruption faults into a tiny "
+             "sweep and verify byte-identical recovery plus resume",
     )
     sub.add_parser("suite", help="print the calibrated application suite")
     sub.add_parser("clock", help="print the CAP clock table")
@@ -548,6 +753,10 @@ def _dispatch(args) -> int:
         if args.obs_command == "summarize":
             return _obs_summarize(args.path)
         return _obs_check()
+    elif args.command == "cache-verify":
+        return _cache_verify(args.cache_dir)
+    elif args.command == "resilience":
+        return _resilience_check()
     elif args.command == "cache-clear":
         engine = ExperimentEngine(cache_dir=args.cache_dir)
         dropped = engine.invalidate_cache(kind=args.kind)

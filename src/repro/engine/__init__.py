@@ -21,9 +21,20 @@ Layers
 :mod:`repro.engine.sweeps`
     The unified :class:`~repro.core.metrics.StructureSweep`
     implementations for all four adaptive structures.
+
+Fault tolerance — retries with backoff, pool-crash recovery, per-chunk
+timeouts, checkpoint/resume and fault injection — lives in the sibling
+:mod:`repro.resilience` package; the engine drives every parallel batch
+through its :class:`~repro.resilience.ResilientExecutor`.
 """
 
-from repro.engine.cache import ResultCache, cell_key, technology_fingerprint
+from repro.engine.cache import (
+    CacheVerifyReport,
+    ResultCache,
+    cell_key,
+    payload_checksum,
+    technology_fingerprint,
+)
 from repro.engine.cells import SweepCell, cell_kinds, evaluate_cell
 from repro.engine.engine import EngineStats, ExperimentEngine, default_engine
 from repro.engine.sweeps import (
@@ -48,8 +59,10 @@ __all__ = [
     "SweepCell",
     "cell_kinds",
     "evaluate_cell",
+    "CacheVerifyReport",
     "ResultCache",
     "cell_key",
+    "payload_checksum",
     "technology_fingerprint",
     "TelemetryLog",
     "EVENT_SCHEMA",

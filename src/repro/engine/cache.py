@@ -12,23 +12,37 @@ combining three ingredients:
 
 Entries are JSON files under ``<cache_dir>/<key[:2]>/<key>.json``,
 written atomically (temp file + rename) so concurrent engines sharing a
-cache directory never observe torn entries.  Unreadable or mismatched
-entries are treated as misses and rewritten, never trusted.
+cache directory never observe torn entries.  Every entry records a
+SHA-256 **checksum of its payload**; an entry that is unreadable, not
+valid JSON, or whose payload no longer matches its checksum is
+*corrupt*: it is logged, counted on the
+``repro_engine_cache_corrupt_total`` metric, moved into the
+``<cache_dir>/quarantine/`` directory for post-mortem inspection, and
+reported as a miss so the cell is recomputed.  Entries from an older
+:data:`CACHE_SCHEMA_VERSION` are silent misses (expected after an
+upgrade), not corruption.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import tempfile
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Mapping
 
 from repro.engine.cells import SweepCell
+from repro.errors import CacheCorruptionError
+from repro.obs.metrics import metrics
 
 #: Bump when the stored entry layout changes; old entries become misses.
-CACHE_SCHEMA_VERSION: int = 1
+#: Version 2 added the payload checksum.
+CACHE_SCHEMA_VERSION: int = 2
+
+_LOG = logging.getLogger("repro.engine.cache")
 
 
 def technology_fingerprint() -> dict:
@@ -89,6 +103,26 @@ def cell_key(cell: SweepCell, fingerprint: Mapping[str, Any] | None = None) -> s
     return hashlib.sha256(canonical_json(identity).encode("utf-8")).hexdigest()
 
 
+def payload_checksum(payload: Mapping[str, Any]) -> str:
+    """Integrity checksum of one entry's payload (SHA-256 hex)."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class CacheVerifyReport:
+    """Outcome of :meth:`ResultCache.verify` over a whole cache."""
+
+    total: int
+    ok: int
+    stale: int
+    corrupt: tuple[str, ...]
+
+    @property
+    def healthy(self) -> bool:
+        """Whether no entry failed integrity verification."""
+        return not self.corrupt
+
+
 class ResultCache:
     """Content-addressed JSON store for sweep-cell payloads."""
 
@@ -98,6 +132,11 @@ class ResultCache:
         # the handle (one per engine) re-reads the live constants.
         self._fingerprint = technology_fingerprint()
 
+    @property
+    def fingerprint(self) -> dict:
+        """The technology fingerprint captured by this handle."""
+        return self._fingerprint
+
     def key(self, cell: SweepCell) -> str:
         """Cache key of one cell under this handle's fingerprint."""
         return cell_key(cell, self._fingerprint)
@@ -106,32 +145,137 @@ class ResultCache:
         """Where the entry for ``key`` lives (two-level fan-out)."""
         return self.cache_dir / key[:2] / f"{key}.json"
 
-    def load(self, key: str) -> dict | None:
+    @property
+    def quarantine_dir(self) -> Path:
+        """Where corrupt entries are moved for post-mortem inspection."""
+        return self.cache_dir / "quarantine"
+
+    def load(self, key: str, strict: bool = False) -> dict | None:
         """The cached payload for ``key``, or ``None`` on any miss.
 
-        Corrupt or schema-mismatched entries are misses, not errors:
-        they are recomputed and overwritten.
+        A missing entry or one from an older schema version is a plain
+        miss.  A *corrupt* entry — unreadable, not JSON, payload
+        missing, or checksum mismatch — is logged, counted on
+        ``repro_engine_cache_corrupt_total`` and quarantined; with
+        ``strict=False`` (the default) it then reads as a miss so the
+        cell is recomputed, with ``strict=True`` it raises
+        :class:`~repro.errors.CacheCorruptionError` instead.
         """
         path = self.path(key)
         try:
-            with path.open("r", encoding="utf-8") as fh:
-                entry = json.load(fh)
-        except (OSError, ValueError):
+            raw = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
             return None
-        if not isinstance(entry, dict) or entry.get("schema") != CACHE_SCHEMA_VERSION:
+        except OSError as exc:
+            self._corrupt(key, path, f"unreadable: {exc}", strict)
             return None
+        payload, reason = self._parse_entry(raw)
+        if reason == "stale":
+            return None
+        if reason is not None:
+            self._corrupt(key, path, reason, strict)
+            return None
+        return payload
+
+    @staticmethod
+    def _parse_entry(raw: str) -> tuple[dict | None, str | None]:
+        """``(payload, fault)`` of one entry's bytes; healthy = no fault.
+
+        ``"stale"`` is the one non-corrupt fault: a well-formed entry
+        from a different schema version.
+        """
+        try:
+            entry = json.loads(raw)
+        except ValueError as exc:
+            return None, f"not valid JSON ({exc})"
+        if not isinstance(entry, dict):
+            return None, "entry is not a JSON object"
+        if entry.get("schema") != CACHE_SCHEMA_VERSION:
+            return None, "stale"
         payload = entry.get("payload")
-        return payload if isinstance(payload, dict) else None
+        if not isinstance(payload, dict):
+            return None, "entry has no payload object"
+        recorded = entry.get("checksum")
+        if recorded != payload_checksum(payload):
+            return None, f"payload checksum mismatch (recorded {recorded!r})"
+        return payload, None
+
+    def _corrupt(self, key: str, path: Path, reason: str, strict: bool) -> None:
+        """Log, count and quarantine one corrupt entry; raise if strict."""
+        error = CacheCorruptionError(
+            f"corrupt cache entry {key[:12]}… at {path}: {reason}"
+        )
+        _LOG.warning("quarantining %s", error)
+        metrics().counter(
+            "repro_engine_cache_corrupt_total",
+            "corrupt cache entries detected and quarantined",
+        ).inc()
+        self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+        # The .corrupt suffix keeps quarantined files out of the
+        # ``*/*.json`` globs that size() and invalidate() walk.
+        dest = self.quarantine_dir / f"{path.name}.corrupt"
+        try:
+            os.replace(path, dest)
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        if strict:
+            raise error
+
+    def quarantined(self) -> int:
+        """Number of corrupt entries currently held in quarantine."""
+        if not self.quarantine_dir.is_dir():
+            return 0
+        return sum(1 for _ in self.quarantine_dir.glob("*.corrupt"))
+
+    def verify(self) -> CacheVerifyReport:
+        """Integrity-check every entry, quarantining the corrupt ones.
+
+        Corrupt entries are handled exactly as on a :meth:`load` hit —
+        warning, metrics counter, quarantine — and their keys are
+        returned for reporting.  Stale (old-schema) entries are counted
+        but left in place; they are misses anyway and are overwritten
+        on recompute.
+        """
+        total = ok = stale = 0
+        corrupt: list[str] = []
+        if self.cache_dir.is_dir():
+            for path in sorted(self.cache_dir.glob("*/*.json")):
+                if path.parent == self.quarantine_dir:
+                    continue
+                total += 1
+                key = path.stem
+                try:
+                    raw = path.read_text(encoding="utf-8")
+                except OSError as exc:
+                    self._corrupt(key, path, f"unreadable: {exc}", strict=False)
+                    corrupt.append(key)
+                    continue
+                _, reason = self._parse_entry(raw)
+                if reason is None:
+                    ok += 1
+                elif reason == "stale":
+                    stale += 1
+                else:
+                    self._corrupt(key, path, reason, strict=False)
+                    corrupt.append(key)
+        return CacheVerifyReport(
+            total=total, ok=ok, stale=stale, corrupt=tuple(corrupt)
+        )
 
     def store(self, key: str, cell: SweepCell, payload: Mapping[str, Any]) -> Path:
         """Atomically persist one cell's payload."""
         path = self.path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        payload = dict(payload)
         entry = {
             "schema": CACHE_SCHEMA_VERSION,
             "kind": cell.kind,
             "spec": dict(cell.spec),
-            "payload": dict(payload),
+            "payload": payload,
+            "checksum": payload_checksum(payload),
         }
         fd, tmp_name = tempfile.mkstemp(
             prefix=f".{key[:8]}-", suffix=".tmp", dir=path.parent
@@ -164,7 +308,7 @@ class ResultCache:
                         entry = json.load(fh)
                 except (OSError, ValueError):
                     entry = {}
-                if entry.get("kind") != kind:
+                if not isinstance(entry, dict) or entry.get("kind") != kind:
                     continue
             try:
                 path.unlink()
@@ -174,7 +318,7 @@ class ResultCache:
         return removed
 
     def size(self) -> int:
-        """Number of entries currently on disk."""
+        """Number of entries currently on disk (quarantine excluded)."""
         if not self.cache_dir.is_dir():
             return 0
         return sum(1 for _ in self.cache_dir.glob("*/*.json"))

@@ -1,41 +1,52 @@
 """The parallel experiment engine.
 
-:class:`ExperimentEngine` evaluates a batch of sweep cells through three
+:class:`ExperimentEngine` evaluates a batch of sweep cells through four
 layers, in order:
 
-1. **cache** — cells whose content-address is already on disk are
+1. **resume** — with a journal and ``resume=True``, cells already
+   recorded by an earlier (possibly killed) run are served from the
+   checkpoint journal;
+2. **cache** — cells whose content-address is already on disk are
    served without computing anything;
-2. **fan-out** — the remaining cells are split into deterministic
+3. **fan-out** — the remaining cells are split into deterministic
    contiguous chunks and evaluated on a ``ProcessPoolExecutor`` using
    the ``spawn`` start method (the portable one — nothing in a cell may
-   rely on forked state);
-3. **assembly** — payloads are reassembled strictly in submission
-   order, so the result list is independent of worker scheduling and a
-   ``jobs=1`` run is bitwise identical to a ``jobs=N`` run.
+   rely on forked state), driven by a
+   :class:`~repro.resilience.ResilientExecutor` that retries transient
+   failures, respawns crashed pools, times out hung workers, and
+   degrades to serial execution past the pool-respawn budget;
+4. **assembly** — payloads are reassembled strictly in submission
+   order, so the result list is independent of worker scheduling *and*
+   of any recovery action, and a ``jobs=1`` run is bitwise identical to
+   a ``jobs=N`` run — faulted or not.
 
 ``jobs=1`` short-circuits the pool entirely and evaluates inline, which
 is also the fallback while debugging worker-side failures.  Telemetry
 (one JSONL event per cell plus run bracketing) and hit/miss counters are
-recorded on every run; see :mod:`repro.engine.telemetry`.
+recorded on every run; see :mod:`repro.engine.telemetry`.  Failure
+semantics, the fault taxonomy, and the checkpoint/resume workflow are
+documented in ``docs/resilience.md``.
 """
 
 from __future__ import annotations
 
 import math
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from multiprocessing import get_context
 from pathlib import Path
 from typing import Sequence
 
 from repro.engine.cache import ResultCache
-from repro.engine.cells import SweepCell, evaluate_chunk
+from repro.engine.cells import SweepCell
 from repro.engine.telemetry import TelemetryLog, new_run_id
 from repro.errors import EngineError
 from repro.obs import trace as obs
 from repro.obs.metrics import metrics
 from repro.obs.profile import add_sample, profiled
+from repro.resilience.executor import ResilientExecutor
+from repro.resilience.faults import FaultPlan, corrupt_cache_entry
+from repro.resilience.journal import SweepJournal
+from repro.resilience.policy import RetryPolicy
 
 #: Chunks submitted per worker: small enough to load-balance uneven
 #: cells, large enough to amortise pickling and per-future overhead.
@@ -49,15 +60,19 @@ class EngineStats:
     cells: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    resumed: int = 0
     elapsed_s: float = 0.0
     busy_s: float = 0.0
     runs: int = 0
 
-    def merge_run(self, hits: int, misses: int, elapsed: float, busy: float) -> None:
+    def merge_run(
+        self, hits: int, misses: int, resumed: int, elapsed: float, busy: float
+    ) -> None:
         """Fold one run's counters in."""
         self.cells += hits + misses
         self.cache_hits += hits
         self.cache_misses += misses
+        self.resumed += resumed
         self.elapsed_s += elapsed
         self.busy_s += busy
         self.runs += 1
@@ -80,20 +95,75 @@ class ExperimentEngine:
     telemetry:
         Path of the JSONL event log; ``None`` disables persistence
         (counters in :attr:`stats` are kept either way).
+    chunk_size:
+        Cells per worker chunk; ``None`` (the default) uses the
+        ``ceil(n / (jobs * 4))`` load-balancing heuristic.
+    retry:
+        The :class:`~repro.resilience.RetryPolicy` governing retries,
+        per-chunk timeouts and pool respawns; ``None`` uses the policy
+        defaults (3 attempts, no timeout, 2 respawns).
+    fault_plan:
+        Deterministic fault injection for tests and drills; ``None``
+        (the default, and the production setting) injects nothing.
+    journal:
+        Path of the checkpoint journal; completed cells are durably
+        appended as they finish.  ``None`` disables journaling.
+    resume:
+        Serve cells already recorded in ``journal`` instead of
+        recomputing them.  Requires ``journal``.
     """
 
     jobs: int = 1
     cache_dir: str | Path | None = None
     use_cache: bool = True
     telemetry: str | Path | None = None
+    chunk_size: int | None = None
+    retry: RetryPolicy | None = None
+    fault_plan: FaultPlan | None = None
+    journal: str | Path | None = None
+    resume: bool = False
     stats: EngineStats = field(default_factory=EngineStats)
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
             raise EngineError(f"jobs must be >= 1, got {self.jobs}")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise EngineError(
+                f"chunk_size must be >= 1, got {self.chunk_size}; pass None "
+                "for the automatic ceil(cells / (jobs * 4)) heuristic"
+            )
+        if self.cache_dir is not None:
+            cache_path = Path(self.cache_dir)
+            if str(self.cache_dir) == "":
+                raise EngineError(
+                    "cache_dir must be a directory path, got an empty string; "
+                    "pass None to disable caching"
+                )
+            if cache_path.exists() and not cache_path.is_dir():
+                raise EngineError(
+                    f"cache_dir {str(self.cache_dir)!r} exists but is not a "
+                    "directory; point it at a directory (it is created on "
+                    "first write) or pass None to disable caching"
+                )
+        if self.resume and self.journal is None:
+            raise EngineError(
+                "resume=True needs a journal path to resume from; pass "
+                "journal=<path> (the CLI spells this --journal PATH --resume)"
+            )
+        self._retry = self.retry if self.retry is not None else RetryPolicy()
         self._cache = (
             ResultCache(self.cache_dir)
             if self.cache_dir is not None and self.use_cache
+            else None
+        )
+        # The journal shares the cache's fingerprint capture so both
+        # agree on every cell key.
+        self._journal = (
+            SweepJournal(
+                self.journal,
+                fingerprint=self._cache.fingerprint if self._cache else None,
+            )
+            if self.journal is not None
             else None
         )
         self._telemetry = TelemetryLog(self.telemetry)
@@ -104,6 +174,11 @@ class ExperimentEngine:
     def cache(self) -> ResultCache | None:
         """The active result cache, if any."""
         return self._cache
+
+    @property
+    def sweep_journal(self) -> SweepJournal | None:
+        """The active checkpoint journal, if any."""
+        return self._journal
 
     def invalidate_cache(self, kind: str | None = None) -> int:
         """Drop cached results (all, or one cell kind); returns count."""
@@ -139,20 +214,35 @@ class ExperimentEngine:
             cache_dir=str(self.cache_dir) if self.cache_dir is not None else None,
         )
 
+        self._apply_cache_corruption_faults(cells)
+
         payloads: list[dict | None] = [None] * len(cells)
         walls: list[float] = [0.0] * len(cells)
         sources: list[str] = ["computed"] * len(cells)
         keys: list[str | None] = [None] * len(cells)
         misses: list[int] = []
+        resumed = (
+            self._journal.load() if self._journal is not None and self.resume else {}
+        )
+        n_resumed = 0
 
         for i, cell in enumerate(cells):
+            if self._cache is not None:
+                keys[i] = self._cache.key(cell)
+            elif self._journal is not None:
+                keys[i] = self._journal.key(cell)
+            if keys[i] is not None and keys[i] in resumed:
+                payloads[i] = resumed[keys[i]]
+                sources[i] = "journal"
+                n_resumed += 1
+                if self._cache is not None:
+                    self._cache.store(keys[i], cell, payloads[i])
+                continue
             if self._cache is None:
                 misses.append(i)
                 continue
-            key = self._cache.key(cell)
-            keys[i] = key
             probe_start = time.perf_counter()
-            hit = self._cache.load(key)
+            hit = self._cache.load(keys[i])
             if hit is None:
                 misses.append(i)
             else:
@@ -160,14 +250,9 @@ class ExperimentEngine:
                 walls[i] = time.perf_counter() - probe_start
                 sources[i] = "cache"
 
+        report = None
         if misses:
-            for idx, (payload, wall) in zip(
-                misses, self._evaluate([cells[i] for i in misses])
-            ):
-                payloads[idx] = payload
-                walls[idx] = wall
-                if self._cache is not None:
-                    self._cache.store(keys[idx], cells[idx], payload)
+            report = self._compute(cells, misses, keys, payloads, walls, span)
 
         elapsed = time.perf_counter() - start
         busy = sum(walls[i] for i in misses)
@@ -200,13 +285,14 @@ class ExperimentEngine:
             n_cells=len(cells),
             cache_hits=n_hits,
             cache_misses=len(misses),
+            resumed=n_resumed,
             elapsed_s=elapsed,
             busy_s=busy,
             worker_utilization=(
                 busy / (elapsed * self.jobs) if elapsed > 0 else 0.0
             ),
         )
-        self.stats.merge_run(n_hits, len(misses), elapsed, busy)
+        self.stats.merge_run(n_hits, len(misses), n_resumed, elapsed, busy)
         reg = metrics()
         reg.counter("repro_engine_runs_total", "engine map() batches").inc()
         reg.counter(
@@ -215,34 +301,74 @@ class ExperimentEngine:
         reg.counter(
             "repro_engine_cache_misses_total", "sweep cells computed"
         ).inc(len(misses))
+        if n_resumed:
+            reg.counter(
+                "repro_engine_journal_resumed_total",
+                "sweep cells served from a checkpoint journal on resume",
+            ).inc(n_resumed)
         if self.stats.cells:
             reg.gauge(
                 "repro_engine_cache_hit_ratio",
                 "lifetime cache-hit ratio of this engine",
             ).set(self.stats.cache_hits / self.stats.cells)
         span.set(
-            cache_hits=n_hits, cache_misses=len(misses),
+            cache_hits=n_hits, cache_misses=len(misses), resumed=n_resumed,
             elapsed_s=elapsed, busy_s=busy,
         )
+        if report is not None and (
+            report.retries or report.pool_respawns or report.timeouts
+            or report.serial_fallback
+        ):
+            span.set(
+                retries=report.retries,
+                timeouts=report.timeouts,
+                lost_chunks=report.lost_chunks,
+                pool_respawns=report.pool_respawns,
+                serial_fallback=report.serial_fallback,
+            )
         return payloads  # type: ignore[return-value]
 
-    def _evaluate(self, cells: list[SweepCell]) -> list[tuple[dict, float]]:
-        """Compute payloads for cache misses, inline or fanned out."""
-        if self.jobs == 1 or len(cells) == 1:
-            return evaluate_chunk(cells)
-        chunk_size = max(1, math.ceil(len(cells) / (self.jobs * CHUNKS_PER_WORKER)))
-        chunks = [
-            cells[lo : lo + chunk_size] for lo in range(0, len(cells), chunk_size)
+    def _apply_cache_corruption_faults(self, cells: list[SweepCell]) -> None:
+        """Fire the fault plan's ``corrupt_cache`` events (tests/drills)."""
+        if self.fault_plan is None or self._cache is None:
+            return
+        for idx in self.fault_plan.corrupt_targets():
+            if idx < len(cells):
+                corrupt_cache_entry(self._cache, self._cache.key(cells[idx]))
+
+    def _compute(self, cells, misses, keys, payloads, walls, span):
+        """Evaluate the cache misses resiliently, persisting as they land.
+
+        Returns the executor's :class:`~repro.resilience.ExecutionReport`.
+        Cache and journal writes happen in the per-chunk callback, so an
+        interrupted run keeps everything that finished.
+        """
+        chunk_size = self.chunk_size or max(
+            1, math.ceil(len(misses) / (self.jobs * CHUNKS_PER_WORKER))
+        )
+        index_chunks = [
+            misses[lo : lo + chunk_size]
+            for lo in range(0, len(misses), chunk_size)
         ]
-        workers = min(self.jobs, len(chunks))
-        results: list[tuple[dict, float]] = []
-        with ProcessPoolExecutor(
-            max_workers=workers, mp_context=get_context("spawn")
-        ) as pool:
-            futures = [pool.submit(evaluate_chunk, chunk) for chunk in chunks]
-            for future in futures:  # submission order == assembly order
-                results.extend(future.result())
-        return results
+        chunks = [[cells[g] for g in group] for group in index_chunks]
+
+        def on_chunk_done(chunk_index: int, pairs) -> None:
+            for g, (payload, wall) in zip(index_chunks[chunk_index], pairs):
+                payloads[g] = payload
+                walls[g] = wall
+                if self._cache is not None:
+                    self._cache.store(keys[g], cells[g], payload)
+                if self._journal is not None:
+                    self._journal.record(keys[g], cells[g], payload, wall)
+
+        executor = ResilientExecutor(
+            jobs=self.jobs,
+            policy=self._retry,
+            fault_plan=self.fault_plan,
+            span=span,
+        )
+        executor.run(chunks, on_chunk_done=on_chunk_done)
+        return executor.report
 
 
 _DEFAULT_ENGINE: ExperimentEngine | None = None

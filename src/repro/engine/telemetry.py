@@ -69,8 +69,9 @@ EVENT_SCHEMA: dict[str, tuple[str, ...]] = {
     ),
 }
 
-#: Legal values of a ``cell`` event's ``source`` field.
-CELL_SOURCES: tuple[str, ...] = ("cache", "computed")
+#: Legal values of a ``cell`` event's ``source`` field.  ``journal``
+#: marks a cell served from a checkpoint journal on ``--resume``.
+CELL_SOURCES: tuple[str, ...] = ("cache", "computed", "journal")
 
 
 def new_run_id() -> str:

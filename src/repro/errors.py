@@ -49,3 +49,34 @@ class EngineError(ReproError):
     malformed telemetry event, or an unreadable cache entry that cannot
     be safely ignored.
     """
+
+
+class TransientError(ReproError):
+    """A failure that retrying may fix.
+
+    Raised for conditions that are a property of the *execution*, not
+    of the work itself — a lost pool worker, a filesystem hiccup, an
+    injected fault.  The retry policy
+    (:class:`repro.resilience.RetryPolicy`) re-submits work that failed
+    this way; every other exception type is treated as fatal because
+    sweep cells are deterministic and would fail identically again.
+    """
+
+
+class FatalError(ReproError):
+    """A failure that retrying cannot fix.
+
+    Raised when a sweep chunk exhausts its retry budget or a worker
+    raises an error classified as non-transient.  The last underlying
+    exception is chained as ``__cause__``.
+    """
+
+
+class CacheCorruptionError(EngineError):
+    """A cache entry failed integrity verification.
+
+    Raised by strict cache loads and :meth:`ResultCache.verify` when an
+    entry is unreadable, truncated, or its payload checksum does not
+    match the stored one.  The default (non-strict) load path
+    quarantines such entries and recomputes instead of raising.
+    """

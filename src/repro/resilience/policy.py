@@ -1,0 +1,128 @@
+"""Retry policy: attempt budgets, backoff, deterministic jitter, timeouts.
+
+One frozen :class:`RetryPolicy` value describes everything the
+resilient executor needs to decide *whether* and *when* to re-run a
+failed sweep chunk:
+
+* ``max_attempts`` bounds how often one chunk is re-submitted after a
+  **transient** failure (see :meth:`RetryPolicy.is_transient`);
+* ``base_delay_s`` / ``backoff`` / ``max_delay_s`` shape the classic
+  capped exponential backoff between attempts;
+* the jitter added on top is **deterministic** — a hash of
+  ``(seed, attempt, token)`` rather than a PRNG draw — so a retried run
+  sleeps exactly as long on every re-execution and test assertions on
+  timing behaviour are reproducible;
+* ``timeout_s`` is the per-chunk deadline after which a worker is
+  declared hung and its pool torn down;
+* ``max_pool_respawns`` bounds how many times a died
+  ``ProcessPoolExecutor`` is rebuilt before the executor degrades to
+  serial in-process evaluation.
+
+Sweep cells are deterministic, so only
+:class:`~repro.errors.TransientError` is worth retrying: any other
+exception would fail identically on the next attempt and is escalated
+as :class:`~repro.errors.FatalError` immediately.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.errors import EngineError, TransientError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the resilient executor retries, times out and degrades.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries per chunk (first run included) before a transient
+        failure is escalated to :class:`~repro.errors.FatalError`.
+    base_delay_s, backoff, max_delay_s:
+        Capped exponential backoff: retry ``n`` (1-based) waits
+        ``min(max_delay_s, base_delay_s * backoff**(n-1))`` plus jitter.
+    jitter:
+        Fraction of the raw delay added as deterministic jitter in
+        ``[0, jitter)``, keyed by ``(seed, attempt, token)``.
+    seed:
+        Jitter seed; two policies differing only in seed produce
+        different (but individually reproducible) delay schedules.
+    timeout_s:
+        Per-chunk deadline in seconds; ``None`` (the default) waits
+        forever.  A chunk that misses its deadline is treated as a hung
+        worker: the pool is killed and the chunk re-queued.
+    max_pool_respawns:
+        Pool deaths (worker crashes or hangs) tolerated before the
+        executor falls back to serial in-process evaluation.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.05
+    backoff: float = 2.0
+    max_delay_s: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+    timeout_s: float | None = None
+    max_pool_respawns: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise EngineError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise EngineError(
+                "retry delays must be >= 0, got "
+                f"base_delay_s={self.base_delay_s}, max_delay_s={self.max_delay_s}"
+            )
+        if self.backoff < 1.0:
+            raise EngineError(f"backoff must be >= 1, got {self.backoff}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise EngineError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise EngineError(
+                f"timeout_s must be positive or None, got {self.timeout_s}"
+            )
+        if self.max_pool_respawns < 0:
+            raise EngineError(
+                f"max_pool_respawns must be >= 0, got {self.max_pool_respawns}"
+            )
+
+    # -- classification ----------------------------------------------------
+
+    @staticmethod
+    def is_transient(exc: BaseException) -> bool:
+        """Whether retrying ``exc`` could possibly succeed.
+
+        Only :class:`~repro.errors.TransientError` qualifies: cells are
+        deterministic, so a ``ValueError`` from a malformed spec or a
+        ``ConfigurationError`` from an illegal boundary recurs on every
+        attempt and must surface immediately.
+        """
+        return isinstance(exc, TransientError)
+
+    # -- backoff -----------------------------------------------------------
+
+    def jitter_unit(self, attempt: int, token: str = "") -> float:
+        """Deterministic value in ``[0, 1)`` keyed by attempt and token."""
+        digest = hashlib.sha256(
+            f"{self.seed}:{attempt}:{token}".encode("utf-8")
+        ).digest()
+        return int.from_bytes(digest[:8], "big") / 2**64
+
+    def delay_s(self, attempt: int, token: str = "") -> float:
+        """Backoff before retry number ``attempt`` (1-based).
+
+        ``token`` (typically the chunk index) decorrelates the jitter of
+        chunks retrying at the same attempt number so they do not
+        thundering-herd a shared resource.
+        """
+        if attempt < 1:
+            return 0.0
+        raw = min(
+            self.max_delay_s, self.base_delay_s * self.backoff ** (attempt - 1)
+        )
+        return raw * (1.0 + self.jitter * self.jitter_unit(attempt, token))

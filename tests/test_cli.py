@@ -26,8 +26,29 @@ class TestParser:
             ["suite"],
             ["clock"],
             ["power"],
+            ["cache-verify", "--cache-dir", "x"],
+            ["resilience", "check"],
         ):
             assert parser.parse_args(argv).command == argv[0]
+
+    def test_resilience_flags_parse(self):
+        args = build_parser().parse_args(
+            ["figure", "9", "--jobs", "4", "--chunk-size", "2",
+             "--retries", "5", "--timeout", "120",
+             "--journal", "fig9.journal", "--resume"]
+        )
+        assert args.chunk_size == 2
+        assert args.retries == 5
+        assert args.timeout == 120.0
+        assert args.journal == "fig9.journal"
+        assert args.resume
+
+    def test_resume_without_journal_is_rejected(self):
+        from repro.cli import _engine_from_args
+
+        args = build_parser().parse_args(["figure", "9", "--resume"])
+        with pytest.raises(SystemExit, match="--journal"):
+            _engine_from_args(args)
 
 
 class TestCommands:
@@ -81,3 +102,14 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "average reduction" in out
         assert "stereo" in out
+
+    def test_cache_verify_reports_and_sets_exit_code(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert main(["cache-verify", "--cache-dir", str(cache_dir)]) == 0
+        assert "0 entries checked" in capsys.readouterr().out
+        entry = cache_dir / "ab" / ("ab" + "0" * 62 + ".json")
+        entry.parent.mkdir(parents=True)
+        entry.write_text("not json at all")
+        assert main(["cache-verify", "--cache-dir", str(cache_dir)]) == 1
+        out = capsys.readouterr().out
+        assert "1 corrupt" in out and "quarantine" in out
