@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-engine obs-check resilience-check figures examples clean
+.PHONY: install test bench bench-engine obs-check resilience-check robust-check figures examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -28,6 +28,13 @@ obs-check:
 resilience-check:
 	PYTHONPATH=src $(PYTHON) -m repro resilience check
 	PYTHONPATH=src $(PYTHON) -m pytest tests/test_resilience.py
+
+# Degraded-hardware drill: seeded increment faults + sensor noise over
+# all four adaptive structures, watchdog recovery verified, plus the
+# robustness unit/property tests.
+robust-check:
+	PYTHONPATH=src $(PYTHON) -m repro robust check
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_robust.py tests/test_robust_invariants.py
 
 figures:
 	$(PYTHON) -m repro export all --out figures

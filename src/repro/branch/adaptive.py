@@ -44,8 +44,8 @@ class AdaptiveBranchPredictor(ComplexityAdaptiveStructure[int]):
         self._current = initial_entries if initial_entries is not None else sizes[-1]
         self.validate(self._current)
 
-    def configurations(self) -> Sequence[int]:
-        """Enabled sizes, smallest (fastest) first."""
+    def _all_configurations(self) -> Sequence[int]:
+        """Designed table sizes, smallest (fastest) first."""
         return tuple(sorted(self.timing.sizes))
 
     def delay_ns(self, config: int) -> float:
@@ -60,7 +60,7 @@ class AdaptiveBranchPredictor(ComplexityAdaptiveStructure[int]):
 
     def reconfigure(self, config: int) -> ReconfigurationCost:
         """Resize the table, charging the retraining transient."""
-        self.validate(config)
+        self.validate_reachable(config)
         changed = config != self._current
         obs.event(
             "structure.reconfigure", structure=self.name,

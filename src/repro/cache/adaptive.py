@@ -57,8 +57,8 @@ class AdaptiveCacheHierarchy(ComplexityAdaptiveStructure[int]):
 
     # -- ComplexityAdaptiveStructure interface ---------------------------
 
-    def configurations(self) -> Sequence[int]:
-        """Boundary positions, smallest (fastest) L1 first."""
+    def _all_configurations(self) -> Sequence[int]:
+        """Designed boundary positions, smallest (fastest) L1 first."""
         return self._boundaries
 
     def delay_ns(self, config: int) -> float:
@@ -73,7 +73,7 @@ class AdaptiveCacheHierarchy(ComplexityAdaptiveStructure[int]):
 
     def reconfigure(self, config: int) -> ReconfigurationCost:
         """Move the boundary; data stays put, only the clock may change."""
-        self.validate(config)
+        self.validate_reachable(config)
         changed = config != self.configuration
         obs.event(
             "structure.reconfigure", structure=self.name,

@@ -635,6 +635,153 @@ def _resilience_check() -> int:
     return 0
 
 
+def _degrade(args, engine: ExperimentEngine) -> None:
+    """Print the graceful-degradation study's retained-TPI grid."""
+    from repro.experiments.degradation_study import degradation_study
+
+    study = degradation_study(
+        fail_fractions=tuple(args.faults),
+        noise_fractions=tuple(args.noise),
+        seed=args.seed,
+        n_rounds=args.rounds,
+        engine=engine,
+    )
+    print(
+        "Graceful degradation: TPI retained vs the fault-free oracle "
+        f"(seed {study.seed}, {study.n_rounds} adaptation rounds)"
+    )
+    rows = [
+        [
+            c.structure,
+            f"{c.fail_fraction:.0%}",
+            f"{c.noise_fraction:.0%}",
+            f"{c.n_reachable}/{c.n_designed}",
+            c.oracle_tpi_ns,
+            c.final_tpi_ns,
+            f"{c.retained:.1%}",
+            f"{c.n_fallbacks}/{c.n_regressions}",
+        ]
+        for c in study.cells
+    ]
+    print(format_table(
+        ["structure", "faults", "noise", "reachable", "oracle TPI",
+         "final TPI", "retained", "fallbacks/regr"],
+        rows,
+    ))
+    print(
+        f"worst retained: {study.worst_retained():.1%}; "
+        f"unrecovered regressions: {study.total_unrecovered()}"
+    )
+
+
+def _robust_check() -> int:
+    """Prove the degraded-hardware paths; exit non-zero on any failure.
+
+    Runs the degradation study at 25% failed increments + 10% sensor
+    noise over all four structures, then directly exercises the
+    watchdog-fallback, thrash-lock and sensor-dropout paths, and
+    verifies the whole stack is deterministic under a fixed seed.
+    """
+    from repro.experiments.degradation_study import degradation_study
+    from repro.obs.metrics import metrics
+    from repro.robust import (
+        GuardrailConfig,
+        HardwareFaultModel,
+        NoisySensor,
+        SensorNoiseConfig,
+        ThrashDetector,
+    )
+
+    study = degradation_study(
+        fail_fractions=(0.25,), noise_fractions=(0.10,),
+        n_refs=2_000, warmup_refs=500,
+        n_instructions=1_000, n_branches=1_000,
+    )
+    if len(study.cells) != 4:
+        print("robust check FAILED: expected all four structures", file=sys.stderr)
+        return 1
+    if any(c.n_reachable >= c.n_designed for c in study.cells):
+        print(
+            "robust check FAILED: 25% fault injection masked nothing",
+            file=sys.stderr,
+        )
+        return 1
+    if study.total_unrecovered() != 0:
+        print(
+            f"robust check FAILED: {study.total_unrecovered()} TPI "
+            "regressions left unrecovered",
+            file=sys.stderr,
+        )
+        return 1
+    if not 0.0 < study.worst_retained() <= 1.0:
+        print(
+            f"robust check FAILED: nonsensical retained fraction "
+            f"{study.worst_retained()}",
+            file=sys.stderr,
+        )
+        return 1
+
+    again = degradation_study(
+        fail_fractions=(0.25,), noise_fractions=(0.10,),
+        n_refs=2_000, warmup_refs=500,
+        n_instructions=1_000, n_branches=1_000,
+    )
+    if again.cells != study.cells:
+        print(
+            "robust check FAILED: same-seed study runs diverged",
+            file=sys.stderr,
+        )
+        return 1
+
+    # Deterministic fault draw, dropout and thrash-lock paths.
+    model_a = HardwareFaultModel.seeded(7, {"dcache": 8}, 0.5)
+    model_b = HardwareFaultModel.seeded(7, {"dcache": 8}, 0.5)
+    if model_a.faults != model_b.faults or not model_a.faults:
+        print("robust check FAILED: seeded fault draw not deterministic",
+              file=sys.stderr)
+        return 1
+    sensor = NoisySensor(SensorNoiseConfig(dropout_rate=1.0), seed=1)
+    if sensor.read(0, 1.0) is not None:
+        print("robust check FAILED: full dropout still delivered a sample",
+              file=sys.stderr)
+        return 1
+    detector = ThrashDetector(GuardrailConfig(thrash_threshold=2, cooldown=4))
+    detector.record_switch(0)
+    detector.record_switch(1)
+    if not detector.locked(2) or detector.n_locks != 1:
+        print("robust check FAILED: thrash detector never locked",
+              file=sys.stderr)
+        return 1
+
+    reg = metrics()
+
+    def fired(name: str) -> float:  # labelled counters: sum every series
+        return sum(reg.counter(name).collect().values())
+
+    needed = {
+        "repro_robust_faults_injected_total",
+        "repro_robust_watchdog_regressions_total",
+        "repro_robust_watchdog_fallbacks_total",
+        "repro_robust_sensor_dropouts_total",
+        "repro_robust_thrash_locks_total",
+    }
+    quiet = sorted(c for c in needed if fired(c) == 0)
+    if quiet:
+        print(f"robust check FAILED: counters never fired: {quiet}",
+              file=sys.stderr)
+        return 1
+    worst = min(study.cells, key=lambda c: c.retained)
+    print(
+        "robust check ok: 25% faults + 10% noise; all four structures "
+        "completed, every TPI regression recovered "
+        f"(worst retained {worst.retained:.1%} on {worst.structure}; "
+        f"faults={fired('repro_robust_faults_injected_total'):.0f}, "
+        f"regressions={fired('repro_robust_watchdog_regressions_total'):.0f}, "
+        f"fallbacks={fired('repro_robust_watchdog_fallbacks_total'):.0f})"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -698,6 +845,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject crash/hang/transient/corruption faults into a tiny "
              "sweep and verify byte-identical recovery plus resume",
     )
+    deg = sub.add_parser(
+        "degrade",
+        help="graceful-degradation study: TPI retained with failed "
+             "increments and noisy sensors",
+        parents=[engine_opts],
+    )
+    deg.add_argument(
+        "--faults", type=float, nargs="+", default=[0.25], metavar="F",
+        help="fractions of non-minimal increments to fail (default: 0.25)",
+    )
+    deg.add_argument(
+        "--noise", type=float, nargs="+", default=[0.10], metavar="F",
+        help="multiplicative TPI sensor noise levels (default: 0.10)",
+    )
+    deg.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for fault draws and sensor noise (default: 0)",
+    )
+    deg.add_argument(
+        "--rounds", type=int, default=12,
+        help="adaptation rounds per grid cell (default: 12)",
+    )
+    robp = sub.add_parser(
+        "robust", help="degraded hardware: self-check the robustness paths"
+    )
+    rob_sub = robp.add_subparsers(dest="robust_command", required=True)
+    rob_sub.add_parser(
+        "check",
+        help="run the degradation study at 25%% faults + 10%% noise and "
+             "verify every guardrail path fires and recovers",
+    )
     sub.add_parser("suite", help="print the calibrated application suite")
     sub.add_parser("clock", help="print the CAP clock table")
     sub.add_parser("power", help="print the Section 4.1 power modes")
@@ -757,6 +935,13 @@ def _dispatch(args) -> int:
         return _cache_verify(args.cache_dir)
     elif args.command == "resilience":
         return _resilience_check()
+    elif args.command == "degrade":
+        engine = _engine_from_args(args)
+        _run_observed(args, "degrade", lambda: _degrade(args, engine))
+        if args.telemetry:
+            _print_telemetry_summary(args.telemetry)
+    elif args.command == "robust":
+        return _robust_check()
     elif args.command == "cache-clear":
         engine = ExperimentEngine(cache_dir=args.cache_dir)
         dropped = engine.invalidate_cache(kind=args.kind)

@@ -21,16 +21,24 @@ and the hysteresis margin are the hardware-budget knobs.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Mapping, Sequence
 
 import numpy as np
 
 from repro.core.monitor import IntervalSample, PerformanceMonitor
-from repro.errors import ConfigurationError, SimulationError
+from repro.errors import (
+    ConfigurationError,
+    DegradedHardwareError,
+    SensorError,
+    SimulationError,
+)
 from repro.obs import trace as obs
 from repro.obs.metrics import metrics
 from repro.ooo.intervals import IntervalSeries
+from repro.robust.guardrails import GuardrailConfig, ThrashDetector
+from repro.robust.sensors import NoisySensor
 
 #: Histogram buckets for per-interval TPI observations (ns).
 INTERVAL_TPI_BUCKETS: tuple[float, ...] = (
@@ -90,21 +98,73 @@ class OnlineController:
         self,
         configurations: tuple[int, ...],
         config: ControllerConfig | None = None,
+        guardrails: GuardrailConfig | None = None,
     ) -> None:
         if len(configurations) < 2:
             raise ConfigurationError("controller needs at least two configurations")
         self.configurations = tuple(sorted(configurations))
         self.config = config if config is not None else ControllerConfig()
         self.monitor = PerformanceMonitor()
+        self._thrash = ThrashDetector(guardrails) if guardrails is not None else None
         self._estimate: dict[int, float] = {}
         self._last_seen: dict[int, int] = {}
         self._interval = 0
         self._change_flag = False
 
-    def observe(self, configuration: int, tpi_ns: float, instructions: int) -> None:
-        """Feed one finished interval's measurement."""
+    @property
+    def thrash_locks(self) -> int:
+        """Thrash locks imposed so far (0 without guardrails)."""
+        return self._thrash.n_locks if self._thrash is not None else 0
+
+    def mask_configuration(self, configuration: int) -> None:
+        """Remove a configuration that hardware faults made unreachable.
+
+        The controller forgets its estimate for the masked
+        configuration and never selects or probes it again.  Masking
+        the last remaining configuration is refused — a controller with
+        nothing to run is a dead machine, not a degraded one.
+        """
         if configuration not in self.configurations:
             raise ConfigurationError(f"unknown configuration {configuration}")
+        if len(self.configurations) == 1:
+            raise DegradedHardwareError(
+                "cannot mask the controller's last remaining configuration"
+            )
+        self.configurations = tuple(
+            c for c in self.configurations if c != configuration
+        )
+        self._estimate.pop(configuration, None)
+        self._last_seen.pop(configuration, None)
+        obs.event(
+            "robust.config_masked",
+            interval=self._interval, configuration=configuration,
+            remaining=len(self.configurations),
+        )
+        metrics().counter(
+            "repro_robust_configs_masked_total",
+            "configurations masked out of the online controller",
+        ).inc()
+
+    def observe(self, configuration: int, tpi_ns: float, instructions: int) -> None:
+        """Feed one finished interval's measurement.
+
+        Validation happens before any state mutation: a NaN or negative
+        TPI used to update ``_estimate`` first and only blow up when the
+        monitor sample was built, leaving a poisoned estimate behind.
+        """
+        if configuration not in self.configurations:
+            raise ConfigurationError(f"unknown configuration {configuration}")
+        try:
+            if not tpi_ns > 0 or not math.isfinite(tpi_ns):
+                raise SensorError(
+                    f"observed TPI must be finite and positive, got {tpi_ns!r}"
+                )
+        except TypeError:
+            raise SensorError(
+                f"observed TPI must be numeric, got {tpi_ns!r}"
+            ) from None
+        if instructions <= 0:
+            raise SimulationError("interval must contain instructions")
         alpha = self.config.ewma_alpha
         old = self._estimate.get(configuration)
         if old is not None and abs(tpi_ns - old) > self.config.change_threshold * old:
@@ -145,6 +205,8 @@ class OnlineController:
             for j in (idx - 1, idx + 1)
             if 0 <= j < len(self.configurations)
         ]
+        if not neighbours:  # masking can leave home as the only config
+            return home
         return min(
             neighbours, key=lambda c: self._last_seen.get(c, -1)
         )
@@ -184,6 +246,11 @@ class OnlineController:
     def _decide(self, home: int) -> tuple[int, bool, str]:
         """The decision rule of :meth:`choose`, plus why it fired."""
         cfg = self.config
+        if self._thrash is not None and self._thrash.locked(self._interval):
+            # thrash cooldown: no probes, no switches — sit at home
+            return home, False, "thrash_lock"
+        if len(self.configurations) < 2:
+            return home, False, "stay"
         change_pending = self._change_flag
         due = self._interval > 0 and (
             self._interval % cfg.probe_period == 0 or self._change_flag
@@ -191,7 +258,9 @@ class OnlineController:
         if due:
             neighbour = self._stalest_neighbour(home)
             age = self._interval - self._last_seen.get(neighbour, -(10**9))
-            if age >= min(cfg.probe_period, 2) or self._change_flag:
+            if neighbour != home and (
+                age >= min(cfg.probe_period, 2) or self._change_flag
+            ):
                 self._change_flag = False
                 return neighbour, True, (
                     "change_detected" if change_pending else "probe_period"
@@ -202,6 +271,12 @@ class OnlineController:
         best = min(known, key=known.__getitem__)
         if best != home and home in known:
             if known[best] < known[home] * (1 - cfg.switch_margin):
+                if self._thrash is not None:
+                    # count the commit attempt; if it trips the lock,
+                    # this very switch is the one that gets suppressed
+                    self._thrash.record_switch(self._interval)
+                    if self._thrash.locked(self._interval):
+                        return home, False, "thrash_lock"
                 return best, False, "switch"
             return home, False, "hysteresis_hold"
         return home, False, "stay"
@@ -212,12 +287,23 @@ def run_online(
     controller: OnlineController,
     initial: int,
     switch_pause_cycles: int = 30,
+    sensor: NoisySensor | None = None,
+    fault_schedule: Mapping[int, Sequence[int]] | None = None,
 ) -> ControllerOutcome:
     """Drive the controller against per-configuration interval series.
 
     Unlike :func:`repro.core.policies.evaluate_policy`, the controller
     is never told which configuration *would have been* best — it only
     sees what it ran.
+
+    ``sensor`` (optional) corrupts the controller's *observations*: the
+    machine still spends the true interval time, but the controller sees
+    the noisy reading, and dropped samples are simply never observed.
+    ``fault_schedule`` (optional) maps interval index to configurations
+    that become unreachable at the start of that interval (hardware
+    increments dying mid-run); the controller masks them, and if the
+    machine is *currently running* a config that just died, it pays a
+    forced evacuation switch before the interval runs.
     """
     if initial not in series:
         raise SimulationError(f"initial configuration {initial} not in series")
@@ -241,13 +327,43 @@ def run_online(
         switch_pause_cycles=switch_pause_cycles,
     ) as run_sp:
         for i in range(n_intervals):
+            if fault_schedule and i in fault_schedule:
+                for dead in fault_schedule[i]:
+                    if (
+                        dead in controller.configurations
+                        and len(controller.configurations) > 1
+                    ):
+                        controller.mask_configuration(dead)
+                if home not in controller.configurations:
+                    home = min(
+                        controller.configurations,
+                        key=lambda c: controller._estimate.get(c, float("inf")),
+                    )
+                if current not in controller.configurations:
+                    # forced evacuation: the running config just died
+                    pause = switch_pause_cycles * series[home].cycle_time_ns
+                    overhead_ns += pause
+                    total_ns += pause
+                    switches += 1
+                    obs.event(
+                        "robust.fault_evacuation",
+                        interval=i, from_config=current, to_config=home,
+                        pause_ns=pause,
+                    )
+                    metrics().counter(
+                        "repro_robust_fault_evacuations_total",
+                        "forced switches off a config that died mid-run",
+                    ).inc()
+                    current = home
             with obs.span(
                 "interval", level="interval", index=i, configuration=current
             ) as sp:
                 chosen[i] = current
                 tpi = float(series[current].tpi_ns[i])
                 total_ns += tpi * instr
-                controller.observe(current, tpi, instr)
+                observed = sensor.read(i, tpi) if sensor is not None else tpi
+                if observed is not None:
+                    controller.observe(current, observed, instr)
                 nxt, is_probe = controller.choose(home)
                 if is_probe:
                     probes += 1

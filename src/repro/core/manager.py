@@ -23,6 +23,7 @@ from repro.core.structure import ComplexityAdaptiveStructure
 from repro.errors import ConfigurationError
 from repro.obs import trace as obs
 from repro.obs.metrics import metrics
+from repro.robust.guardrails import TpiWatchdog, WatchdogVerdict
 
 
 @dataclass(frozen=True)
@@ -44,6 +45,7 @@ class ConfigurationManager:
         self,
         clock: DynamicClock,
         structures: tuple[ComplexityAdaptiveStructure, ...],
+        watchdog: TpiWatchdog | None = None,
     ) -> None:
         if not structures:
             raise ConfigurationError("manager needs at least one adaptive structure")
@@ -52,10 +54,14 @@ class ConfigurationManager:
             raise ConfigurationError(f"duplicate structure names: {names}")
         self.clock = clock
         self.structures = {s.name: s for s in structures}
+        self.watchdog = watchdog if watchdog is not None else TpiWatchdog()
         #: Per-process configuration registers (saved/restored by the OS
         #: on context switches in the paper's scheme).
         self._registers: dict[str, dict[str, Hashable]] = {}
         self._decisions: list[ConfigurationDecision] = []
+        #: Most recent decision per (process, structure) — what
+        #: :meth:`report_achieved` compares achieved TPI against.
+        self._latest: dict[tuple[str, str], ConfigurationDecision] = {}
 
     def select_for_process(
         self,
@@ -91,6 +97,7 @@ class ConfigurationManager:
         )
         self._registers.setdefault(process, {})[structure] = best
         self._decisions.append(decision)
+        self._latest[(process, structure)] = decision
         metrics().counter(
             "repro_manager_decisions_total",
             "process-level configuration decisions made",
@@ -148,6 +155,109 @@ class ConfigurationManager:
             "repro_clock_cycle_ns", "cycle time after the latest reconfiguration"
         ).set(new_cycle)
         return overhead_ns
+
+    def report_achieved(
+        self, process: str, structure: str, achieved_tpi_ns: float
+    ) -> WatchdogVerdict:
+        """Feed a selection's *achieved* TPI to the regression watchdog.
+
+        Compares against the latest decision's prediction.  On a
+        regression beyond the watchdog tolerance, falls back to the
+        best-known-safe configuration — a currently-reachable one that
+        has *measured* strictly better — applying it immediately (with
+        full reconfiguration costs) and updating the process's
+        configuration registers.  Without such a configuration the
+        regression is recorded but nothing moves: a blind fallback could
+        make things worse.
+        """
+        decision = self._latest.get((process, structure))
+        if decision is None:
+            raise ConfigurationError(
+                f"no decision on record for process {process!r} / {structure!r}"
+            )
+        cas = self._structure(structure)
+        verdict = self.watchdog.check(
+            process,
+            structure,
+            decision.configuration,
+            decision.predicted_tpi_ns,
+            achieved_tpi_ns,
+            tuple(cas.configurations()),
+        )
+        if verdict.regression:
+            obs.event(
+                "robust.tpi_regression",
+                process=process, structure=structure,
+                configuration=decision.configuration,
+                predicted_tpi_ns=decision.predicted_tpi_ns,
+                achieved_tpi_ns=achieved_tpi_ns,
+                tolerance=self.watchdog.tolerance,
+            )
+            metrics().counter(
+                "repro_robust_watchdog_regressions_total",
+                "selections whose achieved TPI belied their prediction",
+            ).inc(structure=structure)
+            if verdict.fallback is not None:
+                predicted = self.watchdog.achieved_history(process, structure)[
+                    verdict.fallback
+                ]
+                self.apply(structure, verdict.fallback, trigger="watchdog_fallback")
+                self._registers.setdefault(process, {})[structure] = verdict.fallback
+                fallback_decision = ConfigurationDecision(
+                    process=process,
+                    structure=structure,
+                    configuration=verdict.fallback,
+                    predicted_tpi_ns=predicted,
+                    cycle_time_ns=self.clock.cycle_time_ns(),
+                )
+                self._latest[(process, structure)] = fallback_decision
+                obs.event(
+                    "robust.watchdog_fallback",
+                    process=process, structure=structure,
+                    from_config=decision.configuration,
+                    to_config=verdict.fallback,
+                    predicted_tpi_ns=predicted,
+                )
+                metrics().counter(
+                    "repro_robust_watchdog_fallbacks_total",
+                    "watchdog fallbacks to the best-known-safe configuration",
+                ).inc(structure=structure)
+        return verdict
+
+    def ensure_valid(self, process: str) -> dict[str, tuple[Hashable, Hashable]]:
+        """Remap any saved registers that hardware faults have masked.
+
+        Returns ``{structure: (old, new)}`` for every register that had
+        to move.  Under the contiguous-truncation capability mask the
+        nearest reachable stand-in is the largest surviving
+        configuration.  Registers are updated in place; the
+        reconfiguration itself happens at the next
+        :meth:`context_switch` / :meth:`apply`, as usual.
+        """
+        registers = self._registers.get(process)
+        if registers is None:
+            raise ConfigurationError(
+                f"no configuration registers saved for {process!r}"
+            )
+        remapped: dict[str, tuple[Hashable, Hashable]] = {}
+        for structure, config in registers.items():
+            cas = self._structure(structure)
+            reachable = tuple(cas.configurations())
+            if config in reachable:
+                continue
+            replacement = reachable[-1]
+            registers[structure] = replacement
+            remapped[structure] = (config, replacement)
+            obs.event(
+                "robust.config_remapped",
+                process=process, structure=structure,
+                from_config=config, to_config=replacement,
+            )
+            metrics().counter(
+                "repro_robust_remaps_total",
+                "saved configuration registers remapped off masked configs",
+            ).inc(structure=structure)
+        return remapped
 
     def saved_configuration(self, process: str, structure: str) -> Hashable:
         """Read a process's saved configuration register."""

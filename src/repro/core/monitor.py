@@ -9,11 +9,12 @@ reconfiguration points.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from dataclasses import dataclass
 from typing import Hashable
 
-from repro.errors import SimulationError
+from repro.errors import SensorError, SimulationError
 
 
 @dataclass(frozen=True)
@@ -26,8 +27,15 @@ class IntervalSample:
     instructions: int
 
     def __post_init__(self) -> None:
+        # NaN slips through a bare `<= 0` comparison (every comparison
+        # with NaN is False) and would silently poison every average
+        # downstream; check finiteness explicitly.
+        if not isinstance(self.tpi_ns, (int, float)) or not math.isfinite(self.tpi_ns):
+            raise SensorError(
+                f"interval TPI must be a finite number, got {self.tpi_ns!r}"
+            )
         if self.tpi_ns <= 0:
-            raise SimulationError(f"interval TPI must be positive, got {self.tpi_ns}")
+            raise SensorError(f"interval TPI must be positive, got {self.tpi_ns}")
         if self.instructions <= 0:
             raise SimulationError("interval must contain instructions")
 
@@ -65,6 +73,14 @@ class PerformanceMonitor:
         updated *before* any eviction, so evicted samples keep counting
         toward the cumulative average.
         """
+        # IntervalSample validates at construction, but the accumulators
+        # here are the stats that a bad value poisons irreversibly —
+        # re-check at the recording boundary.
+        if not math.isfinite(sample.tpi_ns) or sample.tpi_ns <= 0:
+            raise SensorError(
+                f"refusing to record non-finite/non-positive TPI "
+                f"{sample.tpi_ns!r}"
+            )
         self._total_time_ns += sample.tpi_ns * sample.instructions
         self._total_instructions += sample.instructions
         self._samples.append(sample)  # deque(maxlen) evicts the oldest

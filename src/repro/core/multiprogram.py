@@ -29,6 +29,7 @@ from repro.core.clock import DynamicClock
 from repro.core.manager import ConfigurationManager
 from repro.errors import SimulationError, WorkloadError
 from repro.obs import trace as obs
+from repro.robust.faults import HardwareFaultModel
 from repro.workloads.address_trace import generate_address_trace
 from repro.workloads.suite import get_profile
 
@@ -68,12 +69,19 @@ def run_multiprogrammed(
     timeslice_refs: int = 3000,
     total_refs_per_process: int = 24_000,
     seed_offset: int = 0,
+    fault_model: HardwareFaultModel | None = None,
 ) -> MultiprogramResult:
     """Round-robin the processes over one shared adaptive cache.
 
     Every process runs ``timeslice_refs`` references per slice; on each
     switch the manager restores the incoming process's configuration
     registers (paying drain/clock costs) before its slice starts.
+
+    ``fault_model`` (optional) degrades the shared cache: reset-time
+    faults apply before any process is profiled (a process whose chosen
+    boundary is masked runs at the largest surviving one), and mid-run
+    faults land between slices, with the manager remapping any saved
+    registers the fault masked.
     """
     if not processes:
         raise WorkloadError("no processes to run")
@@ -84,6 +92,8 @@ def run_multiprogrammed(
         raise WorkloadError("duplicate process names")
 
     dcache = AdaptiveCacheHierarchy()
+    if fault_model is not None:
+        fault_model.apply(dcache)
     clock = DynamicClock(adaptive_structures=(dcache,))
     manager = ConfigurationManager(clock=clock, structures=(dcache,))
     timing = CacheTimingModel(geometry=PAPER_GEOMETRY)
@@ -103,11 +113,23 @@ def run_multiprogrammed(
             )
             cursors[spec.app] = 0
             ls[spec.app] = profile.memory.load_store_fraction
-            # pre-load the process's configuration registers
+            # pre-load the process's configuration registers; a boundary
+            # masked by reset-time faults degrades to the largest
+            # surviving one (nearest capacity under truncation masking)
+            reachable = tuple(dcache.configurations())
+            boundary = (
+                spec.boundary if spec.boundary in reachable else reachable[-1]
+            )
+            if boundary != spec.boundary:
+                obs.event(
+                    "robust.config_remapped",
+                    process=spec.app, structure="dcache",
+                    from_config=spec.boundary, to_config=boundary,
+                )
             with obs.span("process_setup", level="section", app=spec.app):
                 manager.select_for_process(
                     spec.app, "dcache",
-                    lambda k, b=spec.boundary: 0.0 if k == b else 1.0,
+                    lambda k, b=boundary: 0.0 if k == b else 1.0,
                 )
 
         total_ns = 0.0
@@ -122,6 +144,12 @@ def run_multiprogrammed(
                 start = cursors[name]
                 if start >= total_refs_per_process:
                     continue
+                if fault_model is not None and switches > 0:
+                    # reset-time faults already applied; only mid-run
+                    # faults (at_interval >= 1) land between slices
+                    if fault_model.apply_due(dcache, switches):
+                        for proc in names:
+                            manager.ensure_valid(proc)
                 with obs.span(
                     "interval", level="interval", index=switches, app=name,
                     configuration=spec.boundary,

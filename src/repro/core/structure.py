@@ -17,7 +17,9 @@ import abc
 from dataclasses import dataclass, field
 from typing import Any, Generic, Hashable, Mapping, Sequence, TypeVar
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, DegradedHardwareError
+from repro.obs import trace as obs
+from repro.obs.metrics import metrics
 
 ConfigT = TypeVar("ConfigT", bound=Hashable)
 
@@ -98,14 +100,43 @@ class ComplexityAdaptiveStructure(abc.ABC, Generic[ConfigT]):
     (:class:`repro.cache.adaptive.AdaptiveCacheHierarchy`) and the
     resizable instruction queue
     (:class:`repro.ooo.adaptive.AdaptiveInstructionQueue`).
+
+    Capability mask
+    ---------------
+    A CAS is physically built from ordered increments (cache increments,
+    16-entry queue segments, TLB sections, predictor banks).  The
+    configuration at ascending position ``i`` enables units ``0..i``, so
+    a failed unit ``j`` (marked via :meth:`fail_unit`, typically by a
+    :class:`~repro.robust.faults.HardwareFaultModel`) makes every
+    configuration at position ``>= j`` unreachable.
+    :meth:`configurations` exposes only the reachable prefix;
+    :meth:`validate_reachable` (used by every ``reconfigure``) raises a
+    typed :class:`~repro.errors.DegradedHardwareError` for masked
+    targets.  :meth:`delay_ns` stays defined for masked configurations —
+    the worst-case timing analysis happened at design time, and the
+    clock must still be computable while the machine migrates *away*
+    from a configuration that just lost an increment.
     """
 
     #: Short identifier used in reports.
     name: str = "cas"
 
     @abc.abstractmethod
+    def _all_configurations(self) -> Sequence[ConfigT]:
+        """Every designed configuration, smallest/fastest first."""
+
     def configurations(self) -> Sequence[ConfigT]:
-        """All supported configurations, smallest/fastest first."""
+        """Reachable configurations, smallest/fastest first.
+
+        On healthy hardware this is every designed configuration; after
+        increment faults it is the prefix below the smallest failed
+        unit.
+        """
+        designed = tuple(self._all_configurations())
+        failed = self.failed_units
+        if not failed:
+            return designed
+        return designed[: min(failed)]
 
     @abc.abstractmethod
     def delay_ns(self, config: ConfigT) -> float:
@@ -120,18 +151,95 @@ class ComplexityAdaptiveStructure(abc.ABC, Generic[ConfigT]):
     def reconfigure(self, config: ConfigT) -> ReconfigurationCost:
         """Switch to ``config``, returning the cost of doing so."""
 
+    # -- degraded-hardware capability mask --------------------------------
+
+    @property
+    def failed_units(self) -> frozenset[int]:
+        """Indices (into the ascending configuration order) of failed
+        hardware units.  Empty on healthy hardware."""
+        return getattr(self, "_failed_units", frozenset())
+
+    @property
+    def is_degraded(self) -> bool:
+        """Whether any hardware unit has been marked failed."""
+        return bool(self.failed_units)
+
+    def capability_mask(self) -> tuple[bool, ...]:
+        """Reachability of each designed configuration, in order."""
+        designed = tuple(self._all_configurations())
+        failed = self.failed_units
+        limit = min(failed) if failed else len(designed)
+        return tuple(i < limit for i in range(len(designed)))
+
+    def fail_unit(self, unit: int) -> None:
+        """Mark one hardware unit failed, shrinking the reachable set.
+
+        ``unit`` indexes the ascending configuration order: failing unit
+        ``j`` masks every configuration at position ``>= j``.  Failing
+        unit 0 would leave no reachable configuration, so it raises
+        :class:`~repro.errors.DegradedHardwareError` and leaves the mask
+        unchanged.
+        """
+        n = len(tuple(self._all_configurations()))
+        if not 0 <= unit < n:
+            raise ConfigurationError(
+                f"{self.name}: no hardware unit {unit} (structure has {n})"
+            )
+        if unit == 0:
+            raise DegradedHardwareError(
+                f"{self.name}: failing unit 0 would leave no reachable "
+                "configuration; the minimal increment must stay functional"
+            )
+        if unit in self.failed_units:  # a dead unit cannot die twice
+            return
+        self._failed_units = self.failed_units | {unit}
+        obs.event(
+            "robust.fault_injected", structure=self.name, unit=unit,
+            reachable=len(tuple(self.configurations())),
+            current=self.configuration,
+        )
+        metrics().counter(
+            "repro_robust_faults_injected_total",
+            "hardware increment faults injected into adaptive structures",
+        ).inc(structure=self.name)
+
+    def repair_all_units(self) -> None:
+        """Clear the capability mask (tests and what-if studies)."""
+        self._failed_units = frozenset()
+
+    # -- validation and derived views -------------------------------------
+
     def validate(self, config: ConfigT) -> None:
-        """Raise :class:`ConfigurationError` for unsupported configs."""
-        if config not in tuple(self.configurations()):
+        """Raise :class:`ConfigurationError` for undesigned configs.
+
+        Deliberately ignores the capability mask: a masked configuration
+        is still a *designed* one with known timing.  Use
+        :meth:`validate_reachable` to additionally reject masked
+        targets.
+        """
+        if config not in tuple(self._all_configurations()):
             raise ConfigurationError(
                 f"{self.name}: unsupported configuration {config!r}; "
-                f"supported: {tuple(self.configurations())!r}"
+                f"supported: {tuple(self._all_configurations())!r}"
+            )
+
+    def validate_reachable(self, config: ConfigT) -> None:
+        """Like :meth:`validate`, but also reject configurations masked
+        by hardware faults, with a typed
+        :class:`~repro.errors.DegradedHardwareError`."""
+        self.validate(config)
+        if config not in tuple(self.configurations()):
+            raise DegradedHardwareError(
+                f"{self.name}: configuration {config!r} is unreachable on "
+                f"degraded hardware (failed units "
+                f"{sorted(self.failed_units)}; reachable: "
+                f"{tuple(self.configurations())!r})"
             )
 
     def fastest_configuration(self) -> ConfigT:
-        """The configuration with the smallest critical-path delay."""
+        """The reachable configuration with the smallest delay."""
         return min(self.configurations(), key=self.delay_ns)
 
     def slowest_configuration(self) -> ConfigT:
-        """The configuration with the largest critical-path delay."""
+        """The reachable configuration with the largest delay."""
         return max(self.configurations(), key=self.delay_ns)

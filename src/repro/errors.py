@@ -21,8 +21,33 @@ class ConfigurationError(ReproError):
     """
 
 
+class DegradedHardwareError(ConfigurationError):
+    """A configuration is unreachable on the degraded hardware.
+
+    Raised when a reconfiguration targets a configuration masked out by
+    the capability mask (one or more of the increments it requires have
+    been marked failed by a
+    :class:`~repro.robust.faults.HardwareFaultModel`), or when a fault
+    would leave a structure with no reachable configuration at all.
+    Subclasses :class:`ConfigurationError` so existing handlers keep
+    working; catch this type to react specifically to hardware
+    degradation (e.g. fall back to a known-safe configuration).
+    """
+
+
 class SimulationError(ReproError):
     """A simulator was driven into an inconsistent state."""
+
+
+class SensorError(SimulationError):
+    """A performance-monitor reading was rejected as physically invalid.
+
+    Raised by input validation on the monitoring path — a non-finite or
+    non-positive TPI, or a non-positive instruction count — before the
+    value can poison cumulative statistics or controller estimates.
+    Subclasses :class:`SimulationError` so existing handlers keep
+    working.
+    """
 
 
 class WorkloadError(ReproError):

@@ -49,8 +49,8 @@ class AdaptiveInstructionQueue(ComplexityAdaptiveStructure[int]):
 
     # -- ComplexityAdaptiveStructure interface ---------------------------
 
-    def configurations(self) -> Sequence[int]:
-        """Enabled-entry counts, smallest (fastest) first."""
+    def _all_configurations(self) -> Sequence[int]:
+        """Designed enabled-entry counts, smallest (fastest) first."""
         return tuple(sorted(self.timing.sizes))
 
     def delay_ns(self, config: int) -> float:
@@ -65,7 +65,7 @@ class AdaptiveInstructionQueue(ComplexityAdaptiveStructure[int]):
 
     def reconfigure(self, config: int) -> ReconfigurationCost:
         """Resize the queue, paying the drain cost when shrinking."""
-        self.validate(config)
+        self.validate_reachable(config)
         changed = config != self.configuration
         obs.event(
             "structure.reconfigure", structure=self.name,

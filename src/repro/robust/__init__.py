@@ -1,0 +1,29 @@
+"""Degraded-hardware robustness: faults, noisy sensors, guardrails.
+
+This package makes the adaptive-control stack survivable when the
+modeled hardware is imperfect: increments can fail
+(:class:`HardwareFaultModel`), performance counters can lie
+(:class:`NoisySensor`), and the controller/manager grow guardrails
+(:class:`ThrashDetector`, :class:`TpiWatchdog`) that keep adaptation
+from amplifying either problem.  See ``docs/robustness.md``.
+"""
+
+from repro.robust.faults import HardwareFaultModel, UnitFault
+from repro.robust.guardrails import (
+    GuardrailConfig,
+    ThrashDetector,
+    TpiWatchdog,
+    WatchdogVerdict,
+)
+from repro.robust.sensors import NoisySensor, SensorNoiseConfig
+
+__all__ = [
+    "GuardrailConfig",
+    "HardwareFaultModel",
+    "NoisySensor",
+    "SensorNoiseConfig",
+    "ThrashDetector",
+    "TpiWatchdog",
+    "UnitFault",
+    "WatchdogVerdict",
+]

@@ -1,0 +1,185 @@
+"""Deterministic increment-fault injection for the modeled hardware.
+
+The resilience layer (:mod:`repro.resilience`) makes the *experiment
+execution* fault-tolerant; this module makes the *modeled adaptive
+hardware* degradable.  A :class:`HardwareFaultModel` is a fully explicit,
+seedable schedule of :class:`UnitFault` events — "cache increment 11
+fails at reset", "queue segment 3 fails at interval 40" — that it
+applies to :class:`~repro.core.structure.ComplexityAdaptiveStructure`
+instances via their capability mask (:meth:`fail_unit`).
+
+Unit indexing follows the structure's ascending configuration order:
+unit ``j`` is the increment that the ``j``-th configuration adds on top
+of the ``(j-1)``-th, so failing it masks every configuration at position
+``>= j``.  Unit 0 (the minimal increment) is never drawn by the seeded
+generator — a CAPs machine whose smallest configuration is dead is not
+degraded, it is bricked, and that regime is out of scope.
+
+Like :class:`repro.resilience.FaultPlan`, seeded draws hash
+``(seed, structure, unit)`` with SHA-256 so the same seed yields the
+same fault set across processes and Python versions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.core.structure import ComplexityAdaptiveStructure
+from repro.errors import ConfigurationError, DegradedHardwareError
+
+
+@dataclass(frozen=True)
+class UnitFault:
+    """One scheduled hardware-increment failure.
+
+    Attributes
+    ----------
+    structure:
+        Name of the adaptive structure the unit belongs to.
+    unit:
+        Index into the structure's ascending configuration order
+        (``>= 1``; unit 0 must stay functional).
+    at_interval:
+        When the fault manifests: 0 means present at reset, ``t > 0``
+        means the unit dies at the start of adaptation interval ``t``.
+    """
+
+    structure: str
+    unit: int
+    at_interval: int = 0
+
+    def __post_init__(self) -> None:
+        if self.unit < 1:
+            raise DegradedHardwareError(
+                f"{self.structure}: unit must be >= 1 (unit 0 is the minimal "
+                f"increment and must stay functional), got {self.unit}"
+            )
+        if self.at_interval < 0:
+            raise ConfigurationError(
+                f"fault interval must be >= 0, got {self.at_interval}"
+            )
+
+
+def _draw(seed: int, structure: str, unit: int) -> float:
+    """Uniform [0, 1) draw, a pure function of its arguments."""
+    digest = hashlib.sha256(f"{seed}:{structure}:{unit}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+class HardwareFaultModel:
+    """A deterministic, seedable schedule of increment faults.
+
+    Build one explicitly from :class:`UnitFault` events, or draw one
+    with :meth:`seeded` from per-structure failure fractions.  Apply it
+    to live structures with :meth:`apply` (reset-time faults) and
+    :meth:`apply_due` (mid-run faults).
+    """
+
+    def __init__(self, faults: Iterable[UnitFault] = (), seed: int = 0) -> None:
+        self.seed = int(seed)
+        self.faults = tuple(faults)
+        seen: set[tuple[str, int]] = set()
+        for fault in self.faults:
+            key = (fault.structure, fault.unit)
+            if key in seen:
+                raise ConfigurationError(
+                    f"duplicate fault for {fault.structure} unit {fault.unit}"
+                )
+            seen.add(key)
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        structures: Mapping[str, int],
+        fail_fraction: float,
+        mid_run_fraction: float = 0.0,
+        mid_run_interval: int = 1,
+    ) -> "HardwareFaultModel":
+        """Draw a fault set that is a pure function of ``seed``.
+
+        ``structures`` maps structure name to its designed unit count
+        (``len(_all_configurations())``).  Each structure loses
+        ``round(fail_fraction * (n_units - 1))`` of its non-minimal
+        units — the ones with the smallest hash draws, so growing
+        ``fail_fraction`` only ever *adds* faults.  A ``mid_run_fraction``
+        of the drawn faults (again by hash order) manifests at
+        ``mid_run_interval`` instead of at reset.
+        """
+        if not 0.0 <= fail_fraction <= 1.0:
+            raise ConfigurationError(
+                f"fail_fraction must be in [0, 1], got {fail_fraction}"
+            )
+        if not 0.0 <= mid_run_fraction <= 1.0:
+            raise ConfigurationError(
+                f"mid_run_fraction must be in [0, 1], got {mid_run_fraction}"
+            )
+        if mid_run_interval < 1:
+            raise ConfigurationError(
+                f"mid_run_interval must be >= 1, got {mid_run_interval}"
+            )
+        faults: list[UnitFault] = []
+        for name in sorted(structures):
+            n_units = int(structures[name])
+            if n_units < 1:
+                raise ConfigurationError(
+                    f"{name}: structure needs at least one unit, got {n_units}"
+                )
+            candidates = sorted(
+                range(1, n_units), key=lambda u: (_draw(seed, name, u), u)
+            )
+            n_fail = round(fail_fraction * (n_units - 1))
+            chosen = candidates[:n_fail]
+            n_mid = round(mid_run_fraction * len(chosen))
+            for rank, unit in enumerate(chosen):
+                at = mid_run_interval if rank < n_mid else 0
+                faults.append(UnitFault(structure=name, unit=unit, at_interval=at))
+        return cls(faults=faults, seed=seed)
+
+    def faults_for(self, structure: str) -> tuple[UnitFault, ...]:
+        """Every scheduled fault of one structure, reset-time first."""
+        return tuple(
+            sorted(
+                (f for f in self.faults if f.structure == structure),
+                key=lambda f: (f.at_interval, f.unit),
+            )
+        )
+
+    def apply(self, cas: ComplexityAdaptiveStructure) -> tuple[UnitFault, ...]:
+        """Apply the reset-time (``at_interval == 0``) faults to ``cas``.
+
+        Returns the faults applied.  Faults naming units the structure
+        does not have are rejected by :meth:`fail_unit` — a plan must
+        match the hardware it is injected into.
+        """
+        applied = tuple(
+            f for f in self.faults_for(cas.name) if f.at_interval == 0
+        )
+        for fault in applied:
+            cas.fail_unit(fault.unit)
+        return applied
+
+    def apply_due(
+        self, cas: ComplexityAdaptiveStructure, interval: int
+    ) -> tuple[UnitFault, ...]:
+        """Apply the faults that manifest exactly at ``interval``."""
+        due = tuple(
+            f for f in self.faults_for(cas.name) if f.at_interval == interval
+        )
+        for fault in due:
+            cas.fail_unit(fault.unit)
+        return due
+
+    def mid_run_intervals(self, structure: str) -> tuple[int, ...]:
+        """Sorted distinct intervals at which mid-run faults manifest."""
+        return tuple(
+            sorted(
+                {
+                    f.at_interval
+                    for f in self.faults_for(structure)
+                    if f.at_interval > 0
+                }
+            )
+        )

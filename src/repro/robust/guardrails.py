@@ -1,0 +1,183 @@
+"""Controller and manager guardrails for degraded, noisy machines.
+
+Two failure modes appear once sensors are noisy and increments can die:
+
+* **Thrashing** — noise makes two configurations' estimates cross
+  repeatedly, and the controller burns its gains on clock-switch
+  pauses.  :class:`ThrashDetector` watches the switch cadence and, past
+  a threshold, locks the home configuration for a cooldown period (the
+  hysteresis margin already in
+  :class:`~repro.core.controller.ControllerConfig` handles small noise;
+  the detector is the backstop for persistent, structured noise).
+* **Mis-predicted selections** — a noisy candidate evaluation makes the
+  Configuration Manager pick a configuration whose *achieved* TPI is
+  far worse than predicted.  :class:`TpiWatchdog` compares achieved
+  against predicted and, past a tolerance, names the best-known-safe
+  configuration to fall back to — always a currently-reachable one, and
+  only when it has actually measured something better (a fallback that
+  might make things worse is not a recovery).
+
+Both guardrails emit ``robust.*`` trace events and ``repro_robust_*``
+metrics through the standard observability layer.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.errors import ConfigurationError, SensorError
+from repro.obs import trace as obs
+from repro.obs.metrics import metrics
+
+
+@dataclass(frozen=True)
+class GuardrailConfig:
+    """Tuning of the online-controller guardrails."""
+
+    #: Sliding window (intervals) over which switches are counted.
+    thrash_window: int = 16
+    #: Home switches within the window that count as thrashing.
+    thrash_threshold: int = 4
+    #: Intervals the home configuration is locked after a thrash.
+    cooldown: int = 16
+
+    def __post_init__(self) -> None:
+        if self.thrash_window < 2:
+            raise ConfigurationError("thrash_window must be >= 2")
+        if self.thrash_threshold < 2:
+            raise ConfigurationError("thrash_threshold must be >= 2")
+        if self.cooldown < 1:
+            raise ConfigurationError("cooldown must be >= 1")
+
+
+class ThrashDetector:
+    """Counts home switches in a sliding window; locks past a threshold."""
+
+    def __init__(self, config: GuardrailConfig) -> None:
+        self.config = config
+        self._switches: deque[int] = deque()
+        self._locked_until = -1
+        self._n_locks = 0
+
+    @property
+    def n_locks(self) -> int:
+        """How many thrash locks have been imposed so far."""
+        return self._n_locks
+
+    def locked(self, interval: int) -> bool:
+        """Whether switching is currently suppressed."""
+        return interval <= self._locked_until
+
+    def record_switch(self, interval: int) -> None:
+        """Note one home-switch attempt; may impose a lock.
+
+        Called when the controller is about to commit a home change.
+        If the window now holds ``thrash_threshold`` switches, switching
+        locks for ``cooldown`` intervals (suppressing the attempt that
+        tripped the threshold) and the window resets.
+        """
+        cfg = self.config
+        self._switches.append(interval)
+        floor = interval - cfg.thrash_window
+        while self._switches and self._switches[0] <= floor:
+            self._switches.popleft()
+        if len(self._switches) >= cfg.thrash_threshold:
+            self._locked_until = interval + cfg.cooldown
+            self._n_locks += 1
+            self._switches.clear()
+            obs.event(
+                "robust.thrash_lock", interval=interval,
+                until=self._locked_until, cooldown=cfg.cooldown,
+            )
+            metrics().counter(
+                "repro_robust_thrash_locks_total",
+                "thrash locks imposed by the controller guardrail",
+            ).inc()
+
+
+@dataclass(frozen=True)
+class WatchdogVerdict:
+    """Outcome of one watchdog check."""
+
+    regression: bool
+    fallback: Hashable | None  # configuration to fall back to, if any
+    predicted_tpi_ns: float
+    achieved_tpi_ns: float
+
+
+class TpiWatchdog:
+    """Flags selections whose achieved TPI belies their prediction.
+
+    Keeps, per ``(process, structure)``, the best configuration by
+    *achieved* TPI — the best-known-safe fallback target.  A check
+    whose achieved TPI exceeds ``predicted * (1 + tolerance)`` is a
+    regression; the watchdog proposes a fallback only when a strictly
+    better-measured, currently-reachable configuration exists.
+    """
+
+    def __init__(self, tolerance: float = 0.15) -> None:
+        if not 0.0 <= tolerance:
+            raise ConfigurationError(f"tolerance must be >= 0, got {tolerance}")
+        self.tolerance = tolerance
+        #: (process, structure) -> {configuration: best achieved TPI}
+        self._achieved: dict[tuple[str, str], dict[Hashable, float]] = {}
+
+    def achieved_history(
+        self, process: str, structure: str
+    ) -> dict[Hashable, float]:
+        """Best achieved TPI per configuration seen so far."""
+        return dict(self._achieved.get((process, structure), {}))
+
+    def record(
+        self, process: str, structure: str, configuration: Hashable,
+        achieved_tpi_ns: float,
+    ) -> None:
+        """Remember one configuration's achieved TPI (keep the best)."""
+        if not math.isfinite(achieved_tpi_ns) or achieved_tpi_ns <= 0:
+            raise SensorError(
+                f"achieved TPI must be finite and positive, got "
+                f"{achieved_tpi_ns!r}"
+            )
+        history = self._achieved.setdefault((process, structure), {})
+        best = history.get(configuration)
+        if best is None or achieved_tpi_ns < best:
+            history[configuration] = achieved_tpi_ns
+
+    def check(
+        self,
+        process: str,
+        structure: str,
+        configuration: Hashable,
+        predicted_tpi_ns: float,
+        achieved_tpi_ns: float,
+        reachable: tuple[Hashable, ...],
+    ) -> WatchdogVerdict:
+        """Record the outcome and judge it against the prediction.
+
+        ``reachable`` is the structure's *current*
+        ``configurations()`` — the fallback is guaranteed to come from
+        it (and to have measured strictly better than what just ran).
+        """
+        self.record(process, structure, configuration, achieved_tpi_ns)
+        regression = achieved_tpi_ns > predicted_tpi_ns * (1.0 + self.tolerance)
+        fallback: Hashable | None = None
+        if regression:
+            history = self._achieved.get((process, structure), {})
+            candidates = {
+                cfg: tpi
+                for cfg, tpi in history.items()
+                if cfg in reachable
+                and cfg != configuration
+                and tpi < achieved_tpi_ns
+            }
+            if candidates:
+                fallback = min(candidates, key=candidates.__getitem__)
+        return WatchdogVerdict(
+            regression=regression,
+            fallback=fallback,
+            predicted_tpi_ns=predicted_tpi_ns,
+            achieved_tpi_ns=achieved_tpi_ns,
+        )

@@ -1,0 +1,175 @@
+"""Noisy, lossy performance-monitoring sensors.
+
+The paper's adaptive control assumes the monitoring hardware reports
+exact per-interval TPI.  Real counters are noisy (sampling jitter,
+multiplexed counter sets), occasionally *stuck* (a latched register
+replaying a stale value), and occasionally *dropped* (the interval ends
+before the counter set is read out).  :class:`NoisySensor` models all
+three over any TPI feed — typically between the simulated truth and a
+:class:`~repro.core.monitor.PerformanceMonitor` /
+:class:`~repro.core.controller.OnlineController` — deterministically:
+every perturbation is a pure function of ``(seed, interval)``, hashed
+with SHA-256 exactly like :class:`~repro.robust.faults.HardwareFaultModel`
+draws, so the same seed reproduces the same corrupted measurement
+stream byte-for-byte.
+
+Validation happens at the sensor boundary: a non-finite or non-positive
+*true* TPI is a simulator bug, rejected with
+:class:`~repro.errors.SensorError` before it can enter the control
+loop.  (The monitor and controller validate again on their side — the
+paranoia is deliberate, both layers can be used independently.)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, SensorError
+from repro.obs import trace as obs
+from repro.obs.metrics import metrics
+
+
+@dataclass(frozen=True)
+class SensorNoiseConfig:
+    """Tuning of one noisy sensor channel."""
+
+    #: Multiplicative uniform noise half-width: a reading is scaled by
+    #: ``1 + noise_fraction * u`` with ``u ~ U[-1, 1)``.
+    noise_fraction: float = 0.0
+    #: Probability an interval's sample is dropped entirely.
+    dropout_rate: float = 0.0
+    #: Probability the counter latches and replays its last delivered
+    #: value for the next ``stuck_duration`` intervals.
+    stuck_rate: float = 0.0
+    #: How many intervals a stuck counter stays stuck.
+    stuck_duration: int = 4
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.noise_fraction < 1.0:
+            raise ConfigurationError(
+                f"noise_fraction must be in [0, 1), got {self.noise_fraction}"
+            )
+        for name in ("dropout_rate", "stuck_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+        if self.stuck_duration < 1:
+            raise ConfigurationError(
+                f"stuck_duration must be >= 1, got {self.stuck_duration}"
+            )
+
+    @property
+    def is_clean(self) -> bool:
+        """Whether this configuration perturbs nothing."""
+        return (
+            self.noise_fraction == 0.0
+            and self.dropout_rate == 0.0
+            and self.stuck_rate == 0.0
+        )
+
+
+def _draw(seed: int, interval: int, channel: str) -> float:
+    """Uniform [0, 1) draw, a pure function of its arguments."""
+    digest = hashlib.sha256(
+        f"{seed}:{interval}:{channel}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+class NoisySensor:
+    """Deterministically corrupts a per-interval TPI feed.
+
+    :meth:`read` maps a true measurement to what the monitoring
+    hardware actually delivers: the value with multiplicative noise,
+    a stale latched value, or ``None`` for a dropped sample.
+    """
+
+    def __init__(self, config: SensorNoiseConfig, seed: int = 0) -> None:
+        self.config = config
+        self.seed = int(seed)
+        # cached: the clean fast path sits on the controller's
+        # per-interval hot loop (config is frozen, so this cannot drift)
+        self._clean = config.is_clean
+        self._stuck_until = -1
+        self._stuck_value: float | None = None
+        self._last_delivered: float | None = None
+
+    def read(self, interval: int, tpi_ns: float) -> float | None:
+        """What the sensor reports for ``interval`` given the truth.
+
+        Returns ``None`` for a dropped sample.  Raises
+        :class:`~repro.errors.SensorError` if the *input* is not a
+        finite positive number — garbage in is a bug, not noise.
+        """
+        try:
+            if not tpi_ns > 0 or not math.isfinite(tpi_ns):
+                raise SensorError(
+                    f"sensor fed non-finite/non-positive TPI {tpi_ns!r}"
+                )
+        except TypeError:
+            raise SensorError(f"sensor fed non-numeric TPI {tpi_ns!r}") from None
+        if self._clean:
+            value = float(tpi_ns)
+            self._last_delivered = value
+            return value
+        cfg = self.config
+
+        if cfg.dropout_rate and _draw(self.seed, interval, "drop") < cfg.dropout_rate:
+            obs.event("robust.sensor_dropout", interval=interval)
+            metrics().counter(
+                "repro_robust_sensor_dropouts_total",
+                "interval samples dropped by the noisy sensor",
+            ).inc()
+            return None
+
+        if interval <= self._stuck_until and self._stuck_value is not None:
+            obs.event(
+                "robust.sensor_stuck", interval=interval,
+                value_ns=self._stuck_value,
+            )
+            metrics().counter(
+                "repro_robust_sensor_stuck_total",
+                "interval samples replaced by a stuck counter value",
+            ).inc()
+            return self._stuck_value
+
+        value = float(tpi_ns)
+        if cfg.noise_fraction:
+            u = 2.0 * _draw(self.seed, interval, "noise") - 1.0
+            value *= 1.0 + cfg.noise_fraction * u
+
+        if cfg.stuck_rate and _draw(self.seed, interval, "stick") < cfg.stuck_rate:
+            self._stuck_until = interval + cfg.stuck_duration
+            self._stuck_value = value
+            obs.event(
+                "robust.sensor_stuck", interval=interval, value_ns=value,
+                until=self._stuck_until,
+            )
+            metrics().counter(
+                "repro_robust_sensor_stuck_total",
+                "interval samples replaced by a stuck counter value",
+            ).inc()
+
+        self._last_delivered = value
+        return value
+
+    def read_required(
+        self, interval: int, tpi_ns: float, max_retries: int = 8
+    ) -> float:
+        """A reading that must produce a number (profiling/candidate
+        evaluation re-samples until the readout succeeds).
+
+        Dropped samples are retried at successive interval indices; if
+        every retry drops too, the last delivered value stands in, and
+        failing that the truth is returned (the profiler can always
+        fall back to a longer measurement).
+        """
+        for offset in range(max_retries):
+            value = self.read(interval + offset, tpi_ns)
+            if value is not None:
+                return value
+        if self._last_delivered is not None:
+            return self._last_delivered
+        return float(tpi_ns)

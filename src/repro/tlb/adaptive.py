@@ -41,8 +41,8 @@ class AdaptiveTlb(ComplexityAdaptiveStructure[int]):
         )
         self.validate(self._current)
 
-    def configurations(self) -> Sequence[int]:
-        """Fast-section sizes, smallest (fastest) first."""
+    def _all_configurations(self) -> Sequence[int]:
+        """Designed fast-section sizes, smallest (fastest) first."""
         return self.timing.boundaries()
 
     def delay_ns(self, config: int) -> float:
@@ -57,7 +57,7 @@ class AdaptiveTlb(ComplexityAdaptiveStructure[int]):
 
     def reconfigure(self, config: int) -> ReconfigurationCost:
         """Move the fast/backup boundary; translations stay resident."""
-        self.validate(config)
+        self.validate_reachable(config)
         changed = config != self._current
         obs.event(
             "structure.reconfigure", structure=self.name,

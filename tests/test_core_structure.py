@@ -19,7 +19,7 @@ class FakeCas(ComplexityAdaptiveStructure[int]):
         self._configs = tuple(configs)
         self._current = initial
 
-    def configurations(self):
+    def _all_configurations(self):
         return self._configs
 
     def delay_ns(self, config):
@@ -31,7 +31,7 @@ class FakeCas(ComplexityAdaptiveStructure[int]):
         return self._current
 
     def reconfigure(self, config):
-        self.validate(config)
+        self.validate_reachable(config)
         changed = config != self._current
         self._current = config
         return ReconfigurationCost(cleanup_cycles=0, requires_clock_switch=changed)
@@ -58,6 +58,64 @@ class TestCasBase:
         cas = FakeCas()
         assert cas.fastest_configuration() == 1
         assert cas.slowest_configuration() == 4
+
+
+class TestCapabilityMask:
+    def test_healthy_structure_exposes_all_configs(self):
+        cas = FakeCas()
+        assert tuple(cas.configurations()) == (1, 2, 4)
+        assert not cas.is_degraded
+        assert cas.capability_mask() == (True, True, True)
+
+    def test_fail_unit_masks_suffix(self):
+        cas = FakeCas()
+        cas.fail_unit(2)
+        assert tuple(cas.configurations()) == (1, 2)
+        assert cas.is_degraded
+        assert cas.failed_units == frozenset({2})
+        assert cas.capability_mask() == (True, True, False)
+
+    def test_reconfigure_to_masked_raises_typed_error(self):
+        from repro.errors import DegradedHardwareError
+
+        cas = FakeCas(initial=2)
+        cas.fail_unit(2)
+        with pytest.raises(DegradedHardwareError):
+            cas.reconfigure(4)
+        # DegradedHardwareError is still a ConfigurationError
+        with pytest.raises(ConfigurationError):
+            cas.validate_reachable(4)
+
+    def test_fail_unit_zero_refused(self):
+        from repro.errors import DegradedHardwareError
+
+        cas = FakeCas()
+        with pytest.raises(DegradedHardwareError):
+            cas.fail_unit(0)
+        assert not cas.is_degraded  # mask unchanged
+
+    def test_fail_unknown_unit_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FakeCas().fail_unit(3)
+
+    def test_fastest_configuration_respects_mask(self):
+        cas = FakeCas()
+        cas.fail_unit(1)
+        assert cas.fastest_configuration() == 1
+        assert cas.slowest_configuration() == 1
+        assert cas.fastest_configuration() in tuple(cas.configurations())
+
+    def test_delay_still_defined_for_masked_configs(self):
+        cas = FakeCas(initial=4)
+        cas.fail_unit(1)
+        # timing analysis predates the fault; the clock stays computable
+        assert cas.delay_ns(4) == pytest.approx(0.4)
+
+    def test_repair_clears_mask(self):
+        cas = FakeCas()
+        cas.fail_unit(1)
+        cas.repair_all_units()
+        assert tuple(cas.configurations()) == (1, 2, 4)
 
 
 class TestDynamicClock:

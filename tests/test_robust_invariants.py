@@ -1,0 +1,150 @@
+"""Property-based invariants of the degraded-hardware layer.
+
+Three invariants hold for *any* fault pattern, observation stream and
+measurement history:
+
+1. the online controller never selects (or probes) a masked
+   configuration;
+2. a masked structure's ``fastest_configuration()`` is always one of
+   its own reachable ``configurations()``;
+3. a watchdog fallback always lands on a currently-reachable
+   configuration that measured strictly better than the regressing run.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.controller import ControllerConfig, OnlineController
+from repro.core.structure import ComplexityAdaptiveStructure, ReconfigurationCost
+from repro.errors import DegradedHardwareError
+from repro.robust import TpiWatchdog
+
+CONFIGS = (1, 2, 4, 8, 16)
+
+
+class MaskableCas(ComplexityAdaptiveStructure[int]):
+    """Minimal CAS for mask invariants: delay grows with config."""
+
+    def __init__(self, configs=CONFIGS):
+        self.name = "maskable"
+        self._configs = tuple(configs)
+        self._current = self._configs[0]
+
+    def _all_configurations(self):
+        return self._configs
+
+    def delay_ns(self, config):
+        self.validate(config)
+        return config / 10.0
+
+    @property
+    def configuration(self):
+        return self._current
+
+    def reconfigure(self, config):
+        self.validate_reachable(config)
+        changed = config != self._current
+        self._current = config
+        return ReconfigurationCost(requires_clock_switch=changed)
+
+
+# an interleaved script of controller stimuli: observations and maskings
+_actions = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("observe"),
+            st.sampled_from(CONFIGS),
+            st.floats(min_value=0.01, max_value=10.0,
+                      allow_nan=False, allow_infinity=False),
+        ),
+        st.tuples(st.just("mask"), st.sampled_from(CONFIGS), st.just(0.0)),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(actions=_actions)
+def test_controller_never_selects_masked_config(actions):
+    ctrl = OnlineController(
+        CONFIGS,
+        config=ControllerConfig(
+            ewma_alpha=1.0, switch_margin=0.0, probe_period=2,
+            staleness_limit=4,
+        ),
+    )
+    home = CONFIGS[0]
+    for kind, config, tpi in actions:
+        if kind == "mask":
+            if config in ctrl.configurations and len(ctrl.configurations) > 1:
+                ctrl.mask_configuration(config)
+                if home not in ctrl.configurations:
+                    home = ctrl.configurations[0]
+        else:
+            if config in ctrl.configurations:
+                ctrl.observe(config, tpi, 1000)
+        choice, _ = ctrl.choose(home)
+        assert choice in ctrl.configurations
+        home = choice if choice in ctrl.configurations else home
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    units=st.sets(
+        st.integers(min_value=1, max_value=len(CONFIGS) - 1), max_size=4
+    )
+)
+def test_masking_preserves_fastest_in_configurations(units):
+    cas = MaskableCas()
+    for unit in units:
+        cas.fail_unit(unit)
+    reachable = tuple(cas.configurations())
+    assert reachable  # unit 0 is unfailable, so never empty
+    assert cas.fastest_configuration() in reachable
+    assert cas.slowest_configuration() in reachable
+    # the mask is exactly the contiguous prefix below the first failure
+    mask = cas.capability_mask()
+    assert list(mask) == sorted(mask, reverse=True)
+    assert sum(mask) == len(reachable)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    history=st.dictionaries(
+        st.sampled_from(CONFIGS),
+        st.floats(min_value=0.01, max_value=10.0,
+                  allow_nan=False, allow_infinity=False),
+        min_size=1,
+    ),
+    reachable=st.sets(st.sampled_from(CONFIGS), min_size=1).map(
+        lambda s: tuple(sorted(s))
+    ),
+    running=st.sampled_from(CONFIGS),
+    predicted=st.floats(min_value=0.01, max_value=10.0,
+                        allow_nan=False, allow_infinity=False),
+    achieved=st.floats(min_value=0.01, max_value=10.0,
+                       allow_nan=False, allow_infinity=False),
+)
+def test_watchdog_fallback_is_always_valid(
+    history, reachable, running, predicted, achieved
+):
+    dog = TpiWatchdog(tolerance=0.1)
+    for config, tpi in history.items():
+        dog.record("p", "s", config, tpi)
+    verdict = dog.check("p", "s", running, predicted, achieved, reachable)
+    if verdict.fallback is not None:
+        assert verdict.regression
+        assert verdict.fallback in reachable
+        assert verdict.fallback != running
+        assert dog.achieved_history("p", "s")[verdict.fallback] < achieved
+    if not verdict.regression:
+        assert achieved <= predicted * 1.1 + 1e-12
+
+
+def test_fail_unit_zero_always_refused():
+    cas = MaskableCas()
+    with pytest.raises(DegradedHardwareError):
+        cas.fail_unit(0)
+    assert tuple(cas.configurations()) == CONFIGS
