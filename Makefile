@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-engine obs-check resilience-check robust-check figures examples clean
+.PHONY: install test bench bench-engine obs-check resilience-check robust-check lint typecheck ruff check figures examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -35,6 +35,32 @@ resilience-check:
 robust-check:
 	PYTHONPATH=src $(PYTHON) -m repro robust check
 	PYTHONPATH=src $(PYTHON) -m pytest tests/test_robust.py tests/test_robust_invariants.py
+
+# Domain-aware static analysis (src/repro/analysis): determinism,
+# unit-suffix discipline, typed errors, observability naming.  Always
+# available — it only needs the stdlib.
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro lint src
+
+# mypy/ruff are optional dev tools (pip install -e '.[dev]'); skip
+# gracefully when they are not on PATH so `make check` works in a
+# minimal container.
+typecheck:
+	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
+		$(PYTHON) -m mypy; \
+	else \
+		echo "typecheck: mypy not installed, skipping (pip install -e '.[dev]')"; \
+	fi
+
+ruff:
+	@if $(PYTHON) -c "import ruff" 2>/dev/null; then \
+		$(PYTHON) -m ruff check src tests; \
+	else \
+		echo "ruff: not installed, skipping (pip install -e '.[dev]')"; \
+	fi
+
+# Everything static: domain lint (hard gate) + typecheck/ruff when present.
+check: lint typecheck ruff
 
 figures:
 	$(PYTHON) -m repro export all --out figures

@@ -1,0 +1,69 @@
+"""Domain-aware static analysis for the reproduction (``repro lint``).
+
+The reproduction's correctness rests on invariants the interpreter
+never checks: every nanosecond/cycle quantity must stay in its unit
+(the paper's TPI = cycle time [ns] / IPC), every RNG must be seeded so
+decision traces stay byte-identical, and errors/spans/metrics must
+follow the conventions the library established.  This package enforces
+those invariants statically, at CI time, instead of letting them
+surface as NaN-poisoning bugs mid-sweep.
+
+Layout:
+
+``core``
+    :class:`Finding`, :class:`FileContext`, the :class:`Rule` base
+    class and shared AST helpers.
+``registry``
+    The rule registry: :func:`register`, :func:`all_rules`.
+``suppress``
+    ``# repro: noqa[RULE-ID]`` line suppressions.
+``config``
+    ``[tool.repro.lint]`` pyproject configuration (rule selection and
+    per-path allowlists).
+``runner``
+    File walking, per-file rule execution, human/JSON rendering and
+    the ``repro lint`` entry point with stable exit codes
+    (:data:`EXIT_CLEAN` / :data:`EXIT_FINDINGS` / :data:`EXIT_ERROR`).
+``rules``
+    The domain rules, RPR001..RPR008 (see ``docs/static-analysis.md``
+    for the catalog).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.config import LintConfig, load_config
+from repro.analysis.core import FileContext, Finding, Rule
+from repro.analysis.registry import all_rules, get_rule, register, rule_ids
+from repro.analysis.runner import (
+    EXIT_CLEAN,
+    EXIT_ERROR,
+    EXIT_FINDINGS,
+    LintResult,
+    lint_paths,
+    main,
+    render_human,
+    render_json,
+)
+
+# Importing the rules package registers every built-in rule.
+from repro.analysis import rules as _rules  # noqa: F401  (import side effect)
+
+__all__ = [
+    "EXIT_CLEAN",
+    "EXIT_ERROR",
+    "EXIT_FINDINGS",
+    "FileContext",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+    "load_config",
+    "main",
+    "register",
+    "render_human",
+    "render_json",
+    "rule_ids",
+]

@@ -1,0 +1,125 @@
+"""Lint configuration: the ``[tool.repro.lint]`` table in pyproject.toml.
+
+Two knobs, both optional::
+
+    [tool.repro.lint]
+    select = ["RPR001", "RPR002"]        # default: every registered rule
+
+    [tool.repro.lint.per-path-ignores]
+    "src/repro/obs/*"    = ["RPR002"]    # wall-clock is obs's whole job
+    "src/repro/engine/*" = ["RPR002"]
+
+Per-path patterns are :mod:`fnmatch` globs matched against the
+finding's display path in posix form (note ``*`` crosses directory
+separators, so ``src/repro/obs/*`` covers the whole subtree).  The
+config file is discovered by walking up from the first linted path;
+pass an explicit path or ``pyproject=None`` to skip discovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fnmatch import fnmatch
+from pathlib import Path
+
+from repro.errors import AnalysisError
+
+try:
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - stdlib tomllib is 3.11+
+    tomllib = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Resolved lint configuration."""
+
+    #: Rules to run; empty means every registered rule.
+    select: frozenset[str] = frozenset()
+    #: ``(glob pattern, rule ids ignored under it)`` pairs, in file order.
+    per_path_ignores: tuple[tuple[str, frozenset[str]], ...] = ()
+    #: Directory pyproject.toml was found in (paths are displayed
+    #: relative to it); ``None`` when no config file was used.
+    root: Path | None = None
+
+    def ignored_for(self, display_path: str) -> frozenset[str]:
+        """Every rule id allowlisted away for one file."""
+        ignored: set[str] = set()
+        for pattern, rule_ids in self.per_path_ignores:
+            if fnmatch(display_path, pattern):
+                ignored.update(rule_ids)
+        return frozenset(ignored)
+
+
+def find_pyproject(start: Path) -> Path | None:
+    """The nearest pyproject.toml at or above ``start``."""
+    node = start.resolve()
+    if node.is_file():
+        node = node.parent
+    for candidate in (node, *node.parents):
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.is_file():
+            return pyproject
+    return None
+
+
+def _string_list(value: object, where: str) -> frozenset[str]:
+    if not isinstance(value, list) or not all(
+        isinstance(item, str) for item in value
+    ):
+        raise AnalysisError(f"{where} must be a list of rule-id strings")
+    return frozenset(value)
+
+
+def load_config(pyproject: Path | None) -> LintConfig:
+    """Parse ``[tool.repro.lint]`` out of one pyproject.toml.
+
+    ``None`` (or a file without the table) yields the default config:
+    all rules, no allowlists.  Malformed tables raise
+    :class:`AnalysisError` rather than being half-applied.
+    """
+    if pyproject is None:
+        return LintConfig()
+    if tomllib is None:  # pragma: no cover - stdlib tomllib is 3.11+
+        raise AnalysisError(
+            "reading [tool.repro.lint] from pyproject.toml needs Python "
+            "3.11+ (stdlib tomllib); run the linter under a newer Python"
+        )
+    try:
+        with pyproject.open("rb") as fh:
+            data = tomllib.load(fh)
+    except tomllib.TOMLDecodeError as exc:
+        raise AnalysisError(f"{pyproject}: not valid TOML ({exc})") from exc
+    table = data.get("tool", {}).get("repro", {}).get("lint", {})
+    if not isinstance(table, dict):
+        raise AnalysisError(f"{pyproject}: [tool.repro.lint] must be a table")
+    known = {"select", "per-path-ignores"}
+    unknown = sorted(set(table) - known)
+    if unknown:
+        raise AnalysisError(
+            f"{pyproject}: unknown [tool.repro.lint] keys {unknown}; "
+            f"known: {sorted(known)}"
+        )
+    select: frozenset[str] = frozenset()
+    if "select" in table:
+        select = _string_list(table["select"], "[tool.repro.lint].select")
+    ignores: list[tuple[str, frozenset[str]]] = []
+    raw_ignores = table.get("per-path-ignores", {})
+    if not isinstance(raw_ignores, dict):
+        raise AnalysisError(
+            f"{pyproject}: [tool.repro.lint.per-path-ignores] must be a table"
+        )
+    for pattern, rule_ids in raw_ignores.items():
+        ignores.append(
+            (
+                pattern,
+                _string_list(
+                    rule_ids, f"per-path-ignores[{pattern!r}]"
+                ),
+            )
+        )
+    return LintConfig(
+        select=select,
+        per_path_ignores=tuple(ignores),
+        root=pyproject.parent,
+    )

@@ -1,0 +1,186 @@
+"""Findings, per-file context and the rule base class.
+
+A :class:`Rule` is a per-file check: it receives one parsed
+:class:`FileContext` and yields :class:`Finding` objects.  Rules are
+pure functions of the file content — no filesystem access, no project
+state — which is what makes the linter deterministic and trivially
+parallelisable.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, ClassVar, Iterator
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def format_human(self) -> str:
+        """``path:line:col: RULE-ID message`` (editor-clickable)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON-able representation for ``--format json``."""
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass
+class FileContext:
+    """One parsed source file, as rules see it."""
+
+    #: Path used in findings and for per-path allowlist matching
+    #: (posix separators, relative to the config root when possible).
+    display_path: str
+    #: Absolute filesystem path.
+    path: Path
+    source: str
+    tree: ast.Module
+    #: Dotted module name (``repro.core.clock``) when the file sits
+    #: under a recognisable package root, else the bare stem.
+    module: str
+
+    _lines: list[str] | None = None
+
+    @property
+    def lines(self) -> list[str]:
+        """Source split into lines (cached on first use)."""
+        if self._lines is None:
+            self._lines = self.source.splitlines()
+        return self._lines
+
+    def line_at(self, lineno: int) -> str:
+        """The 1-indexed source line (empty string when out of range)."""
+        lines = self.lines
+        return lines[lineno - 1] if 0 < lineno <= len(lines) else ""
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+    Register with :func:`repro.analysis.registry.register` so the
+    runner and the CLI can find the rule.
+    """
+
+    #: Stable identifier, ``RPR`` + three digits.
+    rule_id: ClassVar[str]
+    #: One-line summary shown by ``repro lint --list-rules``.
+    title: ClassVar[str]
+    #: Why the rule exists (shown in the rule catalog).
+    rationale: ClassVar[str] = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield every violation in one file."""
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        """A :class:`Finding` anchored at ``node``."""
+        return Finding(
+            path=ctx.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule_id=self.rule_id,
+            message=message,
+        )
+
+
+# ---------------------------------------------------------------------------
+# shared AST helpers
+# ---------------------------------------------------------------------------
+
+
+def call_name(node: ast.Call) -> str | None:
+    """The called name: ``f`` for ``f(...)`` and ``x.f(...)`` alike."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def terminal_name(node: ast.expr) -> str | None:
+    """The identifier a value expression 'ends' in, for naming checks.
+
+    ``tpi_ns`` for the name ``tpi_ns``, the attribute ``x.tpi_ns``, the
+    subscript ``row["tpi_ns"]`` and the call ``window_tpi_ns()`` — the
+    places a unit-suffixed quantity typically flows out of.
+    """
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Subscript):
+        key = node.slice
+        if isinstance(key, ast.Constant) and isinstance(key.value, str):
+            return key.value
+    if isinstance(node, ast.Call):
+        return call_name(node)
+    if isinstance(node, ast.UnaryOp):
+        return terminal_name(node.operand)
+    return None
+
+
+def literal_str_arg(node: ast.Call, index: int = 0) -> str | None:
+    """The ``index``-th positional argument if it is a string literal."""
+    if len(node.args) <= index:
+        return None
+    arg = node.args[index]
+    if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+        return arg.value
+    return None
+
+
+#: Unit suffixes the naming rules recognise, longest first so
+#: ``_seconds`` wins over ``_s``.
+UNIT_SUFFIXES: tuple[str, ...] = (
+    "_cycles",
+    "_intervals",
+    "_seconds",
+    "_mhz",
+    "_ghz",
+    "_ns",
+    "_us",
+    "_ps",
+    "_ms",
+    "_hz",
+    "_s",
+)
+
+
+def unit_suffix(name: str | None) -> str | None:
+    """The recognised unit suffix of an identifier, or ``None``."""
+    if not name:
+        return None
+    for suffix in UNIT_SUFFIXES:
+        if name.endswith(suffix):
+            return suffix
+    return None

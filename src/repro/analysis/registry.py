@@ -1,0 +1,62 @@
+"""The rule registry: one authoritative map from rule id to rule class.
+
+Rules self-register at import time::
+
+    @register
+    class MyRule(Rule):
+        rule_id = "RPR042"
+        ...
+
+The registry enforces the id scheme (``RPR`` + three digits) and
+rejects duplicates, so two rules can never silently share an id.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.analysis.core import Rule
+from repro.errors import AnalysisError
+
+_RULE_ID_RE = re.compile(r"^RPR\d{3}$")
+
+_RULES: dict[str, type[Rule]] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the registry."""
+    rule_id = getattr(cls, "rule_id", None)
+    if not isinstance(rule_id, str) or not _RULE_ID_RE.match(rule_id):
+        raise AnalysisError(
+            f"rule {cls.__name__} needs a rule_id matching RPRnnn, "
+            f"got {rule_id!r}"
+        )
+    if rule_id in _RULES:
+        raise AnalysisError(
+            f"duplicate rule id {rule_id}: {cls.__name__} vs "
+            f"{_RULES[rule_id].__name__}"
+        )
+    if not getattr(cls, "title", ""):
+        raise AnalysisError(f"rule {rule_id} needs a one-line title")
+    _RULES[rule_id] = cls
+    return cls
+
+
+def all_rules() -> tuple[type[Rule], ...]:
+    """Every registered rule class, ordered by rule id."""
+    return tuple(cls for _, cls in sorted(_RULES.items()))
+
+
+def rule_ids() -> tuple[str, ...]:
+    """Every registered rule id, sorted."""
+    return tuple(sorted(_RULES))
+
+
+def get_rule(rule_id: str) -> type[Rule]:
+    """The rule class for ``rule_id`` (raises :class:`AnalysisError`)."""
+    try:
+        return _RULES[rule_id]
+    except KeyError:
+        raise AnalysisError(
+            f"unknown rule {rule_id!r}; known: {', '.join(rule_ids())}"
+        ) from None

@@ -1,0 +1,12 @@
+"""The built-in domain rules.
+
+Importing this package registers every rule with
+:mod:`repro.analysis.registry`.  The catalog, with rationale and
+examples, lives in ``docs/static-analysis.md``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rules import conventions, determinism, naming, units_rules
+
+__all__ = ["conventions", "determinism", "naming", "units_rules"]

@@ -1,0 +1,234 @@
+"""Convention rules: exception discipline (RPR004, RPR005) and
+deprecated entry points (RPR007).
+
+The library's error contract is that everything it deliberately raises
+derives from :class:`repro.errors.ReproError`; the sweep/telemetry
+APIs unified behind the engine keep DeprecationWarning shims for
+external callers, but internal code must not lean on them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import (
+    FileContext,
+    Finding,
+    Rule,
+    call_name,
+    dotted_name,
+)
+from repro.analysis.registry import register
+
+#: Packages whose raises must use the typed hierarchy (the "core
+#: paths": simulation state, adaptive structures, robustness).
+_TYPED_RAISE_PREFIXES: tuple[str, ...] = (
+    "repro.core",
+    "repro.cache",
+    "repro.ooo",
+    "repro.robust",
+)
+
+#: Builtin exceptions that must not be raised on core paths.  The
+#: deliberate omissions: NotImplementedError (abstract methods),
+#: AssertionError (invariant checks), SystemExit/KeyboardInterrupt.
+_BUILTIN_EXCEPTIONS = frozenset(
+    {
+        "Exception",
+        "BaseException",
+        "ValueError",
+        "TypeError",
+        "KeyError",
+        "IndexError",
+        "LookupError",
+        "RuntimeError",
+        "ArithmeticError",
+        "ZeroDivisionError",
+        "FloatingPointError",
+        "OverflowError",
+        "OSError",
+        "IOError",
+        "AttributeError",
+        "NameError",
+        "StopIteration",
+    }
+)
+
+
+@register
+class BroadExceptRule(Rule):
+    """RPR004: no bare or overbroad exception handlers in core paths."""
+
+    rule_id = "RPR004"
+    title = "bare `except:` or overbroad `except Exception` in a core path"
+    rationale = (
+        "A blanket handler around simulation code swallows the typed "
+        "errors (and programming errors) the stack relies on to fail "
+        "loudly. Infrastructure that must survive arbitrary worker "
+        "failures (resilience) is allowlisted per path."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "bare `except:` swallows everything including "
+                    "KeyboardInterrupt; catch a typed repro error",
+                )
+                continue
+            caught = node.type.elts if isinstance(node.type, ast.Tuple) else [node.type]
+            for exc in caught:
+                name = dotted_name(exc)
+                if name in ("Exception", "BaseException"):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"overbroad `except {name}`; catch a typed error "
+                        "from repro.errors",
+                    )
+
+
+@register
+class TypedRaiseRule(Rule):
+    """RPR005: core paths raise typed errors from :mod:`repro.errors`."""
+
+    rule_id = "RPR005"
+    title = "builtin exception raised in core/cache/ooo/robust"
+    rationale = (
+        "Callers distinguish library failures from programming errors "
+        "by catching ReproError. A ValueError or KeyError raised from "
+        "a core path escapes that contract; repro.errors has (or can "
+        "grow) a typed equivalent."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not any(
+            ctx.module == p or ctx.module.startswith(p + ".")
+            for p in _TYPED_RAISE_PREFIXES
+        ):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            if isinstance(exc, ast.Call):
+                exc = exc.func
+            name = dotted_name(exc)
+            terminal = name.rsplit(".", 1)[-1] if name else None
+            if terminal in _BUILTIN_EXCEPTIONS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"raise of builtin `{terminal}` in {ctx.module}; use a "
+                    "typed error from repro.errors",
+                )
+
+
+#: ``from <module> import <name>`` pairs that are deprecated.
+_DEPRECATED_IMPORTS = {
+    ("repro.engine.telemetry", "summarize"): (
+        "repro.obs.summarize.summarize_path"
+    ),
+    ("repro.experiments.queue_study", "sweep_for"): (
+        "repro.engine.sweeps.QueueStructureSweep"
+    ),
+}
+
+#: Deprecated method calls, keyed by attribute name; the value is the
+#: set of receiver classes the method is deprecated on (tracked via
+#: local `x = Class(...)` assignments) plus the replacement.
+_DEPRECATED_SWEEP_CLASSES = frozenset(
+    {"CacheTpiModel", "TlbTpiModel", "BranchTpiModel"}
+)
+
+
+@register
+class DeprecatedEntryPointRule(Rule):
+    """RPR007: internal code must not use deprecated entry points."""
+
+    rule_id = "RPR007"
+    title = "internal use of a deprecated entry point"
+    rationale = (
+        "The sweep/sweep_for/telemetry.summarize shims exist only so "
+        "external callers get a DeprecationWarning instead of a break. "
+        "Internal use re-entrenches the API the engine replaced "
+        "(StructureSweep / obs summarize)."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        tracked = self._model_bindings(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    replacement = _DEPRECATED_IMPORTS.get(
+                        (node.module, alias.name)
+                    )
+                    if replacement is not None:
+                        # Anchor at the alias so a one-name suppression
+                        # works inside a multi-line import.
+                        yield self.finding(
+                            ctx,
+                            alias,
+                            f"import of deprecated {node.module}.{alias.name}; "
+                            f"use {replacement}",
+                        )
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node, tracked)
+
+    @staticmethod
+    def _model_bindings(tree: ast.Module) -> dict[str, str]:
+        """Local names assigned from deprecated model constructors."""
+        bindings: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Call)
+            ):
+                cls = call_name(node.value)
+                if cls in _DEPRECATED_SWEEP_CLASSES:
+                    bindings[node.targets[0].id] = cls
+        return bindings
+
+    def _check_call(
+        self, ctx: FileContext, node: ast.Call, tracked: dict[str, str]
+    ) -> Iterator[Finding]:
+        name = call_name(node)
+        if name == "sweep_for":
+            yield self.finding(
+                ctx,
+                node,
+                "call to deprecated queue_study.sweep_for; use "
+                "repro.engine.sweeps.QueueStructureSweep",
+            )
+        elif name == "summarize" and isinstance(node.func, ast.Attribute):
+            receiver = dotted_name(node.func.value)
+            if receiver is not None and receiver.split(".")[-1] == "telemetry":
+                yield self.finding(
+                    ctx,
+                    node,
+                    "call to deprecated engine.telemetry.summarize; use "
+                    "repro.obs.summarize.summarize_path",
+                )
+        elif name == "sweep" and isinstance(node.func, ast.Attribute):
+            receiver = node.func.value
+            cls: str | None = None
+            if isinstance(receiver, ast.Name):
+                cls = tracked.get(receiver.id)
+            elif isinstance(receiver, ast.Call):
+                candidate = call_name(receiver)
+                if candidate in _DEPRECATED_SWEEP_CLASSES:
+                    cls = candidate
+            if cls is not None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"call to deprecated {cls}.sweep; use the unified "
+                    "StructureSweep API (repro.engine.sweeps)",
+                )

@@ -1,0 +1,94 @@
+"""Observability-naming rule (RPR006): names come from the registry.
+
+Span and event names, and Prometheus metric names, are the grep
+surface of every trace the stack writes.  The single source of truth
+is :mod:`repro.obs.names`; this rule pins every *literal* name at an
+instrumentation point to that registry.  Dynamic names (a variable
+first argument) are out of static reach and are deliberately skipped —
+the runtime schema validation in :mod:`repro.obs.schema` covers those.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import FileContext, Finding, Rule, literal_str_arg
+from repro.analysis.registry import register
+from repro.obs.names import (
+    COUNTER_NAME_RE,
+    EVENT_NAME_RE,
+    EVENT_NAMES,
+    METRIC_NAME_RE,
+    SPAN_NAMES,
+)
+
+
+def _called_attr(node: ast.Call) -> str | None:
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    return None
+
+
+@register
+class ObservabilityNamingRule(Rule):
+    """RPR006: span/event/metric name literals match the registry."""
+
+    rule_id = "RPR006"
+    title = "unregistered span/event name or malformed metric name"
+    rationale = (
+        "Trace names are API: dashboards and `repro obs summarize` "
+        "grep them. Every literal span/event name must be declared in "
+        "repro.obs.names; counters are repro_*_total, gauges and "
+        "histograms repro_* (never _total)."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.module == "repro.obs.names":
+            return  # the registry itself
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            called = _called_attr(node)
+            name = literal_str_arg(node)
+            if name is None:
+                continue
+            if called == "span":
+                if name not in SPAN_NAMES:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"span name {name!r} not registered in "
+                        "repro.obs.names.SPAN_NAMES",
+                    )
+            elif called == "event":
+                if not EVENT_NAME_RE.match(name):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"event name {name!r} must be <area>.<event>",
+                    )
+                elif name not in EVENT_NAMES:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"event name {name!r} not registered in "
+                        "repro.obs.names.EVENT_NAMES",
+                    )
+            elif called == "counter":
+                if not COUNTER_NAME_RE.match(name):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"counter name {name!r} must match repro_*_total",
+                    )
+            elif called in ("gauge", "histogram"):
+                if not METRIC_NAME_RE.match(name) or name.endswith("_total"):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{called} name {name!r} must match repro_* and "
+                        "never end in _total (reserved for counters)",
+                    )

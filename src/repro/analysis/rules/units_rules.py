@@ -1,0 +1,179 @@
+"""Unit-discipline rules: suffixes (RPR003) and float equality (RPR008).
+
+The paper's central quantity is TPI = cycle time [ns] / IPC; the
+library also juggles cycle counts, MHz and wall seconds.  Nothing in
+the type system separates them — a float is a float — so the naming
+convention *is* the unit system: time-valued names carry ``_ns`` /
+``_cycles`` / ``_mhz`` (or another recognised suffix), and arithmetic
+may not mix suffixes without an explicit conversion.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import (
+    FileContext,
+    Finding,
+    Rule,
+    terminal_name,
+    unit_suffix,
+)
+from repro.analysis.registry import register
+
+#: Name stems that denote a time-valued quantity.  A parameter or
+#: function whose name is one of these (or ends in ``_<stem>``) must
+#: carry a unit suffix.
+_TIME_STEMS: tuple[str, ...] = (
+    "tpi",
+    "latency",
+    "delay",
+    "cycle_time",
+    "walltime",
+    "wall_time",
+    "frequency",
+)
+
+#: Spelling aliases: ``_seconds`` and ``_s`` are the same unit.
+_SUFFIX_CANON = {"_seconds": "_s"}
+
+#: Suffixes that denote *time-like* floats, where ``==`` is a bug.
+_FLOAT_TIME_SUFFIXES = frozenset(
+    {"_ns", "_us", "_ps", "_ms", "_s", "_seconds", "_mhz", "_ghz", "_hz"}
+)
+
+
+def _needs_unit(name: str) -> bool:
+    if unit_suffix(name) is not None:
+        return False
+    return any(
+        name == stem or name.endswith("_" + stem) for stem in _TIME_STEMS
+    )
+
+
+def _canon(suffix: str | None) -> str | None:
+    if suffix is None:
+        return None
+    return _SUFFIX_CANON.get(suffix, suffix)
+
+
+@register
+class UnitSuffixRule(Rule):
+    """RPR003: time-valued names carry units; arithmetic never mixes them."""
+
+    rule_id = "RPR003"
+    title = "time-valued name without a unit suffix, or mixed-unit arithmetic"
+    rationale = (
+        "TPI is cycle_time_ns / IPC: nanoseconds, cycles and MHz flow "
+        "through the same floats. The suffix is the only unit system "
+        "Python gives us, so unsuffixed time names and cross-suffix "
+        "+/- are both latent unit bugs."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_signature(ctx, node)
+            elif isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                yield from self._check_mixed(ctx, node, node.left, node.right, "+/-")
+            elif isinstance(node, ast.Compare):
+                yield from self._check_compare(ctx, node)
+
+    def _check_signature(
+        self, ctx: FileContext, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        if _needs_unit(node.name):
+            yield self.finding(
+                ctx,
+                node,
+                f"function `{node.name}` looks time-valued but has no unit "
+                "suffix (_ns/_cycles/_mhz/...)",
+            )
+        args = node.args
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            if arg.arg in ("self", "cls"):
+                continue
+            if _needs_unit(arg.arg):
+                yield self.finding(
+                    ctx,
+                    arg,
+                    f"parameter `{arg.arg}` looks time-valued but has no "
+                    "unit suffix (_ns/_cycles/_mhz/...)",
+                )
+
+    def _check_mixed(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        left: ast.expr,
+        right: ast.expr,
+        op: str,
+    ) -> Iterator[Finding]:
+        left_unit = _canon(unit_suffix(terminal_name(left)))
+        right_unit = _canon(unit_suffix(terminal_name(right)))
+        if left_unit and right_unit and left_unit != right_unit:
+            yield self.finding(
+                ctx,
+                node,
+                f"mixed units in `{op}`: `{terminal_name(left)}` "
+                f"({left_unit}) vs `{terminal_name(right)}` ({right_unit}); "
+                "convert explicitly first",
+            )
+
+    def _check_compare(self, ctx: FileContext, node: ast.Compare) -> Iterator[Finding]:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE)):
+                yield from self._check_mixed(ctx, node, left, right, "comparison")
+
+
+def _is_time_float_name(name: str | None) -> bool:
+    if name is None:
+        return False
+    if unit_suffix(name) in _FLOAT_TIME_SUFFIXES:
+        return True
+    return "tpi" in name.split("_")
+
+
+@register
+class FloatEqualityRule(Rule):
+    """RPR008: no ``==`` / ``!=`` on TPI or other time-valued floats."""
+
+    rule_id = "RPR008"
+    title = "float equality comparison on a TPI/timing value"
+    rationale = (
+        "TPI and cycle times are computed floats; equality on them is "
+        "representation-dependent. Compare with a tolerance, or "
+        "suppress with a comment when both sides are exact table "
+        "values by construction."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                # `tpi_kind == "miss"` / `x is None` style is fine.
+                if any(
+                    isinstance(side, ast.Constant)
+                    and (side.value is None or isinstance(side.value, str))
+                    for side in (left, right)
+                ):
+                    continue
+                for side in (left, right):
+                    name = terminal_name(side)
+                    if _is_time_float_name(name):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"float equality on timing value `{name}`; use a "
+                            "tolerance (or suppress if both sides are exact "
+                            "by construction)",
+                        )
+                        break

@@ -1,0 +1,232 @@
+"""Run the rules over files and render the result.
+
+Exit codes are stable and documented (scripts and CI depend on them):
+
+==============  =====================================================
+:data:`EXIT_CLEAN` (0)     no unsuppressed findings
+:data:`EXIT_FINDINGS` (1)  at least one unsuppressed finding
+:data:`EXIT_ERROR` (2)     the linter itself could not run (bad
+                           arguments, malformed config, unknown rule)
+==============  =====================================================
+
+A target file that fails to parse is reported as an ``RPR000`` finding
+at the syntax-error location (exit 1, not 2): one broken file must not
+hide findings in the rest of the tree.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Iterable, Sequence
+
+from repro.analysis.config import LintConfig, find_pyproject, load_config
+from repro.analysis.core import FileContext, Finding, Rule
+from repro.analysis.registry import all_rules, get_rule
+from repro.analysis.suppress import is_suppressed
+from repro.errors import AnalysisError
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+
+#: Pseudo-rule id for files the parser rejects.
+PARSE_RULE_ID = "RPR000"
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    rule_ids: tuple[str, ...] = ()
+
+    @property
+    def clean(self) -> bool:
+        """Whether the run found nothing unsuppressed."""
+        return not self.findings
+
+    def exit_code(self) -> int:
+        """The process exit code this result maps to."""
+        return EXIT_CLEAN if self.clean else EXIT_FINDINGS
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            out.update(path.rglob("*.py"))
+        elif path.is_file():
+            out.add(path)
+        else:
+            raise AnalysisError(f"no such file or directory: {path}")
+    return sorted(out)
+
+
+def _display_path(path: Path, root: Path | None) -> str:
+    resolved = path.resolve()
+    if root is not None:
+        try:
+            return resolved.relative_to(root.resolve()).as_posix()
+        except ValueError:
+            pass
+    return path.as_posix()
+
+
+def _module_name(display_path: str) -> str:
+    parts = Path(display_path).with_suffix("").parts
+    if "repro" in parts:  # src/repro/core/clock.py -> repro.core.clock
+        parts = parts[parts.index("repro"):]
+    name = ".".join(parts)
+    return name.removesuffix(".__init__")
+
+
+def make_context(path: Path, root: Path | None = None) -> FileContext:
+    """Parse one file into the context rules consume.
+
+    Raises :class:`SyntaxError` for unparseable sources; the caller
+    turns that into a :data:`PARSE_RULE_ID` finding.
+    """
+    source = path.read_text(encoding="utf-8")
+    display = _display_path(path, root)
+    tree = ast.parse(source, filename=str(path))
+    return FileContext(
+        display_path=display,
+        path=path,
+        source=source,
+        tree=tree,
+        module=_module_name(display),
+    )
+
+
+def _resolve_rules(select: Iterable[str] | None, config: LintConfig) -> list[Rule]:
+    wanted = frozenset(select) if select is not None else config.select
+    if not wanted:
+        return [cls() for cls in all_rules()]
+    return [get_rule(rule_id)() for rule_id in sorted(wanted)]
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    *,
+    select: Iterable[str] | None = None,
+    config: LintConfig | None = None,
+) -> LintResult:
+    """Lint files/directories and return the full result.
+
+    ``config=None`` discovers pyproject.toml upward from the first
+    path; ``select`` (CLI ``--select``) overrides the config's rule
+    selection.  Suppressed findings are retained on
+    :attr:`LintResult.suppressed` so tooling can audit waivers.
+    """
+    files = iter_python_files(paths)
+    if config is None:
+        pyproject = find_pyproject(Path(files[0]).parent if files else Path.cwd())
+        config = load_config(pyproject)
+    rules = _resolve_rules(select, config)
+    result = LintResult(rule_ids=tuple(rule.rule_id for rule in rules))
+    for path in files:
+        result.files_checked += 1
+        try:
+            ctx = make_context(path, config.root)
+        except SyntaxError as exc:
+            result.findings.append(
+                Finding(
+                    path=_display_path(path, config.root),
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 0) or 1,
+                    rule_id=PARSE_RULE_ID,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+            continue
+        ignored = config.ignored_for(ctx.display_path)
+        for rule in rules:
+            if rule.rule_id in ignored:
+                continue
+            for finding in rule.check(ctx):
+                if is_suppressed(ctx.line_at(finding.line), finding.rule_id):
+                    result.suppressed.append(finding)
+                else:
+                    result.findings.append(finding)
+    result.findings.sort()
+    result.suppressed.sort()
+    return result
+
+
+# ---------------------------------------------------------------------------
+# rendering
+# ---------------------------------------------------------------------------
+
+
+def render_human(result: LintResult) -> str:
+    """Editor-clickable one-line-per-finding report plus a summary."""
+    lines = [finding.format_human() for finding in result.findings]
+    noun = "file" if result.files_checked == 1 else "files"
+    summary = (
+        f"{len(result.findings)} finding(s), {len(result.suppressed)} "
+        f"suppressed; {result.files_checked} {noun} checked, "
+        f"{len(result.rule_ids)} rule(s) active"
+    )
+    lines.append(summary if lines else f"clean: {summary}")
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable report (stable schema, version-tagged)."""
+    return json.dumps(
+        {
+            "version": 1,
+            "files_checked": result.files_checked,
+            "rules": list(result.rule_ids),
+            "findings": [finding.to_json() for finding in result.findings],
+            "suppressed": [finding.to_json() for finding in result.suppressed],
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def render_rule_list() -> str:
+    """The rule catalog for ``repro lint --list-rules``."""
+    lines = []
+    for cls in all_rules():
+        lines.append(f"{cls.rule_id}  {cls.title}")
+        if cls.rationale:
+            lines.append(f"        {cls.rationale}")
+    return "\n".join(lines)
+
+
+def main(
+    paths: Sequence[str],
+    *,
+    output_format: str = "human",
+    select: Sequence[str] | None = None,
+    list_rules: bool = False,
+    stream: IO[str] | None = None,
+) -> int:
+    """``repro lint`` entry point; returns the process exit code."""
+    out = stream if stream is not None else sys.stdout
+    if list_rules:
+        print(render_rule_list(), file=out)
+        return EXIT_CLEAN
+    if not paths:
+        print("error: no paths to lint", file=sys.stderr)
+        return EXIT_ERROR
+    try:
+        result = lint_paths(paths, select=select)
+    except AnalysisError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    if output_format == "json":
+        print(render_json(result), file=out)
+    else:
+        print(render_human(result), file=out)
+    return result.exit_code()

@@ -1,0 +1,35 @@
+"""Line-level suppressions: ``# repro: noqa[RULE-ID]``.
+
+A finding is suppressed when the physical line it is anchored to ends
+in a suppression comment naming its rule::
+
+    pause = 0 if old_ns == new_ns else n  # repro: noqa[RPR008] exact table values
+
+Several rules can be named, comma-separated:
+``# repro: noqa[RPR001,RPR002]``.  There is deliberately no blanket
+``# repro: noqa`` form — a suppression must say which invariant it is
+waiving, so the waiver survives rule renumbering audits and reads as
+documentation.
+"""
+
+from __future__ import annotations
+
+import re
+
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa\[([A-Za-z0-9_,\s]+)\]")
+
+
+def suppressed_rules(line: str) -> frozenset[str]:
+    """Rule ids suppressed on one physical source line."""
+    ids: set[str] = set()
+    for match in _NOQA_RE.finditer(line):
+        for token in match.group(1).split(","):
+            token = token.strip()
+            if token:
+                ids.add(token)
+    return frozenset(ids)
+
+
+def is_suppressed(line: str, rule_id: str) -> bool:
+    """Whether ``line`` carries a suppression for ``rule_id``."""
+    return rule_id in suppressed_rules(line)

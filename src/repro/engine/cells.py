@@ -38,7 +38,7 @@ from repro.tlb.timing import TLB_TOTAL_ENTRIES
 from repro.tlb.tpi import TlbTpiModel
 from repro.branch.predictors import PredictorKind
 from repro.branch.tpi import BranchTpiModel
-from repro.branch.workloads import branch_profile_for, generate_branch_trace
+from repro.branch.workloads import branch_profile_for
 from repro.tlb.workloads import generate_page_trace, tlb_profile_for
 from repro.workloads.address_trace import generate_address_trace
 from repro.workloads.instruction_trace import generate_instruction_trace
@@ -248,7 +248,7 @@ def cache_tpi_cell(
 
 
 @register_evaluator("cache_tpi")
-def _evaluate_cache_tpi(spec: Mapping[str, Any]) -> dict:
+def _evaluate_cache_tpi_cell(spec: Mapping[str, Any]) -> dict:
     profile = get_profile(spec["profile"])
     geometry = geometry_from_spec(spec.get("geometry"))
     mode = LatencyMode(spec.get("mode", "clock"))
@@ -291,7 +291,7 @@ def queue_tpi_cell(
 
 
 @register_evaluator("queue_tpi")
-def _evaluate_queue_tpi(spec: Mapping[str, Any]) -> dict:
+def _evaluate_queue_tpi_cell(spec: Mapping[str, Any]) -> dict:
     profile = get_profile(spec["profile"])
     trace = generate_instruction_trace(
         profile.ilp, spec["n_instructions"], profile.seed
@@ -324,7 +324,7 @@ def tlb_tpi_cell(
 
 
 @register_evaluator("tlb_tpi")
-def _evaluate_tlb_tpi(spec: Mapping[str, Any]) -> dict:
+def _evaluate_tlb_tpi_cell(spec: Mapping[str, Any]) -> dict:
     profile = get_profile(spec["profile"])
     histogram = cached_tlb_histogram(profile, spec["n_refs"], spec["warmup_refs"])
     model = TlbTpiModel()
@@ -356,7 +356,7 @@ def branch_tpi_cell(
 
 
 @register_evaluator("branch_tpi")
-def _evaluate_branch_tpi(spec: Mapping[str, Any]) -> dict:
+def _evaluate_branch_tpi_cell(spec: Mapping[str, Any]) -> dict:
     profile = get_profile(spec["profile"])
     model = BranchTpiModel(kind=PredictorKind(spec["predictor"]))
     rows: dict[str, dict] = {}

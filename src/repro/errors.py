@@ -76,6 +76,30 @@ class EngineError(ReproError):
     """
 
 
+class AnalysisError(ReproError):
+    """The static analyser was misconfigured or could not run.
+
+    Raised for an unknown rule id, a malformed ``[tool.repro.lint]``
+    table, or a duplicate rule registration — conditions that make a
+    lint run meaningless rather than merely dirty.  Unparseable target
+    files are *not* errors of this type; they are reported as findings
+    so one bad file cannot hide the rest of the run.
+    """
+
+
+class UnknownStatError(SimulationError, KeyError):
+    """A structure run was asked for a summary statistic it never made.
+
+    Subclasses :class:`KeyError` because the lookup is a mapping access
+    and existing callers catch it that way; subclasses
+    :class:`SimulationError` so the library's typed-error discipline
+    (``repro lint`` rule RPR005) holds on the core paths.
+    """
+
+    def __str__(self) -> str:  # KeyError repr-quotes its message
+        return self.args[0] if self.args else ""
+
+
 class TransientError(ReproError):
     """A failure that retrying may fix.
 

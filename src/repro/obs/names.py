@@ -1,0 +1,112 @@
+"""The canonical registry of span, event and metric names.
+
+Observability output is only greppable if names are stable, so every
+name the instrumented stack emits is declared here, once.  The
+conventions (enforced statically by ``repro lint`` rule RPR006, see
+:mod:`repro.analysis`):
+
+* **Span names** are registered verbatim in :data:`SPAN_NAMES`.
+  Hierarchical spans use ``<area>.<operation>`` (``engine.map``,
+  ``structure.run``); top-level activity spans are single tokens
+  (``interval``, ``candidate``, ``online_run``).
+* **Event names** always follow ``<area>.<event>`` with the area drawn
+  from :data:`EVENT_AREAS`, and are registered in :data:`EVENT_NAMES`.
+* **Counter names** follow Prometheus conventions: ``repro_`` prefix
+  and ``_total`` suffix (:data:`COUNTER_NAME_RE`).  Gauges and
+  histograms carry the ``repro_`` prefix, a base unit where they are
+  dimensional (``_ns``, ``_seconds``), and never ``_total``
+  (:data:`METRIC_NAME_RE`).
+
+Adding an instrumentation point means adding its name here first;
+``repro lint`` fails on any literal that is not registered, which keeps
+this file an exact inventory of what traces can contain.
+"""
+
+from __future__ import annotations
+
+import re
+
+#: Registered span names.  Single-token names are top-level activities;
+#: dotted names are operations inside an area.
+SPAN_NAMES: frozenset[str] = frozenset(
+    {
+        # CLI run-level activities (one per observed subcommand).
+        "figure",
+        "ablation",
+        "extension",
+        "degrade",
+        "obs_check",
+        # Adaptive-control hierarchy (run -> interval -> candidate ->
+        # reconfigure), as in the paper's Configuration Manager.
+        "online_run",
+        "multiprogram_run",
+        "interval",
+        "candidate",
+        "reconfigure",
+        "context_switch",
+        "process_setup",
+        # Experiment engine and structure simulators.
+        "engine.map",
+        "structure.run",
+        # Degradation study harness.
+        "degradation_study",
+        "degradation_cell",
+    }
+)
+
+#: Areas an event name may belong to (the ``<area>`` in
+#: ``<area>.<event>``).
+EVENT_AREAS: frozenset[str] = frozenset(
+    {"controller", "engine", "manager", "robust", "structure"}
+)
+
+#: Registered event names; every one is ``<area>.<event>``.
+EVENT_NAMES: frozenset[str] = frozenset(
+    {
+        "controller.choose",
+        "controller.phase_change",
+        "engine.cell",
+        "engine.retry",
+        "engine.chunk_timeout",
+        "engine.chunk_lost",
+        "engine.pool_respawn",
+        "engine.serial_fallback",
+        "manager.decision",
+        "robust.config_masked",
+        "robust.config_remapped",
+        "robust.fault_evacuation",
+        "robust.fault_injected",
+        "robust.sensor_dropout",
+        "robust.sensor_stuck",
+        "robust.thrash_lock",
+        "robust.tpi_regression",
+        "robust.watchdog_fallback",
+        "structure.reconfigure",
+    }
+)
+
+#: Shape of an event name: ``<area>.<event>``.
+EVENT_NAME_RE: re.Pattern[str] = re.compile(r"^[a-z0-9_]+\.[a-z0-9_]+$")
+
+#: Shape of a counter name: ``repro_*_total``.
+COUNTER_NAME_RE: re.Pattern[str] = re.compile(r"^repro_[a-z0-9_]+_total$")
+
+#: Shape of a gauge/histogram name: ``repro_*`` (and never ``_total``,
+#: which is reserved for counters).
+METRIC_NAME_RE: re.Pattern[str] = re.compile(r"^repro_[a-z0-9_]+$")
+
+
+def is_registered_span(name: str) -> bool:
+    """Whether ``name`` is a declared span name."""
+    return name in SPAN_NAMES
+
+
+def is_registered_event(name: str) -> bool:
+    """Whether ``name`` is a declared ``<area>.<event>`` event name."""
+    return name in EVENT_NAMES
+
+
+def event_area(name: str) -> str | None:
+    """The ``<area>`` of an event name, or ``None`` if it has no dot."""
+    area, _, rest = name.partition(".")
+    return area if rest else None

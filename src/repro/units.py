@@ -62,6 +62,19 @@ def ns_to_mhz(cycle_time_ns: float) -> float:
     return 1e3 / cycle_time_ns
 
 
+def mhz_to_ns(frequency_mhz: float) -> float:
+    """Return the cycle time in ns for a clock frequency in MHz.
+
+    Inverse of :func:`ns_to_mhz`.
+
+    >>> mhz_to_ns(500.0)
+    2.0
+    """
+    if frequency_mhz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_mhz}")
+    return 1e3 / frequency_mhz
+
+
 def feature_scale(feature_um: float) -> float:
     """Linear scaling factor of transistor delay relative to 0.25 micron.
 

@@ -120,7 +120,7 @@ def _append_iteration(
     prev_chain_tail: int,
     dep1: list[int],
     dep2: list[int],
-    latency: list[int],
+    latency_cycles: list[int],
 ) -> int:
     """Emit one iteration of ``profile`` starting at index ``start``.
 
@@ -137,7 +137,7 @@ def _append_iteration(
     for j in range(rec):
         dep1.append(start + j - 1 if j else prev_chain_tail)
         dep2.append(NO_DEP)
-        latency.append(profile.recurrence_latency)
+        latency_cycles.append(profile.recurrence_latency)
     chain_tail = start + rec - 1 if rec else prev_chain_tail
 
     if layered == 0:
@@ -166,7 +166,7 @@ def _append_iteration(
                 dep2.append(base + s_lo + int(pick_draws[jj] * (s_hi - s_lo)))
             else:
                 dep2.append(NO_DEP)
-        latency.append(
+        latency_cycles.append(
             profile.long_latency_cycles
             if long_draws[jj] < profile.long_latency_fraction
             else 1

@@ -51,7 +51,7 @@ def _deep_iterations(
     )
 
 
-def _chain_bound(deep_fraction: float, rec_latency: int = 3) -> IlpProfile:
+def _chain_bound(deep_fraction: float, rec_latency_cycles: int = 3) -> IlpProfile:
     """Recurrence-limited: best TPI at the 16-entry queue.
 
     ``deep_fraction`` sets how much the app loses by staying at 16 —
@@ -61,7 +61,7 @@ def _chain_bound(deep_fraction: float, rec_latency: int = 3) -> IlpProfile:
         block_size=12,
         depth=3,
         recurrence_ops=2,
-        recurrence_latency=rec_latency,
+        recurrence_latency=rec_latency_cycles,
         long_latency_fraction=0.10,
         long_latency_cycles=4,
         deep_variant=_deep_iterations(0.50, 6),
@@ -70,7 +70,7 @@ def _chain_bound(deep_fraction: float, rec_latency: int = 3) -> IlpProfile:
 
 
 def _moderate(
-    block: int = 24, rec_latency: int = 5, deep_fraction: float = 0.50
+    block: int = 24, rec_latency_cycles: int = 5, deep_fraction: float = 0.50
 ) -> IlpProfile:
     """ILP saturates around a 64-entry window.
 
@@ -83,7 +83,7 @@ def _moderate(
         block_size=block,
         depth=3,
         recurrence_ops=2,
-        recurrence_latency=rec_latency,
+        recurrence_latency=rec_latency_cycles,
         long_latency_fraction=0.20,
         long_latency_cycles=4,
         deep_variant=_deep_iterations(),
@@ -130,7 +130,7 @@ _PROFILES: tuple[BenchmarkProfile, ...] = (
         suite=Suite.SPECINT95,
         domain="integer",
         memory=None,  # the paper could not instrument go with Atom
-        ilp=_moderate(block=24, rec_latency=5, deep_fraction=0.50),
+        ilp=_moderate(block=24, rec_latency_cycles=5, deep_fraction=0.50),
         seed=101,
     ),
     BenchmarkProfile(
@@ -142,7 +142,7 @@ _PROFILES: tuple[BenchmarkProfile, ...] = (
             streaming_weight=0.01,
             load_store_fraction=0.35,
         ),
-        ilp=_moderate(block=24, rec_latency=4, deep_fraction=0.48),
+        ilp=_moderate(block=24, rec_latency_cycles=4, deep_fraction=0.48),
         seed=102,
     ),
     BenchmarkProfile(
@@ -154,7 +154,7 @@ _PROFILES: tuple[BenchmarkProfile, ...] = (
             streaming_weight=0.015,
             load_store_fraction=0.3,
         ),
-        ilp=_moderate(block=20, rec_latency=5, deep_fraction=0.50),
+        ilp=_moderate(block=20, rec_latency_cycles=5, deep_fraction=0.50),
         seed=103,
     ),
     BenchmarkProfile(
@@ -180,7 +180,7 @@ _PROFILES: tuple[BenchmarkProfile, ...] = (
             streaming_weight=0.02,
             load_store_fraction=0.3,
         ),
-        ilp=_moderate(block=24, rec_latency=5, deep_fraction=0.50),
+        ilp=_moderate(block=24, rec_latency_cycles=5, deep_fraction=0.50),
         seed=105,
     ),
     BenchmarkProfile(
@@ -204,7 +204,7 @@ _PROFILES: tuple[BenchmarkProfile, ...] = (
             streaming_weight=0.01,
             load_store_fraction=0.35,
         ),
-        ilp=_moderate(block=20, rec_latency=4, deep_fraction=0.50),
+        ilp=_moderate(block=20, rec_latency_cycles=4, deep_fraction=0.50),
         seed=107,
     ),
     BenchmarkProfile(
@@ -216,7 +216,7 @@ _PROFILES: tuple[BenchmarkProfile, ...] = (
             streaming_weight=0.02,
             load_store_fraction=0.3,
         ),
-        ilp=_moderate(block=24, rec_latency=5, deep_fraction=0.50),
+        ilp=_moderate(block=24, rec_latency_cycles=5, deep_fraction=0.50),
         seed=108,
     ),
     # ---------------- CMU task-parallel ----------------
@@ -229,7 +229,7 @@ _PROFILES: tuple[BenchmarkProfile, ...] = (
             streaming_weight=0.02,
             load_store_fraction=0.35,
         ),
-        ilp=_moderate(block=28, rec_latency=5, deep_fraction=0.52),
+        ilp=_moderate(block=28, rec_latency_cycles=5, deep_fraction=0.52),
         seed=109,
     ),
     BenchmarkProfile(
@@ -243,7 +243,7 @@ _PROFILES: tuple[BenchmarkProfile, ...] = (
             streaming_weight=0.015,
             load_store_fraction=0.4,
         ),
-        ilp=_moderate(block=28, rec_latency=5, deep_fraction=0.52),
+        ilp=_moderate(block=28, rec_latency_cycles=5, deep_fraction=0.52),
         seed=110,
     ),
     BenchmarkProfile(
@@ -270,7 +270,7 @@ _PROFILES: tuple[BenchmarkProfile, ...] = (
             streaming_weight=0.01,
             load_store_fraction=0.4,
         ),
-        ilp=_chain_bound(deep_fraction=0.05, rec_latency=4),
+        ilp=_chain_bound(deep_fraction=0.05, rec_latency_cycles=4),
         seed=112,
     ),
     # ---------------- SPECfp95 ----------------
@@ -283,7 +283,7 @@ _PROFILES: tuple[BenchmarkProfile, ...] = (
             streaming_weight=0.02,
             load_store_fraction=0.4,
         ),
-        ilp=_moderate(block=28, rec_latency=6, deep_fraction=0.55),
+        ilp=_moderate(block=28, rec_latency_cycles=6, deep_fraction=0.55),
         seed=113,
     ),
     BenchmarkProfile(
@@ -296,7 +296,7 @@ _PROFILES: tuple[BenchmarkProfile, ...] = (
             streaming_weight=0.02,
             load_store_fraction=0.38,
         ),
-        ilp=_moderate(block=28, rec_latency=5, deep_fraction=0.52),
+        ilp=_moderate(block=28, rec_latency_cycles=5, deep_fraction=0.52),
         seed=114,
     ),
     BenchmarkProfile(
@@ -308,7 +308,7 @@ _PROFILES: tuple[BenchmarkProfile, ...] = (
             streaming_weight=0.02,
             load_store_fraction=0.38,
         ),
-        ilp=_moderate(block=28, rec_latency=6, deep_fraction=0.55),
+        ilp=_moderate(block=28, rec_latency_cycles=6, deep_fraction=0.55),
         seed=115,
     ),
     BenchmarkProfile(
@@ -320,7 +320,7 @@ _PROFILES: tuple[BenchmarkProfile, ...] = (
             streaming_weight=0.02,
             load_store_fraction=0.4,
         ),
-        ilp=_moderate(block=24, rec_latency=5, deep_fraction=0.50),
+        ilp=_moderate(block=24, rec_latency_cycles=5, deep_fraction=0.50),
         seed=116,
     ),
     BenchmarkProfile(
@@ -332,7 +332,7 @@ _PROFILES: tuple[BenchmarkProfile, ...] = (
             streaming_weight=0.02,
             load_store_fraction=0.42,
         ),
-        ilp=_moderate(block=28, rec_latency=5, deep_fraction=0.52),
+        ilp=_moderate(block=28, rec_latency_cycles=5, deep_fraction=0.52),
         seed=117,
     ),
     BenchmarkProfile(
@@ -347,7 +347,7 @@ _PROFILES: tuple[BenchmarkProfile, ...] = (
             streaming_weight=0.01,
             load_store_fraction=0.4,
         ),
-        ilp=_moderate(block=28, rec_latency=6, deep_fraction=0.55),
+        ilp=_moderate(block=28, rec_latency_cycles=6, deep_fraction=0.55),
         seed=118,
     ),
     BenchmarkProfile(
@@ -359,7 +359,7 @@ _PROFILES: tuple[BenchmarkProfile, ...] = (
             streaming_weight=0.02,
             load_store_fraction=0.35,
         ),
-        ilp=_moderate(block=24, rec_latency=5, deep_fraction=0.50),
+        ilp=_moderate(block=24, rec_latency_cycles=5, deep_fraction=0.50),
         seed=119,
     ),
     BenchmarkProfile(
@@ -371,7 +371,7 @@ _PROFILES: tuple[BenchmarkProfile, ...] = (
             streaming_weight=0.02,
             load_store_fraction=0.38,
         ),
-        ilp=_moderate(block=28, rec_latency=6, deep_fraction=0.55),
+        ilp=_moderate(block=28, rec_latency_cycles=6, deep_fraction=0.55),
         seed=120,
     ),
     BenchmarkProfile(
@@ -383,7 +383,7 @@ _PROFILES: tuple[BenchmarkProfile, ...] = (
             streaming_weight=0.01,
             load_store_fraction=0.3,
         ),
-        ilp=_chain_bound(deep_fraction=0.08, rec_latency=4),
+        ilp=_chain_bound(deep_fraction=0.08, rec_latency_cycles=4),
         seed=121,
     ),
     BenchmarkProfile(
@@ -395,7 +395,7 @@ _PROFILES: tuple[BenchmarkProfile, ...] = (
             streaming_weight=0.02,
             load_store_fraction=0.38,
         ),
-        ilp=_moderate(block=24, rec_latency=5, deep_fraction=0.50),
+        ilp=_moderate(block=24, rec_latency_cycles=5, deep_fraction=0.50),
         seed=122,
     ),
 )

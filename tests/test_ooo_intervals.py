@@ -10,7 +10,6 @@ from repro.ooo.intervals import (
     interval_tpi_series,
 )
 from repro.ooo.machine import MachineConfig, MachineResult, OutOfOrderMachine
-from repro.workloads.instruction_trace import NO_DEP, InstructionTrace
 
 
 def _result(issue_times, window=16):

@@ -15,6 +15,12 @@ class TestKb:
     def test_to_kb_roundtrip(self):
         assert units.to_kb(units.kb(37)) == 37.0
 
+    def test_kb_zero(self):
+        assert units.kb(0) == 0
+
+    def test_roundtrip_fractional(self):
+        assert units.to_kb(units.kb(0.5)) == pytest.approx(0.5)
+
 
 class TestPs:
     def test_ps_converts_to_ns(self):
@@ -38,6 +44,36 @@ class TestNsToMhz:
     def test_rejects_negative(self):
         with pytest.raises(ValueError):
             units.ns_to_mhz(-1.0)
+
+    def test_tiny_cycle_time_is_finite(self):
+        # Sub-picosecond cycle times are unphysical but must not
+        # overflow or divide by zero.
+        assert units.ns_to_mhz(1e-6) == pytest.approx(1e9)
+
+
+class TestMhzToNs:
+    def test_500mhz_is_two_ns(self):
+        assert units.mhz_to_ns(500.0) == pytest.approx(2.0)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            units.mhz_to_ns(0.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            units.mhz_to_ns(-300.0)
+
+    @pytest.mark.parametrize("cycle_ns", [0.25, 0.5, 1.0, 2.0, 3.7, 10.0])
+    def test_roundtrip_through_mhz(self, cycle_ns):
+        assert units.mhz_to_ns(units.ns_to_mhz(cycle_ns)) == pytest.approx(
+            cycle_ns
+        )
+
+    @pytest.mark.parametrize("freq_mhz", [100.0, 300.0, 500.0, 1234.5])
+    def test_roundtrip_through_ns(self, freq_mhz):
+        assert units.ns_to_mhz(units.mhz_to_ns(freq_mhz)) == pytest.approx(
+            freq_mhz
+        )
 
 
 class TestFeatureScale:
