@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-engine obs-check resilience-check robust-check lint typecheck ruff check figures examples clean
+.PHONY: install test bench bench-engine obs-check resilience-check robust-check service-smoke lint typecheck ruff check figures examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -35,6 +35,12 @@ resilience-check:
 robust-check:
 	PYTHONPATH=src $(PYTHON) -m repro robust check
 	PYTHONPATH=src $(PYTHON) -m pytest tests/test_robust.py tests/test_robust_invariants.py
+
+# Boot `repro serve` on an ephemeral port, run one end-to-end query and
+# a /metrics scrape through the typed client, tear down within a
+# deadline.  Mirrors the CI service job.
+service-smoke:
+	PYTHONPATH=src $(PYTHON) scripts/service_smoke.py
 
 # Domain-aware static analysis (src/repro/analysis): determinism,
 # unit-suffix discipline, typed errors, observability naming.  Always

@@ -1,10 +1,11 @@
 """Convention rules: exception discipline (RPR004, RPR005) and
-deprecated entry points (RPR007).
+removed entry points (RPR007).
 
 The library's error contract is that everything it deliberately raises
 derives from :class:`repro.errors.ReproError`; the sweep/telemetry
-APIs unified behind the engine keep DeprecationWarning shims for
-external callers, but internal code must not lean on them.
+APIs unified behind the engine completed their deprecation cycle and
+now raise :class:`~repro.errors.RemovedApiError` — internal code must
+not reference them at all.
 """
 
 from __future__ import annotations
@@ -129,35 +130,35 @@ class TypedRaiseRule(Rule):
                 )
 
 
-#: ``from <module> import <name>`` pairs that are deprecated.
-_DEPRECATED_IMPORTS = {
+#: ``from <module> import <name>`` pairs that are removed.
+_REMOVED_IMPORTS = {
     ("repro.engine.telemetry", "summarize"): (
         "repro.obs.summarize.summarize_path"
     ),
     ("repro.experiments.queue_study", "sweep_for"): (
-        "repro.engine.sweeps.QueueStructureSweep"
+        "repro.api.run_query (structure 'iqueue')"
     ),
 }
 
-#: Deprecated method calls, keyed by attribute name; the value is the
-#: set of receiver classes the method is deprecated on (tracked via
-#: local `x = Class(...)` assignments) plus the replacement.
-_DEPRECATED_SWEEP_CLASSES = frozenset(
+#: Classes whose ``.sweep`` method is removed (tracked via local
+#: ``x = Class(...)`` assignments).
+_REMOVED_SWEEP_CLASSES = frozenset(
     {"CacheTpiModel", "TlbTpiModel", "BranchTpiModel"}
 )
 
 
 @register
-class DeprecatedEntryPointRule(Rule):
-    """RPR007: internal code must not use deprecated entry points."""
+class RemovedEntryPointRule(Rule):
+    """RPR007: internal code must not reference removed entry points."""
 
     rule_id = "RPR007"
-    title = "internal use of a deprecated entry point"
+    title = "use of a removed entry point"
     rationale = (
-        "The sweep/sweep_for/telemetry.summarize shims exist only so "
-        "external callers get a DeprecationWarning instead of a break. "
-        "Internal use re-entrenches the API the engine replaced "
-        "(StructureSweep / obs summarize)."
+        "The sweep/sweep_for/telemetry.summarize shims completed their "
+        "deprecation cycle and now raise RemovedApiError with a "
+        "migration hint. Referencing them can only fail at runtime; "
+        "the public query surface is repro.api (and repro.obs for "
+        "telemetry summaries)."
     )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
@@ -165,7 +166,7 @@ class DeprecatedEntryPointRule(Rule):
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.ImportFrom) and node.module:
                 for alias in node.names:
-                    replacement = _DEPRECATED_IMPORTS.get(
+                    replacement = _REMOVED_IMPORTS.get(
                         (node.module, alias.name)
                     )
                     if replacement is not None:
@@ -174,7 +175,7 @@ class DeprecatedEntryPointRule(Rule):
                         yield self.finding(
                             ctx,
                             alias,
-                            f"import of deprecated {node.module}.{alias.name}; "
+                            f"import of removed {node.module}.{alias.name}; "
                             f"use {replacement}",
                         )
             elif isinstance(node, ast.Call):
@@ -182,7 +183,7 @@ class DeprecatedEntryPointRule(Rule):
 
     @staticmethod
     def _model_bindings(tree: ast.Module) -> dict[str, str]:
-        """Local names assigned from deprecated model constructors."""
+        """Local names assigned from removed-sweep model constructors."""
         bindings: dict[str, str] = {}
         for node in ast.walk(tree):
             if (
@@ -192,7 +193,7 @@ class DeprecatedEntryPointRule(Rule):
                 and isinstance(node.value, ast.Call)
             ):
                 cls = call_name(node.value)
-                if cls in _DEPRECATED_SWEEP_CLASSES:
+                if cls in _REMOVED_SWEEP_CLASSES:
                     bindings[node.targets[0].id] = cls
         return bindings
 
@@ -204,8 +205,8 @@ class DeprecatedEntryPointRule(Rule):
             yield self.finding(
                 ctx,
                 node,
-                "call to deprecated queue_study.sweep_for; use "
-                "repro.engine.sweeps.QueueStructureSweep",
+                "call to removed queue_study.sweep_for; use "
+                "repro.api.run_query (structure 'iqueue')",
             )
         elif name == "summarize" and isinstance(node.func, ast.Attribute):
             receiver = dotted_name(node.func.value)
@@ -213,7 +214,7 @@ class DeprecatedEntryPointRule(Rule):
                 yield self.finding(
                     ctx,
                     node,
-                    "call to deprecated engine.telemetry.summarize; use "
+                    "call to removed engine.telemetry.summarize; use "
                     "repro.obs.summarize.summarize_path",
                 )
         elif name == "sweep" and isinstance(node.func, ast.Attribute):
@@ -223,12 +224,12 @@ class DeprecatedEntryPointRule(Rule):
                 cls = tracked.get(receiver.id)
             elif isinstance(receiver, ast.Call):
                 candidate = call_name(receiver)
-                if candidate in _DEPRECATED_SWEEP_CLASSES:
+                if candidate in _REMOVED_SWEEP_CLASSES:
                     cls = candidate
             if cls is not None:
                 yield self.finding(
                     ctx,
                     node,
-                    f"call to deprecated {cls}.sweep; use the unified "
-                    "StructureSweep API (repro.engine.sweeps)",
+                    f"call to removed {cls}.sweep; use repro.api.run_query "
+                    "or the model's sweep_breakdowns",
                 )

@@ -1,0 +1,163 @@
+"""Answering optimization requests through the experiment engine.
+
+This module is the execution half of :mod:`repro.api`: it maps a typed
+:class:`~repro.api.types.OptimizationRequest` onto the matching
+:class:`~repro.core.metrics.StructureSweep` implementation, runs it
+through an :class:`~repro.engine.ExperimentEngine` (inline, pooled or
+cached — the caller's choice), and wraps the unified sweep results into
+an :class:`~repro.api.types.OptimizationResult`.
+
+Two entry points:
+
+* :func:`run_query` — one request, one answer;
+* :func:`run_queries` — a batch: every request's cell is submitted in
+  a *single* ``engine.map`` call, which is what preserves the engine's
+  process-pool fan-out and content-addressed caching across a suite
+  (the figure harnesses) or across tenants (the sweep service).
+
+Identical requests map to identical engine cells, so the engine cache
+— and the service's single-flight deduplication, which keys on
+:func:`request_cell_key` — automatically collapses duplicates.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.api.types import ConfigurationPoint, OptimizationRequest, OptimizationResult
+from repro.branch.predictors import PredictorKind
+from repro.core.metrics import SweepResult, best_sweep_result
+from repro.engine.cache import cell_key
+from repro.engine.cells import SweepCell
+from repro.engine.engine import ExperimentEngine, default_engine
+from repro.engine.sweeps import (
+    BranchStructureSweep,
+    CacheStructureSweep,
+    QueueStructureSweep,
+    TlbStructureSweep,
+)
+from repro.errors import ApiError, WorkloadError
+from repro.workloads.profiles import BenchmarkProfile
+from repro.workloads.suite import get_profile
+
+
+def sweep_for_request(request: OptimizationRequest):
+    """The configured :class:`StructureSweep` answering one request.
+
+    Sizing fields left ``None`` take the sweep class's calibrated
+    defaults, which are exactly the figure-harness defaults.
+    """
+    if request.structure == "dcache":
+        overrides = {}
+        if request.n_refs is not None:
+            overrides["n_refs"] = request.n_refs
+        if request.warmup_refs is not None:
+            overrides["warmup_refs"] = request.warmup_refs
+        return CacheStructureSweep(**overrides)
+    if request.structure == "iqueue":
+        if request.n_instructions is not None:
+            return QueueStructureSweep(n_instructions=request.n_instructions)
+        return QueueStructureSweep()
+    if request.structure == "tlb":
+        overrides = {}
+        if request.n_refs is not None:
+            overrides["n_refs"] = request.n_refs
+        if request.warmup_refs is not None:
+            overrides["warmup_refs"] = request.warmup_refs
+        return TlbStructureSweep(**overrides)
+    if request.structure == "bpred":
+        kind = PredictorKind(request.predictor)
+        if request.n_branches is not None:
+            return BranchStructureSweep(kind=kind, n_branches=request.n_branches)
+        return BranchStructureSweep(kind=kind)
+    raise ApiError(f"unknown structure {request.structure!r}")  # unreachable
+
+
+def profile_for_request(request: OptimizationRequest) -> BenchmarkProfile:
+    """The calibrated workload profile a request names.
+
+    Raises :class:`~repro.errors.ApiError` for an unknown workload so
+    service and CLI callers get one error type for every bad request.
+    """
+    try:
+        return get_profile(request.workload)
+    except WorkloadError as exc:
+        raise ApiError(str(exc)) from exc
+
+
+def request_cell(request: OptimizationRequest) -> SweepCell:
+    """The engine sweep cell evaluating one request."""
+    sweep = sweep_for_request(request)
+    profile = profile_for_request(request)
+    if request.structure in ("dcache", "tlb") and profile.memory is None:
+        raise ApiError(
+            f"workload {request.workload!r} has no memory profile; "
+            f"it cannot drive a {request.structure} sweep"
+        )
+    return sweep.cell(profile)
+
+
+def request_cell_key(
+    request: OptimizationRequest, fingerprint: dict | None = None
+) -> str:
+    """Content-address of a request's cell (the single-flight identity).
+
+    Two requests that would evaluate the same cell under the same
+    technology fingerprint get the same key, regardless of tenant.
+    Long-lived callers (the sweep service) pass a captured
+    ``fingerprint`` so the timing tables are not re-derived per request.
+    """
+    return cell_key(request_cell(request), fingerprint)
+
+
+def result_from_payload(
+    request: OptimizationRequest, payload: dict
+) -> OptimizationResult:
+    """Assemble one request's engine payload into a typed result."""
+    sweep = sweep_for_request(request)
+    results = sweep.results_from_payload(payload)
+    best = best_sweep_result(results)
+    return OptimizationResult(
+        request=request,
+        best=_point(best),
+        sweep=tuple(_point(results[c]) for c in sorted(results)),
+    )
+
+
+def _point(result: SweepResult) -> ConfigurationPoint:
+    return ConfigurationPoint(
+        config=result.config,
+        tpi_ns=result.tpi_ns,
+        ipc=result.ipc,
+        cycle_time_ns=result.cycle_time_ns,
+    )
+
+
+def run_queries(
+    requests: Sequence[OptimizationRequest],
+    *,
+    engine: ExperimentEngine | None = None,
+) -> list[OptimizationResult]:
+    """Answer a batch of requests through one engine ``map`` call.
+
+    Cells are submitted in request order, so results align with
+    ``requests`` and a batch is byte-identical to the same requests
+    issued one at a time (the engine guarantees submission-order
+    assembly at any job count).
+    """
+    eng = engine if engine is not None else default_engine()
+    cells = [request_cell(r) for r in requests]
+    payloads = eng.map(cells)
+    return [
+        result_from_payload(request, payload)
+        for request, payload in zip(requests, payloads)
+    ]
+
+
+def run_query(
+    request: OptimizationRequest,
+    *,
+    engine: ExperimentEngine | None = None,
+) -> OptimizationResult:
+    """Answer one request (convenience wrapper over :func:`run_queries`)."""
+    return run_queries([request], engine=engine)[0]

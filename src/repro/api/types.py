@@ -1,0 +1,358 @@
+"""Typed request/response vocabulary of the public query API.
+
+One stable language for "given this workload, which adaptive
+configuration minimizes TPI?" — spoken identically by library callers
+(:func:`repro.api.run_query`), the CLI (``repro query``) and the sweep
+service (``POST /v1/optimize``).  Three frozen dataclasses:
+
+* :class:`OptimizationRequest` — the question: structure, workload,
+  optional trace sizing, and the tenant asking;
+* :class:`OptimizationResult` — the answer: the TPI-minimising
+  configuration plus the full sweep it was picked from;
+* :class:`JobStatus` — the lifecycle view the service exposes for an
+  asynchronous request.
+
+Every type (de)serialises to plain JSON documents with *strict* schema
+validation: unknown fields, wrong types and out-of-vocabulary values
+raise :class:`~repro.errors.ApiError` with a message naming the field,
+so a service client gets a 400 that says what to fix rather than a
+stack trace.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Mapping
+
+from repro.errors import ApiError
+
+#: Adaptive structures a request may target, as stable identifiers.
+STRUCTURES: tuple[str, ...] = ("dcache", "iqueue", "tlb", "bpred")
+
+#: Branch-predictor organisations (``bpred`` requests only).
+PREDICTORS: tuple[str, ...] = ("gshare", "bimodal")
+
+#: Tenant a request belongs to when none is given.
+DEFAULT_TENANT: str = "anonymous"
+
+_SIZING_FIELDS: tuple[str, ...] = (
+    "n_refs",
+    "warmup_refs",
+    "n_instructions",
+    "n_branches",
+)
+
+
+def _require_type(name: str, value: Any, kind: type, optional: bool = False) -> Any:
+    if value is None:
+        if optional:
+            return None
+        raise ApiError(f"field {name!r} is required")
+    # bool is an int subclass; reject it explicitly for numeric fields.
+    if kind in (int, float) and isinstance(value, bool):
+        raise ApiError(f"field {name!r} must be {kind.__name__}, got bool")
+    if kind is float and isinstance(value, int):
+        value = float(value)
+    if not isinstance(value, kind):
+        raise ApiError(
+            f"field {name!r} must be {kind.__name__}, "
+            f"got {type(value).__name__}"
+        )
+    return value
+
+
+def _reject_unknown(kind: str, document: Mapping[str, Any], known: set[str]) -> None:
+    unknown = sorted(set(document) - known)
+    if unknown:
+        raise ApiError(
+            f"unknown {kind} field(s) {unknown}; known fields: {sorted(known)}"
+        )
+
+
+@dataclass(frozen=True)
+class OptimizationRequest:
+    """One TPI-optimization query.
+
+    ``structure`` and ``workload`` identify the question; the sizing
+    fields default to ``None``, meaning the calibrated defaults of the
+    matching :class:`~repro.core.metrics.StructureSweep` implementation
+    (which is what every figure harness uses).  Two requests with equal
+    fields are interchangeable — the service deduplicates on exactly
+    this identity (minus ``tenant``).
+    """
+
+    structure: str
+    workload: str
+    tenant: str = DEFAULT_TENANT
+    predictor: str = "gshare"
+    n_refs: int | None = None
+    warmup_refs: int | None = None
+    n_instructions: int | None = None
+    n_branches: int | None = None
+
+    def __post_init__(self) -> None:
+        _require_type("structure", self.structure, str)
+        _require_type("workload", self.workload, str)
+        _require_type("tenant", self.tenant, str)
+        _require_type("predictor", self.predictor, str)
+        if self.structure not in STRUCTURES:
+            raise ApiError(
+                f"unknown structure {self.structure!r}; one of {STRUCTURES}"
+            )
+        if self.predictor not in PREDICTORS:
+            raise ApiError(
+                f"unknown predictor {self.predictor!r}; one of {PREDICTORS}"
+            )
+        if not self.workload:
+            raise ApiError("field 'workload' must be a non-empty string")
+        if not self.tenant:
+            raise ApiError("field 'tenant' must be a non-empty string")
+        for name in _SIZING_FIELDS:
+            value = _require_type(name, getattr(self, name), int, optional=True)
+            if value is not None and value < 0:
+                raise ApiError(f"field {name!r} must be >= 0, got {value}")
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON form; ``None`` sizing fields are omitted."""
+        out: dict[str, Any] = {
+            "structure": self.structure,
+            "workload": self.workload,
+            "tenant": self.tenant,
+        }
+        if self.structure == "bpred":
+            out["predictor"] = self.predictor
+        for name in _SIZING_FIELDS:
+            value = getattr(self, name)
+            if value is not None:
+                out[name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, Any]) -> "OptimizationRequest":
+        """Validate and build a request from a plain-JSON document."""
+        if not isinstance(document, Mapping):
+            raise ApiError(
+                f"request must be a JSON object, got {type(document).__name__}"
+            )
+        _reject_unknown(
+            "request", document, {f.name for f in fields(cls)}
+        )
+        kwargs = dict(document)
+        kwargs.setdefault("tenant", DEFAULT_TENANT)
+        return cls(**kwargs)
+
+    def to_json(self) -> str:
+        """Canonical JSON serialisation (sorted keys)."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "OptimizationRequest":
+        """Parse and validate a JSON request document."""
+        try:
+            document = json.loads(text)
+        except ValueError as exc:
+            raise ApiError(f"request is not valid JSON: {exc}") from None
+        return cls.from_dict(document)
+
+    def cache_identity(self) -> str:
+        """Tenant-independent identity two duplicate requests share."""
+        doc = self.to_dict()
+        doc.pop("tenant", None)
+        return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class ConfigurationPoint:
+    """One (configuration, performance) point of an answered sweep.
+
+    Mirrors :class:`~repro.core.metrics.SweepResult` field-for-field so
+    results survive a JSON round trip bit-exactly.
+    """
+
+    config: int
+    tpi_ns: float
+    ipc: float
+    cycle_time_ns: float
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, Any]) -> "ConfigurationPoint":
+        if not isinstance(document, Mapping):
+            raise ApiError(
+                f"sweep point must be a JSON object, got {type(document).__name__}"
+            )
+        _reject_unknown("sweep point", document, {f.name for f in fields(cls)})
+        return cls(
+            config=_require_type("config", document.get("config"), int),
+            tpi_ns=_require_type("tpi_ns", document.get("tpi_ns"), float),
+            ipc=_require_type("ipc", document.get("ipc"), float),
+            cycle_time_ns=_require_type(
+                "cycle_time_ns", document.get("cycle_time_ns"), float
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class OptimizationResult:
+    """The answer to one :class:`OptimizationRequest`.
+
+    ``best`` is the TPI-minimising point of ``sweep``; ``sweep`` is the
+    full configuration table, sorted by configuration, so callers can
+    re-derive any comparison the figure harnesses make.
+    """
+
+    request: OptimizationRequest
+    best: ConfigurationPoint
+    sweep: tuple[ConfigurationPoint, ...]
+
+    def __post_init__(self) -> None:
+        if not self.sweep:
+            raise ApiError("result needs at least one sweep point")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "request": self.request.to_dict(),
+            "best": self.best.to_dict(),
+            "sweep": [p.to_dict() for p in self.sweep],
+        }
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, Any]) -> "OptimizationResult":
+        if not isinstance(document, Mapping):
+            raise ApiError(
+                f"result must be a JSON object, got {type(document).__name__}"
+            )
+        _reject_unknown("result", document, {"request", "best", "sweep"})
+        sweep = document.get("sweep")
+        if not isinstance(sweep, list):
+            raise ApiError("field 'sweep' must be a list of sweep points")
+        return cls(
+            request=OptimizationRequest.from_dict(document.get("request") or {}),
+            best=ConfigurationPoint.from_dict(document.get("best") or {}),
+            sweep=tuple(ConfigurationPoint.from_dict(p) for p in sweep),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "OptimizationResult":
+        try:
+            document = json.loads(text)
+        except ValueError as exc:
+            raise ApiError(f"result is not valid JSON: {exc}") from None
+        return cls.from_dict(document)
+
+
+class JobState(enum.Enum):
+    """Lifecycle states of a service job."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+    def is_terminal(self) -> bool:
+        """Whether a job in this state can still change."""
+        return self in TERMINAL_STATES
+
+
+#: States a job cannot leave.
+TERMINAL_STATES: frozenset[JobState] = frozenset({JobState.DONE, JobState.FAILED})
+
+
+@dataclass(frozen=True)
+class JobStatus:
+    """Externally visible snapshot of one service job.
+
+    ``result`` is present exactly in the ``done`` state and ``error``
+    exactly in the ``failed`` state.  ``source`` records how the answer
+    was produced (``computed``, ``warm`` for the service's warm cache,
+    ``merged`` for a single-flight attach to an in-flight duplicate).
+    """
+
+    job_id: str
+    tenant: str
+    state: JobState
+    request: OptimizationRequest
+    result: OptimizationResult | None = None
+    error: str | None = None
+    source: str | None = None
+    attempts: int = 0
+    queued_s: float = 0.0
+    wall_s: float = 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "job_id": self.job_id,
+            "tenant": self.tenant,
+            "state": self.state.value,
+            "request": self.request.to_dict(),
+            "attempts": self.attempts,
+            "queued_s": self.queued_s,
+            "wall_s": self.wall_s,
+        }
+        if self.result is not None:
+            out["result"] = self.result.to_dict()
+        if self.error is not None:
+            out["error"] = self.error
+        if self.source is not None:
+            out["source"] = self.source
+        return out
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, Any]) -> "JobStatus":
+        if not isinstance(document, Mapping):
+            raise ApiError(
+                f"job status must be a JSON object, got {type(document).__name__}"
+            )
+        _reject_unknown(
+            "job status",
+            document,
+            {
+                "job_id", "tenant", "state", "request", "result",
+                "error", "source", "attempts", "queued_s", "wall_s",
+            },
+        )
+        state_raw = _require_type("state", document.get("state"), str)
+        try:
+            state = JobState(state_raw)
+        except ValueError:
+            raise ApiError(
+                f"unknown job state {state_raw!r}; one of "
+                f"{[s.value for s in JobState]}"
+            ) from None
+        result = document.get("result")
+        return cls(
+            job_id=_require_type("job_id", document.get("job_id"), str),
+            tenant=_require_type("tenant", document.get("tenant"), str),
+            state=state,
+            request=OptimizationRequest.from_dict(document.get("request") or {}),
+            result=(
+                OptimizationResult.from_dict(result) if result is not None else None
+            ),
+            error=_require_type("error", document.get("error"), str, optional=True),
+            source=_require_type(
+                "source", document.get("source"), str, optional=True
+            ),
+            attempts=_require_type("attempts", document.get("attempts", 0), int),
+            queued_s=_require_type(
+                "queued_s", document.get("queued_s", 0.0), float
+            ),
+            wall_s=_require_type("wall_s", document.get("wall_s", 0.0), float),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "JobStatus":
+        try:
+            document = json.loads(text)
+        except ValueError as exc:
+            raise ApiError(f"job status is not valid JSON: {exc}") from None
+        return cls.from_dict(document)

@@ -15,13 +15,12 @@ so aliasing and warm-up effects are captured.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 
 from repro.branch.predictors import PredictorKind, make_predictor
 from repro.branch.timing import BranchTimingModel
 from repro.branch.workloads import BRANCH_FRACTION, BranchProfile, generate_branch_trace
-from repro.errors import WorkloadError
+from repro.errors import RemovedApiError, WorkloadError
 
 #: Miss-free pipeline efficiency, as in the cache study.
 BASE_IPC: float = 2.67
@@ -85,24 +84,21 @@ class BranchTpiModel:
             s: self.evaluate(profile, s, n_branches) for s in self.timing.sizes
         }
 
-    def sweep(
-        self, profile: BranchProfile, n_branches: int = 20_000
-    ) -> dict[int, BranchBreakdown]:
-        """Deprecated alias of :meth:`sweep_breakdowns`.
+    def sweep(self, *args: object, **kwargs: object) -> dict[int, BranchBreakdown]:
+        """Removed alias of :meth:`sweep_breakdowns`.
 
         .. deprecated:: 1.1
-            Use :class:`repro.engine.sweeps.BranchStructureSweep` for the
-            unified :class:`~repro.core.metrics.SweepResult` API, or
+        .. versionremoved:: 1.2
+            The deprecation cycle is complete.  Query through
+            :func:`repro.api.run_query` (the public surface), or call
             :meth:`sweep_breakdowns` for the raw breakdowns.
         """
-        warnings.warn(
-            "BranchTpiModel.sweep is deprecated; use "
-            "repro.engine.sweeps.BranchStructureSweep (unified SweepResult "
-            "API) or BranchTpiModel.sweep_breakdowns",
-            DeprecationWarning,
-            stacklevel=2,
+        raise RemovedApiError(
+            "BranchTpiModel.sweep was removed after its deprecation cycle; "
+            "query through repro.api.run_query(OptimizationRequest('bpred', "
+            "workload)) or call BranchTpiModel.sweep_breakdowns for raw "
+            "breakdowns"
         )
-        return self.sweep_breakdowns(profile, n_branches)
 
     def best_size(
         self, profile: BranchProfile, n_branches: int = 20_000

@@ -21,12 +21,11 @@ load_store_fraction``.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 
 from repro.cache.stackdist import DepthHistogram
 from repro.cache.timing import CacheTimingModel
-from repro.errors import WorkloadError
+from repro.errors import RemovedApiError, WorkloadError
 
 #: Base pipeline efficiency of the 4-way issue processor (paper Sec 5.1).
 BASE_IPC: float = 2.67
@@ -121,27 +120,21 @@ class CacheTpiModel:
             k: self.evaluate(histogram, load_store_fraction, k) for k in boundaries
         }
 
-    def sweep(
-        self,
-        histogram: DepthHistogram,
-        load_store_fraction: float,
-        boundaries: tuple[int, ...],
-    ) -> dict[int, TpiBreakdown]:
-        """Deprecated alias of :meth:`sweep_breakdowns`.
+    def sweep(self, *args: object, **kwargs: object) -> dict[int, TpiBreakdown]:
+        """Removed alias of :meth:`sweep_breakdowns`.
 
         .. deprecated:: 1.1
-            Use :class:`repro.engine.sweeps.CacheStructureSweep` for the
-            unified :class:`~repro.core.metrics.SweepResult` API, or
+        .. versionremoved:: 1.2
+            The deprecation cycle is complete.  Query through
+            :func:`repro.api.run_query` (the public surface), or call
             :meth:`sweep_breakdowns` for the raw breakdowns.
         """
-        warnings.warn(
-            "CacheTpiModel.sweep is deprecated; use "
-            "repro.engine.sweeps.CacheStructureSweep (unified SweepResult "
-            "API) or CacheTpiModel.sweep_breakdowns",
-            DeprecationWarning,
-            stacklevel=2,
+        raise RemovedApiError(
+            "CacheTpiModel.sweep was removed after its deprecation cycle; "
+            "query through repro.api.run_query(OptimizationRequest('dcache', "
+            "workload)) or call CacheTpiModel.sweep_breakdowns for raw "
+            "breakdowns"
         )
-        return self.sweep_breakdowns(histogram, load_store_fraction, boundaries)
 
     def best_boundary(
         self,

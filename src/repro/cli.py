@@ -11,6 +11,12 @@ Examples::
     python -m repro clock                 # the CAP's predetermined clocks
     python -m repro power                 # Section 4.1 operating points
 
+The public query API (see docs/service.md)::
+
+    python -m repro query iqueue compress          # answer locally
+    python -m repro serve --port 8337 --jobs 4     # run the sweep service
+    python -m repro query tlb compress --url http://127.0.0.1:8337
+
 Every ``figure``/``ablation``/``extension`` run goes through the
 experiment engine and accepts its knobs::
 
@@ -782,6 +788,67 @@ def _robust_check() -> int:
     return 0
 
 
+def _serve(args, engine: ExperimentEngine) -> int:
+    """Boot the sweep service and block until interrupted."""
+    from repro.service import QuotaPolicy, ServiceConfig, run_service
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        quota=QuotaPolicy(
+            burst=args.quota_burst,
+            rate_per_s=args.quota_rate,
+            max_inflight=args.quota_inflight,
+        ),
+        warm_entries=args.warm_entries,
+        batch_window_s=args.batch_window,
+    )
+
+    def on_ready(service) -> None:
+        # The CI smoke test parses this line for the bound port.
+        print(f"serving on http://{config.host}:{service.port}", flush=True)
+
+    run_service(engine, config, on_ready=on_ready)
+    return 0
+
+
+def _query(args, engine: ExperimentEngine) -> int:
+    """Answer one optimization request, locally or against a service."""
+    from repro.api import OptimizationRequest, run_query
+    from repro.errors import ReproError
+
+    try:
+        request = OptimizationRequest(
+            args.structure,
+            args.workload,
+            tenant=args.tenant,
+            predictor=args.predictor,
+        )
+        if args.url:
+            from repro.service.client import ServiceClient
+
+            result = ServiceClient(args.url).optimize(request)
+        else:
+            result = run_query(request, engine=engine)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(result.to_json())
+        return 0
+    print(
+        f"{request.structure}/{request.workload}: best configuration "
+        f"{result.best.config} (TPI {result.best.tpi_ns:.6f} ns, "
+        f"IPC {result.best.ipc:.4f}, cycle {result.best.cycle_time_ns:.4f} ns)"
+    )
+    rows = [
+        [point.config, point.tpi_ns, point.ipc, point.cycle_time_ns]
+        for point in result.sweep
+    ]
+    print(format_table(["config", "TPI (ns)", "IPC", "cycle (ns)"], rows))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -876,6 +943,67 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the degradation study at 25%% faults + 10%% noise and "
              "verify every guardrail path fires and recovers",
     )
+    servep = sub.add_parser(
+        "serve",
+        help="run the multi-tenant TPI-optimization sweep service "
+             "(POST /v1/optimize, GET /v1/jobs/{id}, GET /metrics)",
+        parents=[engine_opts],
+    )
+    servep.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    servep.add_argument(
+        "--port", type=int, default=8337,
+        help="bind port; 0 picks an ephemeral port (default: 8337)",
+    )
+    servep.add_argument(
+        "--quota-burst", type=int, default=8, metavar="N",
+        help="per-tenant token-bucket burst capacity (default: 8)",
+    )
+    servep.add_argument(
+        "--quota-rate", type=float, default=4.0, metavar="R",
+        help="per-tenant sustained admissions per second (default: 4)",
+    )
+    servep.add_argument(
+        "--quota-inflight", type=int, default=16, metavar="N",
+        help="per-tenant concurrent job cap (default: 16)",
+    )
+    servep.add_argument(
+        "--warm-entries", type=int, default=256, metavar="N",
+        help="warm result store capacity, LRU-evicted (default: 256)",
+    )
+    servep.add_argument(
+        "--batch-window", type=float, default=0.02, metavar="S",
+        help="seconds a new cell waits for batch companions (default: 0.02)",
+    )
+    queryp = sub.add_parser(
+        "query",
+        help="answer one TPI-optimization query (locally, or against a "
+             "running service with --url)",
+        parents=[engine_opts],
+    )
+    queryp.add_argument(
+        "structure", choices=("dcache", "iqueue", "tlb", "bpred"),
+        help="adaptive structure to optimize",
+    )
+    queryp.add_argument("workload", help="application name (see `repro suite`)")
+    queryp.add_argument(
+        "--predictor", choices=("gshare", "bimodal"), default="gshare",
+        help="predictor organisation for bpred queries (default: gshare)",
+    )
+    queryp.add_argument(
+        "--tenant", default="anonymous",
+        help="tenant to bill the query to with --url (default: anonymous)",
+    )
+    queryp.add_argument(
+        "--url", default=None, metavar="URL",
+        help="query a running `repro serve` instance instead of computing "
+             "locally",
+    )
+    queryp.add_argument(
+        "--json", action="store_true",
+        help="print the full OptimizationResult as JSON",
+    )
     lintp = sub.add_parser(
         "lint",
         help="domain-aware static analysis: determinism, unit safety, "
@@ -963,6 +1091,10 @@ def _dispatch(args) -> int:
             _print_telemetry_summary(args.telemetry)
     elif args.command == "robust":
         return _robust_check()
+    elif args.command == "serve":
+        return _serve(args, _engine_from_args(args))
+    elif args.command == "query":
+        return _query(args, _engine_from_args(args))
     elif args.command == "lint":
         from repro.analysis import main as lint_main
 

@@ -48,7 +48,6 @@ from repro.engine.telemetry import (
     EVENT_SCHEMA,
     TelemetryLog,
     read_events,
-    summarize,  # repro: noqa[RPR007] re-exported so the shim keeps warning
     validate_events,
 )
 
@@ -67,7 +66,6 @@ __all__ = [
     "TelemetryLog",
     "EVENT_SCHEMA",
     "read_events",
-    "summarize",
     "validate_events",
     "CacheStructureSweep",
     "QueueStructureSweep",

@@ -24,6 +24,7 @@ from repro.branch.timing import BranchTimingModel
 from repro.cache.config import PAPER_GEOMETRY, PAPER_MAX_L1_INCREMENTS
 from repro.core.metrics import SweepResult, best_sweep_result
 from repro.engine.cells import (
+    SweepCell,
     branch_tpi_cell,
     cache_tpi_cell,
     queue_tpi_cell,
@@ -67,15 +68,12 @@ class CacheStructureSweep:
         """Boundary positions (L1 increments), fastest first."""
         return tuple(self.boundaries)
 
-    def sweep(
-        self,
-        profile: BenchmarkProfile,
-        *,
-        engine: ExperimentEngine | None = None,
-    ) -> dict[int, SweepResult]:
-        """TPI of one application at every boundary position."""
-        cell = cache_tpi_cell(profile, self.n_refs, self.warmup_refs, self.boundaries)
-        payload = _engine(engine).run_cell(cell)
+    def cell(self, profile: BenchmarkProfile) -> "SweepCell":
+        """The engine cell evaluating this sweep for one application."""
+        return cache_tpi_cell(profile, self.n_refs, self.warmup_refs, self.boundaries)
+
+    def results_from_payload(self, payload: dict) -> dict[int, SweepResult]:
+        """Assemble :meth:`cell`'s payload into unified sweep results."""
         return {
             int(k): SweepResult(
                 config=int(k),
@@ -85,6 +83,17 @@ class CacheStructureSweep:
             )
             for k, row in payload["breakdowns"].items()
         }
+
+    def sweep(
+        self,
+        profile: BenchmarkProfile,
+        *,
+        engine: ExperimentEngine | None = None,
+    ) -> dict[int, SweepResult]:
+        """TPI of one application at every boundary position."""
+        return self.results_from_payload(
+            _engine(engine).run_cell(self.cell(profile))
+        )
 
     def best(
         self,
@@ -108,15 +117,12 @@ class QueueStructureSweep:
         """Queue sizes, fastest first."""
         return tuple(sorted(self.sizes))
 
-    def sweep(
-        self,
-        profile: BenchmarkProfile,
-        *,
-        engine: ExperimentEngine | None = None,
-    ) -> dict[int, SweepResult]:
-        """TPI of one application at every queue size."""
-        cell = queue_tpi_cell(profile, self.n_instructions, self.configurations())
-        payload = _engine(engine).run_cell(cell)
+    def cell(self, profile: BenchmarkProfile) -> "SweepCell":
+        """The engine cell evaluating this sweep for one application."""
+        return queue_tpi_cell(profile, self.n_instructions, self.configurations())
+
+    def results_from_payload(self, payload: dict) -> dict[int, SweepResult]:
+        """Assemble :meth:`cell`'s payload into unified sweep results."""
         cycles = QueueTimingModel(sizes=tuple(self.sizes)).cycle_table()
         return {
             int(w): SweepResult(
@@ -127,6 +133,17 @@ class QueueStructureSweep:
             )
             for w, row in payload["results"].items()
         }
+
+    def sweep(
+        self,
+        profile: BenchmarkProfile,
+        *,
+        engine: ExperimentEngine | None = None,
+    ) -> dict[int, SweepResult]:
+        """TPI of one application at every queue size."""
+        return self.results_from_payload(
+            _engine(engine).run_cell(self.cell(profile))
+        )
 
     def best(
         self,
@@ -150,15 +167,12 @@ class TlbStructureSweep:
         """Fast-section sizes, fastest first."""
         return TlbTimingModel().boundaries()
 
-    def sweep(
-        self,
-        profile: BenchmarkProfile,
-        *,
-        engine: ExperimentEngine | None = None,
-    ) -> dict[int, SweepResult]:
-        """TPI of one application at every fast-section size."""
-        cell = tlb_tpi_cell(profile, self.n_refs, self.warmup_refs)
-        payload = _engine(engine).run_cell(cell)
+    def cell(self, profile: BenchmarkProfile) -> "SweepCell":
+        """The engine cell evaluating this sweep for one application."""
+        return tlb_tpi_cell(profile, self.n_refs, self.warmup_refs)
+
+    def results_from_payload(self, payload: dict) -> dict[int, SweepResult]:
+        """Assemble :meth:`cell`'s payload into unified sweep results."""
         return {
             int(f): SweepResult(
                 config=int(f),
@@ -168,6 +182,17 @@ class TlbStructureSweep:
             )
             for f, row in payload["breakdowns"].items()
         }
+
+    def sweep(
+        self,
+        profile: BenchmarkProfile,
+        *,
+        engine: ExperimentEngine | None = None,
+    ) -> dict[int, SweepResult]:
+        """TPI of one application at every fast-section size."""
+        return self.results_from_payload(
+            _engine(engine).run_cell(self.cell(profile))
+        )
 
     def best(
         self,
@@ -191,15 +216,12 @@ class BranchStructureSweep:
         """Table sizes, fastest first."""
         return tuple(sorted(BranchTimingModel().sizes))
 
-    def sweep(
-        self,
-        profile: BenchmarkProfile,
-        *,
-        engine: ExperimentEngine | None = None,
-    ) -> dict[int, SweepResult]:
-        """TPI of one application at every table size."""
-        cell = branch_tpi_cell(profile, self.kind, self.n_branches)
-        payload = _engine(engine).run_cell(cell)
+    def cell(self, profile: BenchmarkProfile) -> "SweepCell":
+        """The engine cell evaluating this sweep for one application."""
+        return branch_tpi_cell(profile, self.kind, self.n_branches)
+
+    def results_from_payload(self, payload: dict) -> dict[int, SweepResult]:
+        """Assemble :meth:`cell`'s payload into unified sweep results."""
         return {
             int(s): SweepResult(
                 config=int(s),
@@ -209,6 +231,17 @@ class BranchStructureSweep:
             )
             for s, row in payload["breakdowns"].items()
         }
+
+    def sweep(
+        self,
+        profile: BenchmarkProfile,
+        *,
+        engine: ExperimentEngine | None = None,
+    ) -> dict[int, SweepResult]:
+        """TPI of one application at every table size."""
+        return self.results_from_payload(
+            _engine(engine).run_cell(self.cell(profile))
+        )
 
     def best(
         self,

@@ -32,7 +32,7 @@ import uuid
 from pathlib import Path
 from typing import Any, Iterable, Mapping
 
-from repro.errors import EngineError
+from repro.errors import EngineError, RemovedApiError
 
 #: Required fields of each telemetry event type.
 EVENT_SCHEMA: dict[str, tuple[str, ...]] = {
@@ -162,24 +162,16 @@ def read_events(path: str | Path) -> list[dict]:
 
 
 def summarize(path: str | Path) -> str:
-    """Human-readable digest of a telemetry log, one line per run.
+    """Removed digest shim; the renderer moved to :mod:`repro.obs`.
 
-    .. deprecated::
-        Use ``repro obs summarize`` /
-        :func:`repro.obs.summarize.summarize_path`, which renders both
-        the tracer's span/event files and these legacy telemetry logs.
-        This shim delegates there; unlike the original it tolerates
-        events missing optional fields (``?`` placeholders) instead of
-        raising ``KeyError``.
+    .. deprecated:: 1.1
+    .. versionremoved:: 1.2
+        The deprecation cycle is complete.  Use ``repro obs summarize``
+        or :func:`repro.obs.summarize.summarize_path`, which renders
+        both the tracer's span/event files and these telemetry logs.
     """
-    import warnings
-
-    from repro.obs.summarize import summarize_engine_events
-
-    warnings.warn(
-        "repro.engine.telemetry.summarize is deprecated; use "
-        "`repro obs summarize` (repro.obs.summarize.summarize_path)",
-        DeprecationWarning,
-        stacklevel=2,
+    raise RemovedApiError(
+        "repro.engine.telemetry.summarize was removed after its deprecation "
+        "cycle; use `repro obs summarize` "
+        "(repro.obs.summarize.summarize_path) instead"
     )
-    return summarize_engine_events(read_events(path))

@@ -121,6 +121,47 @@ class FatalError(ReproError):
     """
 
 
+class ApiError(ReproError):
+    """A public-API request was malformed or could not be served.
+
+    Raised by :mod:`repro.api` for an unknown structure or workload, an
+    unknown or ill-typed request field, or a document that does not
+    deserialise into a request/result type.  The service layer maps
+    this to an HTTP 400.
+    """
+
+
+class RemovedApiError(ReproError):
+    """A removed entry point was called.
+
+    The pre-engine sweep APIs (``CacheTpiModel.sweep``,
+    ``TlbTpiModel.sweep``, ``BranchTpiModel.sweep``,
+    ``queue_study.sweep_for``) and ``engine.telemetry.summarize`` went
+    through a ``DeprecationWarning`` cycle and are now hard errors.
+    The message names the replacement; see :mod:`repro.api`.
+    """
+
+
+class QuotaExceededError(ReproError):
+    """A tenant exceeded its admission quota (backpressure, not failure).
+
+    Carries ``retry_after_s``, the earliest time the tenant should try
+    again; the service layer maps this to HTTP 429 + ``Retry-After``.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class ServiceError(ReproError):
+    """The sweep service was misused or hit an internal fault.
+
+    Raised, for example, for a lookup of an unknown job id, a submit
+    after shutdown, or a malformed HTTP request body.
+    """
+
+
 class CacheCorruptionError(EngineError):
     """A cache entry failed integrity verification.
 

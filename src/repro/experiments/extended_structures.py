@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.api import OptimizationRequest, run_queries
 from repro.branch.timing import BranchTimingModel
 from repro.branch.tpi import BranchTpiModel
 from repro.branch.workloads import BRANCH_FRACTION
@@ -36,7 +37,6 @@ from repro.engine.cells import (
     branch_tpi_cell,
     cached_tlb_histogram,
     queue_tpi_cell,
-    tlb_tpi_cell,
 )
 from repro.engine.engine import ExperimentEngine, default_engine
 from repro.experiments.cache_study import histogram_for
@@ -83,16 +83,24 @@ class StructureStudyResult:
 
 
 def tlb_study(*, engine: ExperimentEngine | None = None) -> StructureStudyResult:
-    """Process-level adaptive TLB fast-section sizing across the suite."""
-    eng = engine if engine is not None else default_engine()
+    """Process-level adaptive TLB fast-section sizing across the suite.
+
+    Routes through the public query API — one
+    :class:`~repro.api.OptimizationRequest` per application, batched
+    into a single engine ``map`` — so this harness answers exactly the
+    cells the sweep service answers.
+    """
     profiles = cache_study_profiles()
-    cells = [tlb_tpi_cell(profile, TLB_N_REFS, TLB_WARMUP) for profile in profiles]
-    payloads = eng.map(cells)
+    requests = [
+        OptimizationRequest(
+            "tlb", profile.name, n_refs=TLB_N_REFS, warmup_refs=TLB_WARMUP
+        )
+        for profile in profiles
+    ]
+    results = run_queries(requests, engine=engine)
     table = {
-        profile.name: {
-            int(f): row["tpi_ns"] for f, row in payload["breakdowns"].items()
-        }
-        for profile, payload in zip(profiles, payloads)
+        profile.name: {point.config: point.tpi_ns for point in result.sweep}
+        for profile, result in zip(profiles, results)
     }
     return _summarise("tlb", table)
 
@@ -102,10 +110,21 @@ def branch_study(
     *,
     engine: ExperimentEngine | None = None,
 ) -> StructureStudyResult:
-    """Process-level adaptive predictor-table sizing across the suite."""
+    """Process-level adaptive predictor-table sizing across the suite.
+
+    Routes through the public query API like :func:`tlb_study`.
+    """
+    profiles = cache_study_profiles()
+    requests = [
+        OptimizationRequest(
+            "bpred", profile.name, predictor=kind.value, n_branches=BRANCH_N
+        )
+        for profile in profiles
+    ]
+    results = run_queries(requests, engine=engine)
     table = {
-        app: {s: row["tpi_ns"] for s, row in rows.items()}
-        for app, rows in _branch_tables(kind, engine).items()
+        profile.name: {point.config: point.tpi_ns for point in result.sweep}
+        for profile, result in zip(profiles, results)
     }
     return _summarise(f"bpred-{kind.value}", table)
 

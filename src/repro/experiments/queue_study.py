@@ -15,10 +15,10 @@ Methodology, following the paper's Section 5.1:
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 
 from repro.core.metrics import TpiComparison
+from repro.errors import RemovedApiError
 from repro.engine.cells import queue_tpi_cell
 from repro.engine.engine import ExperimentEngine, default_engine
 from repro.ooo.machine import MachineResult, run_window_sweep
@@ -49,24 +49,19 @@ def _machine_sweep(
     return results
 
 
-def sweep_for(
-    profile: BenchmarkProfile,
-    n_instructions: int = DEFAULT_N_INSTRUCTIONS,
-    sizes: tuple[int, ...] = PAPER_QUEUE_SIZES,
-) -> dict[int, MachineResult]:
-    """Deprecated alias of the internal machine sweep.
+def sweep_for(*args: object, **kwargs: object) -> dict[int, MachineResult]:
+    """Removed alias of the internal machine sweep.
 
     .. deprecated:: 1.1
-        Use :class:`repro.engine.sweeps.QueueStructureSweep` for the
-        unified :class:`~repro.core.metrics.SweepResult` API.
+    .. versionremoved:: 1.2
+        The deprecation cycle is complete.  Query through
+        :func:`repro.api.run_query` with an ``iqueue`` request.
     """
-    warnings.warn(
-        "queue_study.sweep_for is deprecated; use "
-        "repro.engine.sweeps.QueueStructureSweep (unified SweepResult API)",
-        DeprecationWarning,
-        stacklevel=2,
+    raise RemovedApiError(
+        "queue_study.sweep_for was removed after its deprecation cycle; "
+        "query through repro.api.run_query(OptimizationRequest('iqueue', "
+        "workload))"
     )
-    return _machine_sweep(profile, n_instructions, sizes)
 
 
 def queue_tpi_table(
@@ -77,22 +72,39 @@ def queue_tpi_table(
 ) -> dict[str, dict[int, float]]:
     """TPI per application per queue size.
 
-    One engine cell per application; the (pure-timing) cycle table is
-    applied to the simulated IPCs locally, so custom ``timing`` models
-    still ride the parallel/cached path.
+    The default-timing path routes through the public query API (one
+    :class:`~repro.api.OptimizationRequest` per application, batched
+    into a single engine ``map``); a custom ``timing`` model keeps the
+    raw-cell path, applying its cycle table to the simulated IPCs
+    locally so it still rides the parallel/cached engine.
     """
-    model = timing if timing is not None else QueueTimingModel()
-    cycles = model.cycle_table()
-    eng = engine if engine is not None else default_engine()
     profiles = queue_study_profiles()
+    if timing is None:
+        from repro.api import OptimizationRequest, run_queries
+
+        requests = [
+            OptimizationRequest(
+                "iqueue", profile.name, n_instructions=n_instructions
+            )
+            for profile in profiles
+        ]
+        results = run_queries(requests, engine=engine)
+        return {
+            profile.name: {
+                point.config: point.tpi_ns for point in result.sweep
+            }
+            for profile, result in zip(profiles, results)
+        }
+    cycles = timing.cycle_table()
+    eng = engine if engine is not None else default_engine()
     cells = [
-        queue_tpi_cell(profile, n_instructions, model.sizes)
+        queue_tpi_cell(profile, n_instructions, timing.sizes)
         for profile in profiles
     ]
     payloads = eng.map(cells)
     return {
         profile.name: {
-            w: cycles[w] / payload["results"][str(w)]["ipc"] for w in model.sizes
+            w: cycles[w] / payload["results"][str(w)]["ipc"] for w in timing.sizes
         }
         for profile, payload in zip(profiles, payloads)
     }

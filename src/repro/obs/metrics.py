@@ -40,10 +40,30 @@ def _label_key(labels: Mapping[str, Any]) -> LabelKey:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape one label value per the text exposition format.
+
+    Backslash, double quote and newline are the three characters the
+    format requires escaping; everything else passes through verbatim.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    """Escape a ``# HELP`` docstring (backslash and newline only)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _label_text(key: LabelKey) -> str:
     if not key:
         return ""
-    return "{" + ",".join(f'{k}="{v}"' for k, v in key) + "}"
+    return (
+        "{"
+        + ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in key)
+        + "}"
+    )
 
 
 class _Metric:
@@ -227,7 +247,7 @@ class MetricsRegistry:
         lines: list[str] = []
         for name, metric in sorted(self._metrics.items()):
             if metric.help:
-                lines.append(f"# HELP {name} {metric.help}")
+                lines.append(f"# HELP {name} {_escape_help(metric.help)}")
             lines.append(f"# TYPE {name} {metric.kind}")
             if isinstance(metric, Histogram):
                 for key, series in sorted(metric.collect().items()):

@@ -48,6 +48,8 @@ SPAN_NAMES: frozenset[str] = frozenset(
         # Experiment engine and structure simulators.
         "engine.map",
         "structure.run",
+        # Sweep service (one span per flushed engine batch).
+        "service.batch",
         # Degradation study harness.
         "degradation_study",
         "degradation_cell",
@@ -57,7 +59,7 @@ SPAN_NAMES: frozenset[str] = frozenset(
 #: Areas an event name may belong to (the ``<area>`` in
 #: ``<area>.<event>``).
 EVENT_AREAS: frozenset[str] = frozenset(
-    {"controller", "engine", "manager", "robust", "structure"}
+    {"controller", "engine", "manager", "robust", "service", "structure"}
 )
 
 #: Registered event names; every one is ``<area>.<event>``.
@@ -81,6 +83,14 @@ EVENT_NAMES: frozenset[str] = frozenset(
         "robust.thrash_lock",
         "robust.tpi_regression",
         "robust.watchdog_fallback",
+        "service.batch_flush",
+        "service.job_done",
+        "service.job_failed",
+        "service.job_queued",
+        "service.quota_reject",
+        "service.singleflight_merge",
+        "service.started",
+        "service.warm_hit",
         "structure.reconfigure",
     }
 )

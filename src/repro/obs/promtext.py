@@ -1,0 +1,156 @@
+"""Parser for the Prometheus text exposition format.
+
+The inverse of :meth:`~repro.obs.metrics.MetricsRegistry.to_prometheus`,
+used to round-trip the ``/metrics`` endpoint in tests and to let tools
+consume a scrape without a Prometheus dependency.  It understands the
+subset the registry emits — ``# HELP`` / ``# TYPE`` comments and samples
+with optionally labelled series, including escaped label values — and
+rejects anything malformed rather than guessing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ObservabilityError
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+@dataclass
+class ParsedMetric:
+    """One metric family scraped from an exposition document."""
+
+    name: str
+    kind: str = "untyped"
+    help: str = ""
+    #: sample name (``foo``, ``foo_bucket``, ...) + labels -> value.
+    samples: dict[tuple[str, LabelKey], float] = field(default_factory=dict)
+
+    def value(self, sample: str | None = None, **labels: str) -> float:
+        """The sample value (defaults to the family's own name)."""
+        key = (sample or self.name, tuple(sorted(labels.items())))
+        if key not in self.samples:
+            raise ObservabilityError(
+                f"no sample {key[0]}{dict(labels)} in metric {self.name!r}"
+            )
+        return self.samples[key]
+
+
+def _unescape(value: str) -> str:
+    out: list[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            if nxt == "n":
+                out.append("\n")
+            elif nxt in ("\\", '"'):
+                out.append(nxt)
+            else:  # unknown escape: keep both characters verbatim
+                out.append(ch)
+                out.append(nxt)
+            i += 2
+            continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def _parse_labels(text: str, line: str) -> LabelKey:
+    """Parse ``k="v",...`` (the inside of one ``{...}`` block)."""
+    labels: list[tuple[str, str]] = []
+    i = 0
+    while i < len(text):
+        eq = text.find("=", i)
+        if eq < 0 or eq + 1 >= len(text) or text[eq + 1] != '"':
+            raise ObservabilityError(f"malformed labels in line {line!r}")
+        name = text[i:eq].lstrip(",").strip()
+        j = eq + 2
+        raw: list[str] = []
+        while j < len(text):
+            ch = text[j]
+            if ch == "\\" and j + 1 < len(text):
+                raw.append(text[j : j + 2])
+                j += 2
+                continue
+            if ch == '"':
+                break
+            raw.append(ch)
+            j += 1
+        else:
+            raise ObservabilityError(f"unterminated label value in {line!r}")
+        labels.append((name, _unescape("".join(raw))))
+        i = j + 1
+    return tuple(sorted(labels))
+
+
+def _split_sample_name(line: str) -> tuple[str, LabelKey, str]:
+    """Split one sample line into (name, labels, value text)."""
+    brace = line.find("{")
+    if brace >= 0:
+        close = line.rfind("}")
+        if close < brace:
+            raise ObservabilityError(f"malformed sample line {line!r}")
+        name = line[:brace]
+        labels = _parse_labels(line[brace + 1 : close], line)
+        value_text = line[close + 1 :].strip()
+    else:
+        name, _, value_text = line.partition(" ")
+        labels = ()
+        value_text = value_text.strip()
+    if not name or not value_text:
+        raise ObservabilityError(f"malformed sample line {line!r}")
+    return name, labels, value_text
+
+
+def _family_of(sample_name: str, families: dict[str, ParsedMetric]) -> str:
+    """The family a sample belongs to (strips histogram suffixes)."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        base = sample_name.removesuffix(suffix)
+        if base != sample_name and base in families:
+            return base
+    return sample_name
+
+
+def parse_prometheus(text: str) -> dict[str, ParsedMetric]:
+    """Parse an exposition document into metric families by name."""
+    families: dict[str, ParsedMetric] = {}
+
+    def family(name: str) -> ParsedMetric:
+        metric = families.get(name)
+        if metric is None:
+            metric = ParsedMetric(name=name)
+            families[name] = metric
+        return metric
+
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            rest = line[len("# HELP ") :]
+            name, _, help_text = rest.partition(" ")
+            family(name).help = _unescape(help_text)
+            continue
+        if line.startswith("# TYPE "):
+            rest = line[len("# TYPE ") :]
+            name, _, kind = rest.partition(" ")
+            family(name).kind = kind.strip()
+            continue
+        if line.startswith("#"):
+            continue  # other comments are legal and ignored
+        sample_name, labels, value_text = _split_sample_name(line)
+        if value_text == "+Inf":
+            value = float("inf")
+        else:
+            try:
+                value = float(value_text)
+            except ValueError:
+                raise ObservabilityError(
+                    f"malformed sample value in line {line!r}"
+                ) from None
+        family_name = _family_of(sample_name, families)
+        family(family_name).samples[(sample_name, labels)] = value
+    return families

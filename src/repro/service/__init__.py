@@ -1,0 +1,50 @@
+"""repro.service — the multi-tenant TPI-optimization sweep service.
+
+An asyncio job-queue + HTTP service answering
+:class:`~repro.api.OptimizationRequest` queries through the shared
+experiment engine.  The layers, transport-independent first:
+
+* :mod:`repro.service.quotas` — per-tenant token-bucket admission with
+  ``429`` + ``Retry-After`` backpressure;
+* :mod:`repro.service.warmcache` — the shared in-memory warm result
+  store (admission policy + LRU eviction);
+* :mod:`repro.service.jobs` — job lifecycle and the bounded job table;
+* :mod:`repro.service.broker` — single-flight dedup and batching of
+  compatible requests into one ``engine.map`` fan-out;
+* :mod:`repro.service.server` — the HTTP/1.1 face
+  (``POST /v1/optimize``, ``GET /v1/jobs/{id}``, ``GET /metrics``,
+  ``GET /healthz``) plus hosting helpers;
+* :mod:`repro.service.client` — a typed stdlib client.
+
+Boot one with ``repro serve`` or, in process::
+
+    from repro.service import ServiceConfig, ServiceThread
+    with ServiceThread(engine, ServiceConfig(port=0)) as svc:
+        client = ServiceClient(svc.url)
+"""
+
+from repro.service.broker import SweepBroker
+from repro.service.client import ServiceClient
+from repro.service.jobs import Job, JobStore
+from repro.service.quotas import QuotaPolicy, TenantQuotas
+from repro.service.server import (
+    ServiceConfig,
+    ServiceThread,
+    SweepService,
+    run_service,
+)
+from repro.service.warmcache import WarmResultStore
+
+__all__ = [
+    "Job",
+    "JobStore",
+    "QuotaPolicy",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceThread",
+    "SweepBroker",
+    "SweepService",
+    "TenantQuotas",
+    "WarmResultStore",
+    "run_service",
+]

@@ -1,0 +1,277 @@
+"""The sweep broker: admission -> warm store -> single-flight -> batch.
+
+:class:`SweepBroker` is the service's decision core, independent of any
+transport.  One :meth:`submit` call walks an admitted request through
+the cost ladder cheapest-first:
+
+1. **validate** — the request is mapped to its engine cell
+   (:func:`repro.api.request_cell`); malformed requests fail here
+   before consuming any quota token;
+2. **quota** — per-tenant token-bucket admission
+   (:class:`~repro.service.quotas.TenantQuotas`); over-quota raises
+   :class:`~repro.errors.QuotaExceededError` for the HTTP layer to turn
+   into ``429`` + ``Retry-After``;
+3. **warm store** — the shared in-memory
+   :class:`~repro.service.warmcache.WarmResultStore`, keyed by the
+   cell's content address, answers repeats across tenants instantly;
+4. **single-flight** — a miss whose cell is already being computed
+   attaches to the open flight instead of enqueueing a duplicate, so N
+   concurrent identical queries cost exactly one engine evaluation;
+5. **batch** — genuinely new cells accumulate for ``batch_window_s``
+   and fan out through *one* ``engine.map`` call, which preserves the
+   engine's process-pool parallelism, content-addressed disk cache and
+   resilience (retries, pool respawn, serial fallback) across tenants.
+
+Everything runs on one asyncio loop — submissions, the batch task and
+completion fan-out — so the broker needs no locks; the blocking
+``engine.map`` is pushed to a thread via ``run_in_executor``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+from repro.api.query import request_cell
+from repro.api.types import OptimizationRequest
+from repro.engine.cache import cell_key, technology_fingerprint
+from repro.engine.cells import SweepCell
+from repro.engine.engine import ExperimentEngine
+from repro.errors import QuotaExceededError, ServiceError
+from repro.obs import trace as obs
+from repro.obs.metrics import metrics
+from repro.service.jobs import Job, JobStore, new_job_id
+from repro.service.quotas import QuotaPolicy, TenantQuotas
+from repro.service.warmcache import WarmResultStore
+
+
+@dataclass
+class _Flight:
+    """One in-progress engine evaluation and every job awaiting it."""
+
+    key: str
+    cell: SweepCell
+    jobs: list[Job] = field(default_factory=list)
+
+
+@dataclass
+class SweepBroker:
+    """Batches optimization requests into shared engine evaluations."""
+
+    engine: ExperimentEngine
+    quota_policy: QuotaPolicy = field(default_factory=QuotaPolicy)
+    warm: WarmResultStore = field(default_factory=WarmResultStore)
+    #: How long a freshly queued cell waits for companions before the
+    #: batch is flushed to the engine.
+    batch_window_s: float = 0.02
+    #: Most distinct cells evaluated per engine ``map`` call.
+    max_batch: int = 64
+    jobs_retain: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.batch_window_s < 0:
+            raise ServiceError(
+                f"batch_window_s must be >= 0, got {self.batch_window_s}"
+            )
+        if self.max_batch < 1:
+            raise ServiceError(f"max_batch must be >= 1, got {self.max_batch}")
+        self.quotas = TenantQuotas(policy=self.quota_policy)
+        self.jobs = JobStore(retain=self.jobs_retain)
+        self._flights: dict[str, _Flight] = {}
+        self._pending: list[_Flight] = []
+        self._wake: asyncio.Event | None = None
+        self._batch_task: asyncio.Task | None = None
+        self._closed = False
+        # Captured once: deriving the timing tables per request would
+        # dominate the cost of a warm hit.
+        self._fingerprint = technology_fingerprint()
+
+    # -- lifecycle --------------------------------------------------------
+
+    async def start(self) -> None:
+        """Start the batch task on the running loop."""
+        if self._batch_task is not None:
+            raise ServiceError("broker already started")
+        self._closed = False
+        self._wake = asyncio.Event()
+        self._batch_task = asyncio.create_task(self._batch_loop())
+
+    async def close(self) -> None:
+        """Stop accepting work, drain in-flight batches, stop the task."""
+        self._closed = True
+        if self._wake is not None:
+            self._wake.set()
+        if self._batch_task is not None:
+            await self._batch_task
+            self._batch_task = None
+
+    # -- submission -------------------------------------------------------
+
+    async def submit(self, request: OptimizationRequest) -> Job:
+        """Admit one request; returns its job (possibly already done).
+
+        Raises :class:`~repro.errors.ApiError` on a malformed request,
+        :class:`~repro.errors.QuotaExceededError` when the tenant is
+        over quota, and :class:`~repro.errors.ServiceError` after
+        :meth:`close`.
+        """
+        if self._closed or self._batch_task is None:
+            raise ServiceError("service is shutting down; submit rejected")
+        cell = request_cell(request)  # ApiError before any quota spend
+        key = cell_key(cell, self._fingerprint)
+        try:
+            self.quotas.admit(request.tenant)
+        except QuotaExceededError:
+            obs.event(
+                "service.quota_reject",
+                tenant=request.tenant,
+                structure=request.structure,
+                workload=request.workload,
+            )
+            raise
+        metrics().counter(
+            "repro_service_requests_total", "optimization requests admitted"
+        ).inc(tenant=request.tenant, structure=request.structure)
+
+        job = Job(
+            job_id=new_job_id(),
+            tenant=request.tenant,
+            request=request,
+            cell_key=key,
+        )
+        self.jobs.add(job)
+        obs.event(
+            "service.job_queued",
+            job_id=job.job_id,
+            tenant=job.tenant,
+            cell_key=key,
+            structure=request.structure,
+            workload=request.workload,
+        )
+
+        warm_payload = self.warm.get(key)
+        if warm_payload is not None:
+            obs.event("service.warm_hit", job_id=job.job_id, cell_key=key)
+            self._finish(job, warm_payload, source="warm")
+            return job
+
+        flight = self._flights.get(key)
+        if flight is not None:
+            flight.jobs.append(job)
+            metrics().counter(
+                "repro_service_singleflight_merged_total",
+                "duplicate in-flight requests merged into one evaluation",
+            ).inc()
+            obs.event(
+                "service.singleflight_merge", job_id=job.job_id, cell_key=key
+            )
+            return job
+
+        flight = _Flight(key=key, cell=cell, jobs=[job])
+        self._flights[key] = flight
+        self._pending.append(flight)
+        assert self._wake is not None
+        self._wake.set()
+        return job
+
+    async def wait(self, job: Job, timeout: float | None = None) -> Job:
+        """Block until ``job`` reaches a terminal state."""
+        await asyncio.wait_for(job.done.wait(), timeout)
+        return job
+
+    # -- batch execution --------------------------------------------------
+
+    async def _batch_loop(self) -> None:
+        assert self._wake is not None
+        while True:
+            if not self._pending:
+                if self._closed:
+                    return
+                await self._wake.wait()
+                self._wake.clear()
+                continue
+            if self.batch_window_s > 0 and not self._closed:
+                await asyncio.sleep(self.batch_window_s)
+            batch = self._pending[: self.max_batch]
+            del self._pending[: len(batch)]
+            await self._run_batch(batch)
+
+    async def _run_batch(self, batch: list[_Flight]) -> None:
+        loop = asyncio.get_running_loop()
+        cells = [flight.cell for flight in batch]
+        for flight in batch:
+            for job in flight.jobs:
+                job.attempts += 1
+                job.mark_running()
+        misses_before = self.engine.stats.cache_misses
+        start = time.perf_counter()
+        try:
+            with obs.span(
+                "service.batch", level="engine",
+                n_cells=len(cells),
+                n_jobs=sum(len(f.jobs) for f in batch),
+            ):
+                payloads = await loop.run_in_executor(
+                    None, self.engine.map, cells
+                )
+        except Exception as exc:  # noqa: BLE001 - batch boundary: every
+            # failure mode of the engine stack must land on the waiting
+            # jobs as a failed state, never escape into the batch task.
+            for flight in batch:
+                self._flights.pop(flight.key, None)
+                for job in flight.jobs:
+                    self._fail(job, f"{type(exc).__name__}: {exc}")
+            return
+        computed = self.engine.stats.cache_misses - misses_before
+        metrics().counter(
+            "repro_service_batches_total", "engine batches flushed"
+        ).inc()
+        metrics().histogram(
+            "repro_service_batch_cells", "distinct cells per engine batch"
+        ).observe(len(cells))
+        obs.event(
+            "service.batch_flush",
+            n_cells=len(cells),
+            computed=computed,
+            elapsed_s=time.perf_counter() - start,
+        )
+        for flight, payload in zip(batch, payloads):
+            self._flights.pop(flight.key, None)
+            self.warm.admit(flight.key, payload)
+            for job in flight.jobs:
+                self._finish(job, payload, source="computed")
+
+    # -- completion -------------------------------------------------------
+
+    def _finish(self, job: Job, payload: dict, source: str) -> None:
+        job.complete(payload, source)
+        self.quotas.release(job.tenant)
+        status = job.status()
+        metrics().counter(
+            "repro_service_jobs_total", "jobs reaching a terminal state"
+        ).inc(state="done", source=source)
+        metrics().histogram(
+            "repro_service_job_wall_seconds",
+            "admission-to-completion wall time per job",
+        ).observe(status.queued_s + status.wall_s, source=source)
+        obs.event(
+            "service.job_done",
+            job_id=job.job_id,
+            tenant=job.tenant,
+            source=source,
+            wall_s=status.wall_s,
+        )
+
+    def _fail(self, job: Job, error: str) -> None:
+        job.fail(error)
+        self.quotas.release(job.tenant)
+        metrics().counter(
+            "repro_service_jobs_total", "jobs reaching a terminal state"
+        ).inc(state="failed", source="error")
+        obs.event(
+            "service.job_failed",
+            job_id=job.job_id,
+            tenant=job.tenant,
+            error=error,
+        )

@@ -1,0 +1,136 @@
+"""A small stdlib client for the sweep service (``repro query --url``).
+
+Wraps ``http.client`` so callers — the CLI, tests, the CI smoke script
+— speak the service's JSON protocol through typed
+:mod:`repro.api` objects instead of hand-rolled dicts.  Quota
+backpressure surfaces as :class:`~repro.errors.QuotaExceededError`
+carrying the server's ``Retry-After``, so a polite caller can sleep and
+resubmit; :meth:`ServiceClient.optimize` does exactly that when asked.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from urllib.parse import urlsplit
+
+from repro.api.types import JobStatus, OptimizationRequest, OptimizationResult
+from repro.errors import ApiError, QuotaExceededError, ServiceError
+
+
+class ServiceClient:
+    """Typed HTTP client for one sweep-service endpoint."""
+
+    def __init__(self, url: str, timeout_s: float = 120.0) -> None:
+        split = urlsplit(url)
+        if split.scheme != "http" or not split.hostname:
+            raise ServiceError(
+                f"service URL must look like http://host:port, got {url!r}"
+            )
+        self.host = split.hostname
+        self.port = split.port if split.port is not None else 80
+        self.timeout_s = timeout_s
+
+    # -- raw request ------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: dict | None = None
+    ) -> tuple[int, dict, dict]:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        try:
+            payload = (
+                json.dumps(body).encode("utf-8") if body is not None else None
+            )
+            headers = {"Content-Type": "application/json"} if body else {}
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            document = json.loads(raw.decode("utf-8")) if raw else {}
+            return response.status, dict(response.getheaders()), document
+        finally:
+            conn.close()
+
+    def _raise_for(self, status: int, headers: dict, document: dict) -> None:
+        error = document.get("error", f"HTTP {status}")
+        if status == 429:
+            retry_after = float(
+                document.get("retry_after_s", headers.get("Retry-After", 1))
+            )
+            raise QuotaExceededError(error, retry_after_s=retry_after)
+        if status == 400:
+            raise ApiError(error)
+        raise ServiceError(f"HTTP {status}: {error}")
+
+    # -- typed endpoints --------------------------------------------------
+
+    def healthz(self) -> bool:
+        status, _, document = self._request("GET", "/healthz")
+        return status == 200 and bool(document.get("ok"))
+
+    def metrics_text(self) -> str:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        try:
+            conn.request("GET", "/metrics")
+            response = conn.getresponse()
+            if response.status != 200:
+                raise ServiceError(f"HTTP {response.status} from /metrics")
+            return response.read().decode("utf-8")
+        finally:
+            conn.close()
+
+    def submit(
+        self, request: OptimizationRequest, wait: bool = True
+    ) -> JobStatus:
+        """Submit one request; raises on 4xx/5xx instead of returning."""
+        path = "/v1/optimize" + ("?wait=1" if wait else "")
+        status, headers, document = self._request("POST", path, request.to_dict())
+        if status not in (200, 202):
+            self._raise_for(status, headers, document)
+        return JobStatus.from_dict(document)
+
+    def job(self, job_id: str) -> JobStatus:
+        status, headers, document = self._request("GET", f"/v1/jobs/{job_id}")
+        if status != 200:
+            self._raise_for(status, headers, document)
+        return JobStatus.from_dict(document)
+
+    def optimize(
+        self,
+        request: OptimizationRequest,
+        *,
+        poll_s: float = 0.2,
+        max_retries: int = 32,
+    ) -> OptimizationResult:
+        """Submit and block until the result, honouring backpressure.
+
+        Retries 429s after the advertised ``Retry-After`` (up to
+        ``max_retries`` times) and polls a still-running job until it
+        reaches a terminal state.
+        """
+        for attempt in range(max_retries + 1):
+            try:
+                status = self.submit(request, wait=True)
+                break
+            except QuotaExceededError as exc:
+                if attempt == max_retries:
+                    raise
+                time.sleep(exc.retry_after_s)
+        deadline = time.monotonic() + self.timeout_s
+        while not status.state.is_terminal():
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {status.job_id} still {status.state.value} after "
+                    f"{self.timeout_s:g}s"
+                )
+            time.sleep(poll_s)
+            status = self.job(status.job_id)
+        if status.result is None:
+            raise ServiceError(
+                f"job {status.job_id} failed: {status.error or 'unknown error'}"
+            )
+        return status.result

@@ -1,0 +1,136 @@
+"""Job lifecycle: the service's unit of asynchronous work.
+
+A :class:`Job` tracks one admitted :class:`~repro.api.OptimizationRequest`
+from ``queued`` through ``running`` to ``done``/``failed``, carrying the
+raw engine payload (the JSON-able dict the evaluator produced) rather
+than the assembled result, so duplicate jobs merged by single-flight
+share one payload object and assembly stays a pure function of it.
+
+The :class:`JobStore` is a bounded id -> job map: completed jobs are
+kept for ``retain`` lookups (clients poll ``GET /v1/jobs/{id}`` after
+the fact) and the oldest terminal jobs are dropped past the bound, so
+a long-running service cannot leak memory through its job table.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+import uuid
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.api.types import (
+    JobState,
+    JobStatus,
+    OptimizationRequest,
+    OptimizationResult,
+)
+from repro.api.query import result_from_payload
+from repro.errors import ServiceError
+
+_JOB_COUNTER = itertools.count(1)
+
+
+def new_job_id() -> str:
+    """A unique, roughly ordered job identifier."""
+    return f"job-{next(_JOB_COUNTER):06d}-{uuid.uuid4().hex[:8]}"
+
+
+@dataclass
+class Job:
+    """One request moving through the service."""
+
+    job_id: str
+    tenant: str
+    request: OptimizationRequest
+    cell_key: str
+    state: JobState = JobState.QUEUED
+    source: str | None = None
+    payload: dict | None = None
+    error: str | None = None
+    attempts: int = 0
+    created: float = field(default_factory=time.monotonic)
+    started: float | None = None
+    finished: float | None = None
+    done: asyncio.Event = field(default_factory=asyncio.Event)
+
+    def mark_running(self) -> None:
+        self.state = JobState.RUNNING
+        self.started = time.monotonic()
+
+    def complete(self, payload: dict, source: str) -> None:
+        self.state = JobState.DONE
+        self.payload = payload
+        self.source = source
+        self.finished = time.monotonic()
+        self.done.set()
+
+    def fail(self, error: str) -> None:
+        self.state = JobState.FAILED
+        self.error = error
+        self.finished = time.monotonic()
+        self.done.set()
+
+    def result(self) -> OptimizationResult | None:
+        """The assembled result (``done`` jobs only)."""
+        if self.payload is None:
+            return None
+        return result_from_payload(self.request, self.payload)
+
+    def status(self) -> JobStatus:
+        """Externally visible snapshot of this job."""
+        started = self.started if self.started is not None else self.created
+        finished = self.finished
+        queued_s = max(0.0, started - self.created)
+        wall_s = 0.0
+        if finished is not None:
+            wall_s = max(0.0, finished - started)
+        return JobStatus(
+            job_id=self.job_id,
+            tenant=self.tenant,
+            state=self.state,
+            request=self.request,
+            result=self.result(),
+            error=self.error,
+            source=self.source,
+            attempts=self.attempts,
+            queued_s=queued_s,
+            wall_s=wall_s,
+        )
+
+
+@dataclass
+class JobStore:
+    """Bounded id -> :class:`Job` map with terminal-job retention."""
+
+    retain: int = 1024
+    _jobs: OrderedDict = field(default_factory=OrderedDict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.retain < 1:
+            raise ServiceError(f"retain must be >= 1, got {self.retain}")
+
+    def add(self, job: Job) -> None:
+        self._jobs[job.job_id] = job
+        self._trim()
+
+    def get(self, job_id: str) -> Job:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise ServiceError(f"unknown job id {job_id!r}")
+        return job
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def _trim(self) -> None:
+        """Drop the oldest *terminal* jobs past the retention bound."""
+        if len(self._jobs) <= self.retain:
+            return
+        for job_id in list(self._jobs):
+            if len(self._jobs) <= self.retain:
+                break
+            if self._jobs[job_id].done.is_set():
+                del self._jobs[job_id]

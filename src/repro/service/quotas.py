@@ -1,0 +1,130 @@
+"""Per-tenant admission quotas with backpressure, not failure.
+
+Each tenant gets a token bucket (``burst`` capacity refilled at
+``rate_per_s``) plus a cap on concurrently in-flight jobs.  Admission
+that would exceed either raises
+:class:`~repro.errors.QuotaExceededError` carrying ``retry_after_s`` —
+the time until a token is available — which the HTTP layer translates
+into ``429 Too Many Requests`` + ``Retry-After``.  Nothing is dropped
+and nothing errors: a client that honours the header will eventually
+be admitted.
+
+The clock is injectable (monotonic by default) so tests can drive the
+refill deterministically.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import QuotaExceededError
+from repro.obs.metrics import metrics
+
+
+@dataclass(frozen=True)
+class QuotaPolicy:
+    """Admission limits applied to every tenant individually."""
+
+    #: Token-bucket capacity: requests a tenant may burst at once.
+    burst: int = 8
+    #: Sustained admission rate (tokens refilled per second).
+    rate_per_s: float = 4.0
+    #: Maximum jobs a tenant may have queued or running at once.
+    max_inflight: int = 16
+
+    def __post_init__(self) -> None:
+        if self.burst < 1:
+            raise ValueError(f"burst must be >= 1, got {self.burst}")
+        if self.rate_per_s <= 0:
+            raise ValueError(f"rate_per_s must be > 0, got {self.rate_per_s}")
+        if self.max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be >= 1, got {self.max_inflight}"
+            )
+
+
+@dataclass
+class _TenantBucket:
+    tokens: float
+    refreshed: float
+    inflight: int = 0
+
+
+@dataclass
+class TenantQuotas:
+    """Tracks every tenant's bucket and in-flight job count."""
+
+    policy: QuotaPolicy = field(default_factory=QuotaPolicy)
+    clock: Callable[[], float] = time.monotonic
+
+    def __post_init__(self) -> None:
+        self._buckets: dict[str, _TenantBucket] = {}
+
+    def _bucket(self, tenant: str) -> _TenantBucket:
+        now = self.clock()
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = _TenantBucket(tokens=float(self.policy.burst), refreshed=now)
+            self._buckets[tenant] = bucket
+        else:
+            elapsed = max(0.0, now - bucket.refreshed)
+            bucket.tokens = min(
+                float(self.policy.burst),
+                bucket.tokens + elapsed * self.policy.rate_per_s,
+            )
+            bucket.refreshed = now
+        return bucket
+
+    def admit(self, tenant: str) -> None:
+        """Admit one request for ``tenant`` or raise backpressure.
+
+        On success one token is consumed and the tenant's in-flight
+        count incremented; the caller must pair every successful
+        ``admit`` with exactly one :meth:`release`.
+        """
+        bucket = self._bucket(tenant)
+        reject_reason: str | None = None
+        retry_after = 0.0
+        if bucket.inflight >= self.policy.max_inflight:
+            reject_reason = (
+                f"{bucket.inflight} jobs in flight "
+                f"(limit {self.policy.max_inflight})"
+            )
+            retry_after = 1.0 / self.policy.rate_per_s
+        elif bucket.tokens < 1.0:
+            reject_reason = (
+                f"rate limit ({self.policy.rate_per_s:g}/s, "
+                f"burst {self.policy.burst})"
+            )
+            retry_after = (1.0 - bucket.tokens) / self.policy.rate_per_s
+        if reject_reason is not None:
+            metrics().counter(
+                "repro_service_quota_rejections_total",
+                "requests rejected with 429 backpressure",
+            ).inc(tenant=tenant)
+            raise QuotaExceededError(
+                f"tenant {tenant!r} over quota: {reject_reason}; "
+                f"retry after {retry_after:.3f}s",
+                retry_after_s=max(retry_after, 0.001),
+            )
+        bucket.tokens -= 1.0
+        bucket.inflight += 1
+
+    def release(self, tenant: str) -> None:
+        """Mark one of ``tenant``'s admitted jobs as no longer in flight."""
+        bucket = self._buckets.get(tenant)
+        if bucket is not None and bucket.inflight > 0:
+            bucket.inflight -= 1
+
+    def inflight(self, tenant: str) -> int:
+        """Jobs currently admitted and not yet released for ``tenant``."""
+        bucket = self._buckets.get(tenant)
+        return bucket.inflight if bucket is not None else 0
+
+    @staticmethod
+    def retry_after_header(exc: QuotaExceededError) -> str:
+        """``Retry-After`` header value (integer seconds, >= 1)."""
+        return str(max(1, math.ceil(exc.retry_after_s)))

@@ -1,0 +1,372 @@
+"""The HTTP face of the sweep service (stdlib asyncio, no frameworks).
+
+A deliberately small HTTP/1.1 server over ``asyncio.start_server`` —
+four routes, JSON in/out, connection-per-request:
+
+* ``POST /v1/optimize`` — submit an
+  :class:`~repro.api.OptimizationRequest` (JSON body); returns ``202``
+  with the job status, or the finished status with ``?wait=1``;
+* ``GET /v1/jobs/{id}`` — poll one job's status;
+* ``GET /metrics`` — Prometheus text exposition of the process-wide
+  :class:`~repro.obs.metrics.MetricsRegistry`;
+* ``GET /healthz`` — liveness.
+
+Error mapping is the contract the client retries against:
+:class:`~repro.errors.ApiError` -> ``400``,
+:class:`~repro.errors.QuotaExceededError` -> ``429`` + ``Retry-After``,
+unknown job -> ``404``, shutdown -> ``503``, anything else -> ``500``.
+
+:class:`SweepService` owns the listener plus a
+:class:`~repro.service.broker.SweepBroker`; :func:`run_service` hosts
+one on a fresh event loop (the ``repro serve`` entry point), and
+:class:`ServiceThread` hosts the same thing on a daemon thread for
+in-process tests and embedding.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Callable
+from urllib.parse import parse_qs, urlsplit
+
+from repro.api.types import OptimizationRequest
+from repro.engine.engine import ExperimentEngine
+from repro.errors import ApiError, QuotaExceededError, ServiceError
+from repro.obs import trace as obs
+from repro.obs.metrics import metrics
+from repro.service.broker import SweepBroker
+from repro.service.quotas import QuotaPolicy, TenantQuotas
+from repro.service.warmcache import WarmResultStore
+
+#: Largest accepted request body; optimization requests are tiny.
+MAX_BODY_BYTES: int = 1 << 20
+
+#: Content type of the Prometheus text exposition format.
+PROMETHEUS_CONTENT_TYPE: str = "text/plain; version=0.0.4; charset=utf-8"
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything needed to boot one sweep service."""
+
+    host: str = "127.0.0.1"
+    #: ``0`` binds an ephemeral port (tests, CI smoke).
+    port: int = 0
+    quota: QuotaPolicy = field(default_factory=QuotaPolicy)
+    warm_entries: int = 256
+    batch_window_s: float = 0.02
+    max_batch: int = 64
+    #: Default ``?wait=1`` timeout before the server gives up blocking
+    #: and returns the still-running status.
+    wait_timeout_s: float = 60.0
+
+
+class SweepService:
+    """One listener + broker pair bound to a running event loop."""
+
+    def __init__(self, engine: ExperimentEngine, config: ServiceConfig) -> None:
+        self.config = config
+        self.broker = SweepBroker(
+            engine=engine,
+            quota_policy=config.quota,
+            warm=WarmResultStore(max_entries=config.warm_entries),
+            batch_window_s=config.batch_window_s,
+            max_batch=config.max_batch,
+        )
+        self._server: asyncio.base_events.Server | None = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the real one)."""
+        if self._server is None:
+            raise ServiceError("service is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        await self.broker.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.broker.close()
+
+    # -- connection handling ----------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, headers, body = await self._handle_one(reader)
+        except Exception as exc:  # noqa: BLE001 - transport boundary: a
+            # handler bug must answer 500, not kill the connection task.
+            status, headers, body = _json_response(
+                500, {"error": f"{type(exc).__name__}: {exc}"}
+            )
+            metrics().counter(
+                "repro_service_http_errors_total",
+                "requests answered with an unexpected 500",
+            ).inc()
+        try:
+            writer.write(_render(status, headers, body))
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+
+    async def _handle_one(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[int, dict, bytes]:
+        request_line = await reader.readline()
+        parts = request_line.decode("latin-1").split()
+        if len(parts) != 3:
+            return _json_response(400, {"error": "malformed request line"})
+        method, target, _version = parts
+        content_length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    return _json_response(
+                        400, {"error": "malformed Content-Length"}
+                    )
+        if content_length > MAX_BODY_BYTES:
+            return _json_response(
+                413, {"error": f"body exceeds {MAX_BODY_BYTES} bytes"}
+            )
+        body = await reader.readexactly(content_length) if content_length else b""
+        split = urlsplit(target)
+        query = parse_qs(split.query)
+        metrics().counter(
+            "repro_service_http_requests_total", "HTTP requests received"
+        ).inc(method=method, path=_route_label(split.path))
+        return await self._route(method, split.path, query, body)
+
+    async def _route(
+        self, method: str, path: str, query: dict, body: bytes
+    ) -> tuple[int, dict, bytes]:
+        if path == "/healthz" and method == "GET":
+            return _json_response(200, {"ok": True})
+        if path == "/metrics" and method == "GET":
+            text = metrics().to_prometheus()
+            return (
+                200,
+                {"Content-Type": PROMETHEUS_CONTENT_TYPE},
+                text.encode("utf-8"),
+            )
+        if path == "/v1/optimize" and method == "POST":
+            return await self._optimize(query, body)
+        if path.startswith("/v1/jobs/") and method == "GET":
+            return self._job_status(path.removeprefix("/v1/jobs/"))
+        return _json_response(
+            404, {"error": f"no route for {method} {path}"}
+        )
+
+    async def _optimize(self, query: dict, body: bytes) -> tuple[int, dict, bytes]:
+        try:
+            document = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return _json_response(400, {"error": f"body is not JSON: {exc}"})
+        try:
+            request = OptimizationRequest.from_dict(document)
+            job = await self.broker.submit(request)
+        except ApiError as exc:
+            return _json_response(400, {"error": str(exc)})
+        except QuotaExceededError as exc:
+            return _json_response(
+                429,
+                {"error": str(exc), "retry_after_s": exc.retry_after_s},
+                extra_headers={
+                    "Retry-After": TenantQuotas.retry_after_header(exc)
+                },
+            )
+        except ServiceError as exc:
+            return _json_response(503, {"error": str(exc)})
+        wait = query.get("wait", ["0"])[-1] not in ("0", "", "false")
+        if wait and not job.done.is_set():
+            try:
+                await self.broker.wait(job, timeout=self.config.wait_timeout_s)
+            except asyncio.TimeoutError:
+                pass  # return the still-running status; client may poll
+        status_code = 200 if job.done.is_set() else 202
+        return _json_response(status_code, job.status().to_dict())
+
+    def _job_status(self, job_id: str) -> tuple[int, dict, bytes]:
+        try:
+            job = self.broker.jobs.get(job_id)
+        except ServiceError as exc:
+            return _json_response(404, {"error": str(exc)})
+        return _json_response(200, job.status().to_dict())
+
+
+def _route_label(path: str) -> str:
+    """Collapse per-job paths so the route label stays low-cardinality."""
+    if path.startswith("/v1/jobs/"):
+        return "/v1/jobs/{id}"
+    return path
+
+
+def _json_response(
+    status: int, document: dict, extra_headers: dict | None = None
+) -> tuple[int, dict, bytes]:
+    headers = {"Content-Type": "application/json"}
+    if extra_headers:
+        headers.update(extra_headers)
+    return status, headers, json.dumps(document, sort_keys=True).encode("utf-8")
+
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+def _render(status: int, headers: dict, body: bytes) -> bytes:
+    lines = [f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}"]
+    headers = {**headers, "Content-Length": str(len(body)), "Connection": "close"}
+    lines.extend(f"{name}: {value}" for name, value in headers.items())
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + body
+
+
+# -- hosting ---------------------------------------------------------------
+
+
+def run_service(
+    engine: ExperimentEngine,
+    config: ServiceConfig,
+    *,
+    on_ready: Callable[[SweepService], None] | None = None,
+) -> None:
+    """Host one service on a fresh event loop until interrupted.
+
+    The ``repro serve`` entry point.  ``on_ready`` fires once the port
+    is bound (the CLI prints the URL; the CI smoke test parses it).
+    """
+
+    async def _main() -> None:
+        service = SweepService(engine, config)
+        await service.start()
+        obs.event(
+            "service.started", host=config.host, port=service.port
+        )
+        if on_ready is not None:
+            on_ready(service)
+        try:
+            await asyncio.Event().wait()  # serve until cancelled
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+
+
+class ServiceThread:
+    """A sweep service hosted on a daemon thread (tests, embedding).
+
+    >>> with ServiceThread(engine) as svc:
+    ...     url = f"http://127.0.0.1:{svc.port}"
+    """
+
+    def __init__(
+        self,
+        engine: ExperimentEngine,
+        config: ServiceConfig | None = None,
+        startup_timeout_s: float = 10.0,
+    ) -> None:
+        self.config = config if config is not None else ServiceConfig()
+        self._engine = engine
+        self._startup_timeout_s = startup_timeout_s
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._service: SweepService | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    @property
+    def service(self) -> SweepService:
+        if self._service is None:
+            raise ServiceError("service thread is not running")
+        return self._service
+
+    @property
+    def port(self) -> int:
+        return self.service.port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.config.host}:{self.port}"
+
+    def start(self) -> "ServiceThread":
+        if self._thread is not None:
+            raise ServiceError("service thread already started")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-sweep-service", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(self._startup_timeout_s):
+            raise ServiceError("service thread did not become ready in time")
+        if self._startup_error is not None:
+            raise ServiceError(
+                f"service failed to start: {self._startup_error}"
+            ) from self._startup_error
+        return self
+
+    def stop(self) -> None:
+        if self._loop is None or self._thread is None:
+            return
+        self._loop.call_soon_threadsafe(self._stop_event.set)
+        self._thread.join(timeout=10.0)
+        self._thread = None
+        self._loop = None
+        self._service = None
+
+    def _run(self) -> None:
+        asyncio.run(self._serve())
+
+    async def _serve(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        service = SweepService(self._engine, self.config)
+        try:
+            await service.start()
+        except BaseException as exc:  # noqa: BLE001 - startup failures
+            # must surface on the caller's thread, not die silently here.
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self._service = service
+        self._ready.set()
+        try:
+            await self._stop_event.wait()
+        finally:
+            await service.stop()
+
+    def __enter__(self) -> "ServiceThread":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -1,0 +1,99 @@
+"""The service's shared warm result store: admission + LRU eviction.
+
+The engine's content-addressed disk cache answers "have we ever
+computed this cell?"; this store answers the hot-path question "is the
+answer already in memory?" without touching disk or recomputing the
+assembly.  Entries are whole :class:`~repro.api.OptimizationResult`
+payload dicts keyed by the cell's content address, so tenants share
+warmth: any tenant's computed answer serves every later duplicate.
+
+Policy:
+
+* **admission** — only *computed* results are admitted (entries served
+  from this store are already warm; re-admitting them would just churn
+  the LRU order away from recency of computation).  An entry whose
+  payload exceeds ``max_entry_bytes`` is refused outright, so one
+  pathological sweep cannot evict the whole working set;
+* **eviction** — strict LRU above ``max_entries`` (hits refresh
+  recency).
+
+Counters: ``repro_service_warm_hits_total``,
+``repro_service_warm_admissions_total``,
+``repro_service_warm_evictions_total``,
+``repro_service_warm_rejections_total``; gauge
+``repro_service_warm_entries``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import metrics
+
+
+@dataclass
+class WarmResultStore:
+    """In-memory LRU store of answered sweeps, keyed by cell key."""
+
+    max_entries: int = 256
+    #: Admission cap on one entry's canonical-JSON size; ``None``
+    #: admits any size.
+    max_entry_bytes: int | None = 1 << 20
+    _entries: OrderedDict = field(default_factory=OrderedDict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {self.max_entries}")
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> dict | None:
+        """The warm payload for ``key`` (refreshes LRU recency)."""
+        payload = self._entries.get(key)
+        if payload is None:
+            return None
+        self._entries.move_to_end(key)
+        metrics().counter(
+            "repro_service_warm_hits_total",
+            "requests answered from the shared warm result store",
+        ).inc()
+        return payload
+
+    def admit(self, key: str, payload: dict) -> bool:
+        """Offer one computed payload; returns whether it was admitted."""
+        if self.max_entry_bytes is not None:
+            size = len(json.dumps(payload, separators=(",", ":")))
+            if size > self.max_entry_bytes:
+                metrics().counter(
+                    "repro_service_warm_rejections_total",
+                    "computed results refused admission (entry too large)",
+                ).inc()
+                return False
+        already = key in self._entries
+        self._entries[key] = payload
+        self._entries.move_to_end(key)
+        if not already:
+            metrics().counter(
+                "repro_service_warm_admissions_total",
+                "computed results admitted to the warm store",
+            ).inc()
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            metrics().counter(
+                "repro_service_warm_evictions_total",
+                "warm entries evicted by the LRU policy",
+            ).inc()
+        metrics().gauge(
+            "repro_service_warm_entries", "entries resident in the warm store"
+        ).set(len(self._entries))
+        return True
+
+    def clear(self) -> None:
+        """Drop every entry (tests)."""
+        self._entries.clear()
+        metrics().gauge(
+            "repro_service_warm_entries", "entries resident in the warm store"
+        ).set(0)

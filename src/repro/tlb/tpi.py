@@ -14,10 +14,9 @@ costs a page walk.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 
-from repro.errors import WorkloadError
+from repro.errors import RemovedApiError, WorkloadError
 from repro.tlb.simulator import TlbDepthHistogram
 from repro.tlb.timing import TlbTimingModel
 
@@ -93,24 +92,21 @@ class TlbTpiModel:
             for f in self.timing.boundaries()
         }
 
-    def sweep(
-        self, histogram: TlbDepthHistogram, load_store_fraction: float
-    ) -> dict[int, TlbBreakdown]:
-        """Deprecated alias of :meth:`sweep_breakdowns`.
+    def sweep(self, *args: object, **kwargs: object) -> dict[int, TlbBreakdown]:
+        """Removed alias of :meth:`sweep_breakdowns`.
 
         .. deprecated:: 1.1
-            Use :class:`repro.engine.sweeps.TlbStructureSweep` for the
-            unified :class:`~repro.core.metrics.SweepResult` API, or
+        .. versionremoved:: 1.2
+            The deprecation cycle is complete.  Query through
+            :func:`repro.api.run_query` (the public surface), or call
             :meth:`sweep_breakdowns` for the raw breakdowns.
         """
-        warnings.warn(
-            "TlbTpiModel.sweep is deprecated; use "
-            "repro.engine.sweeps.TlbStructureSweep (unified SweepResult "
-            "API) or TlbTpiModel.sweep_breakdowns",
-            DeprecationWarning,
-            stacklevel=2,
+        raise RemovedApiError(
+            "TlbTpiModel.sweep was removed after its deprecation cycle; "
+            "query through repro.api.run_query(OptimizationRequest('tlb', "
+            "workload)) or call TlbTpiModel.sweep_breakdowns for raw "
+            "breakdowns"
         )
-        return self.sweep_breakdowns(histogram, load_store_fraction)
 
     def best_boundary(
         self, histogram: TlbDepthHistogram, load_store_fraction: float

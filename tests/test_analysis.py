@@ -488,12 +488,14 @@ class TestRPR006ObservabilityNaming:
         assert result.clean and result.suppressed
 
 
-class TestRPR007DeprecatedEntryPoints:
-    def test_deprecated_import_flagged(self, tmp_path):
+class TestRPR007RemovedEntryPoints:
+    def test_removed_import_flagged(self, tmp_path):
         result = lint_source(
             tmp_path, "from repro.engine.telemetry import summarize\n"
         )
         assert finding_rules(result) == ["RPR007"]
+        assert "removed" in result.findings[0].message
+        assert "repro.obs.summarize" in result.findings[0].message
 
     def test_sweep_for_call_flagged(self, tmp_path):
         result = lint_source(tmp_path, "rows = sweep_for('fp')\n")
@@ -510,6 +512,21 @@ class TestRPR007DeprecatedEntryPoints:
     def test_chained_constructor_sweep_flagged(self, tmp_path):
         result = lint_source(tmp_path, "rows = TlbTpiModel(p).sweep()\n")
         assert finding_rules(result) == ["RPR007"]
+        assert "removed" in result.findings[0].message
+
+    def test_all_removed_names_have_fixtures(self, tmp_path):
+        # One fixture per removed entry point, so the rule keeps pace
+        # with the deprecation ledger.
+        fixtures = {
+            "queue_study.sweep_for": "from repro.experiments.queue_study import sweep_for\n",
+            "engine.telemetry.summarize": "text = telemetry.summarize(path)\n",
+            "CacheTpiModel.sweep": "rows = CacheTpiModel().sweep(h, 0.3)\n",
+            "TlbTpiModel.sweep": "rows = TlbTpiModel().sweep(h, 0.3)\n",
+            "BranchTpiModel.sweep": "rows = BranchTpiModel().sweep(p, 100)\n",
+        }
+        for name, source in fixtures.items():
+            result = lint_source(tmp_path, source)
+            assert finding_rules(result) == ["RPR007"], name
 
     def test_structure_sweep_api_not_flagged(self, tmp_path):
         # The NEW unified API's method is also called sweep.
@@ -568,10 +585,11 @@ class TestSelfHost:
 
     def test_suppressions_are_audited(self):
         # Every waiver in src/ is deliberate; this pins the count so a
-        # new suppression shows up in review.
+        # new suppression shows up in review.  (The RPR007 waiver died
+        # with the engine.summarize re-export shim.)
         result = lint_paths([REPO_ROOT / "src"])
         waived = sorted({f.rule_id for f in result.suppressed})
-        assert waived == ["RPR004", "RPR007", "RPR008"]
+        assert waived == ["RPR004", "RPR008"]
 
 
 # ---------------------------------------------------------------------------
@@ -613,16 +631,17 @@ class TestSelfHostFixes:
         )
         assert decision.configuration == 1
 
-    def test_deprecated_sweep_shims_still_warn(self):
+    def test_removed_sweep_shims_hard_error(self):
         import numpy as np
 
         from repro.cache.config import CacheGeometry
         from repro.cache.stackdist import DepthHistogram
         from repro.cache.tpi import CacheTpiModel
+        from repro.errors import RemovedApiError
 
         histogram = DepthHistogram.from_depths(
             CacheGeometry(), np.array([0, 1, 2, 3], dtype=np.int64)
         )
         model = CacheTpiModel()
-        with pytest.warns(DeprecationWarning):
+        with pytest.raises(RemovedApiError, match="repro.api"):
             model.sweep(histogram, 0.3, (1, 2))  # repro: noqa[RPR007] shim under test

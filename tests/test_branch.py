@@ -126,7 +126,7 @@ class TestBranchTpi:
     def test_capacity_helps_aliased_apps(self):
         model = BranchTpiModel()
         profile = branch_profile_for(get_profile("li"))
-        sweep = model.sweep(profile, n_branches=12_000)
+        sweep = model.sweep_breakdowns(profile, n_branches=12_000)
         assert sweep[8192].misprediction_rate < sweep[1024].misprediction_rate
 
     def test_tpi_composition(self):

@@ -90,7 +90,7 @@ class TestSweepAndBest:
     def test_sweep_covers_boundaries(self, geometry):
         model = CacheTpiModel()
         hist = _histogram(geometry, l1_hits_at_depth0=1000)
-        results = model.sweep(hist, 0.3, tuple(range(1, 9)))
+        results = model.sweep_breakdowns(hist, 0.3, tuple(range(1, 9)))
         assert sorted(results) == list(range(1, 9))
 
     def test_best_boundary_is_argmin(self, geometry):

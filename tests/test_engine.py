@@ -43,7 +43,7 @@ from repro.engine.sweeps import (
     TlbStructureSweep,
     all_structure_sweeps,
 )
-from repro.engine.telemetry import read_events, summarize, validate_events
+from repro.engine.telemetry import read_events, validate_events
 from repro.errors import EngineError
 from repro.workloads.suite import get_profile
 
@@ -229,7 +229,9 @@ def test_telemetry_log_validates_against_the_schema(tmp_path):
     assert [e["index"] for e in cell_events] == [0, 1, 2, 3, 4, 5] * 2
     assert {e["source"] for e in cell_events} == {"cache", "computed"}
 
-    digest = summarize(log)
+    from repro.obs.summarize import summarize_path
+
+    digest = summarize_path(log)
     assert f"{len(cells)} cells" in digest
 
 
@@ -293,9 +295,10 @@ def test_sweeps_agree_with_the_legacy_models():
         assert point.cycle_time_ns == legacy[f].cycle_time_ns
 
 
-def test_old_sweep_signatures_warn_but_still_work():
+def test_removed_sweep_signatures_hard_error():
     from repro.branch.tpi import BranchTpiModel
     from repro.branch.workloads import branch_profile_for
+    from repro.errors import RemovedApiError
     from repro.experiments import queue_study
     from repro.tlb.tpi import TlbTpiModel
 
@@ -304,28 +307,30 @@ def test_old_sweep_signatures_warn_but_still_work():
 
     histogram = cached_tlb_histogram(profile, N_REFS, WARMUP)
     ls = profile.memory.load_store_fraction
-    with pytest.warns(DeprecationWarning, match="TlbStructureSweep"):
-        old = TlbTpiModel().sweep(histogram, ls)
-    assert old == TlbTpiModel().sweep_breakdowns(histogram, ls)
+    with pytest.raises(RemovedApiError, match="repro.api"):
+        TlbTpiModel().sweep(histogram, ls)
+    # The raw breakdown surface replaces it one-for-one.
+    assert TlbTpiModel().sweep_breakdowns(histogram, ls)
 
     bp = branch_profile_for(profile)
-    with pytest.warns(DeprecationWarning, match="BranchStructureSweep"):
+    with pytest.raises(RemovedApiError, match="repro.api"):
         BranchTpiModel().sweep(bp, N_BRANCHES)
 
-    with pytest.warns(DeprecationWarning, match="QueueStructureSweep"):
+    with pytest.raises(RemovedApiError, match="repro.api"):
         queue_study.sweep_for(profile, n_instructions=N_INSTR)
 
 
-def test_cache_model_sweep_warns():
+def test_cache_model_sweep_hard_errors():
     from repro.cache.tpi import CacheTpiModel
     from repro.engine.cells import cached_histogram
+    from repro.errors import RemovedApiError
 
     profile = get_profile("compress")
     histogram = cached_histogram(profile, N_REFS, WARMUP)
     ls = profile.memory.load_store_fraction
-    with pytest.warns(DeprecationWarning, match="CacheStructureSweep"):
-        old = CacheTpiModel().sweep(histogram, ls, boundaries=(1, 2))
-    assert old == CacheTpiModel().sweep_breakdowns(histogram, ls, boundaries=(1, 2))
+    with pytest.raises(RemovedApiError, match="repro.api"):
+        CacheTpiModel().sweep(histogram, ls, boundaries=(1, 2))
+    assert CacheTpiModel().sweep_breakdowns(histogram, ls, boundaries=(1, 2))
 
 
 # ---------------------------------------------------------------------------

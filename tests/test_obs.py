@@ -351,15 +351,9 @@ class TestSummaries:
         assert "[li] config=2 tpi=0.2500 ns" in text
         assert "candidate evaluations: 2 (dcache=2)" in text
 
-    def test_telemetry_summarize_shim_warns_and_delegates(self, tmp_path):
-        import json
-
+    def test_telemetry_summarize_shim_removed(self, tmp_path):
         from repro.engine import telemetry
+        from repro.errors import RemovedApiError
 
-        path = tmp_path / "telemetry.jsonl"
-        events = self._legacy_events()
-        del events[-1]["elapsed_s"]  # old summarize would KeyError here
-        path.write_text("\n".join(json.dumps(e) for e in events) + "\n")
-        with pytest.warns(DeprecationWarning, match="obs summarize"):
-            text = telemetry.summarize(path)
-        assert "2 cells" in text and "?" in text
+        with pytest.raises(RemovedApiError, match="obs summarize"):
+            telemetry.summarize(tmp_path / "telemetry.jsonl")

@@ -1,0 +1,104 @@
+"""Prometheus exposition round trip: registry -> text -> parser.
+
+Satellite of the sweep service: ``GET /metrics`` serves
+``MetricsRegistry.to_prometheus()`` and these tests pin the text format
+(HELP/TYPE lines, label escaping, histogram sample families) by parsing
+it back with the independent :mod:`repro.obs.promtext` reader.
+"""
+
+import math
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.promtext import parse_prometheus
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+class TestRoundTrip:
+    def test_counter_round_trips(self, registry):
+        registry.counter("repro_cells_total", "cells evaluated").inc(3)
+        families = parse_prometheus(registry.to_prometheus())
+        metric = families["repro_cells_total"]
+        assert metric.kind == "counter"
+        assert metric.help == "cells evaluated"
+        assert metric.value() == 3.0
+
+    def test_labelled_counter_round_trips(self, registry):
+        counter = registry.counter("repro_requests_total", "requests")
+        counter.inc(2, tenant="acme", structure="iqueue")
+        counter.inc(5, tenant="other", structure="tlb")
+        families = parse_prometheus(registry.to_prometheus())
+        metric = families["repro_requests_total"]
+        assert metric.value(tenant="acme", structure="iqueue") == 2.0
+        assert metric.value(tenant="other", structure="tlb") == 5.0
+
+    def test_gauge_round_trips(self, registry):
+        registry.gauge("repro_warm_entries", "warm entries").set(17)
+        families = parse_prometheus(registry.to_prometheus())
+        assert families["repro_warm_entries"].kind == "gauge"
+        assert families["repro_warm_entries"].value() == 17.0
+
+    def test_histogram_samples_round_trip(self, registry):
+        histogram = registry.histogram(
+            "repro_wall_seconds", "walls", buckets=(0.1, 1.0)
+        )
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        histogram.observe(5.0)
+        families = parse_prometheus(registry.to_prometheus())
+        metric = families["repro_wall_seconds"]
+        assert metric.kind == "histogram"
+        assert metric.value(sample="repro_wall_seconds_count") == 3.0
+        assert metric.value(sample="repro_wall_seconds_sum") == pytest.approx(5.55)
+        assert metric.value(sample="repro_wall_seconds_bucket", le="0.1") == 1.0
+        # cumulative buckets (bounds render %g-style), +Inf == count
+        assert metric.value(sample="repro_wall_seconds_bucket", le="1") == 2.0
+        assert metric.value(sample="repro_wall_seconds_bucket", le="+Inf") == 3.0
+
+
+class TestEscaping:
+    def test_label_values_escape_and_round_trip(self, registry):
+        nasty = 'quote " backslash \\ newline \n end'
+        registry.counter("repro_nasty_total", "escapes").inc(tenant=nasty)
+        text = registry.to_prometheus()
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+        families = parse_prometheus(text)
+        assert families["repro_nasty_total"].value(tenant=nasty) == 1.0
+
+    def test_help_newlines_escaped(self, registry):
+        registry.counter("repro_help_total", "line one\nline two").inc()
+        text = registry.to_prometheus()
+        help_lines = [l for l in text.splitlines() if l.startswith("# HELP")]
+        assert help_lines == ["# HELP repro_help_total line one\\nline two"]
+        families = parse_prometheus(text)
+        assert families["repro_help_total"].help == "line one\nline two"
+
+
+class TestFormat:
+    def test_every_family_has_help_and_type(self, registry):
+        registry.counter("repro_a_total", "a").inc()
+        registry.gauge("repro_b", "b").set(1)
+        text = registry.to_prometheus()
+        for name in ("repro_a_total", "repro_b"):
+            assert f"# HELP {name} " in text
+            assert f"# TYPE {name} " in text
+
+    def test_non_finite_values_render_parseable(self, registry):
+        registry.gauge("repro_ratio", "ratio").set(math.inf)
+        families = parse_prometheus(registry.to_prometheus())
+        assert math.isinf(families["repro_ratio"].value())
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(ObservabilityError):
+            parse_prometheus("this is { not a metric line\n")
+
+    def test_comments_and_blanks_ignored(self):
+        text = "# just a comment\n\nrepro_x_total 4\n"
+        families = parse_prometheus(text)
+        assert families["repro_x_total"].value() == 4.0

@@ -116,7 +116,7 @@ class TestTpiModel:
         eng = PageStackEngine(TLB_TOTAL_ENTRIES)
         hist = TlbDepthHistogram.from_depths(TLB_TOTAL_ENTRIES, eng.process(trace))
         model = TlbTpiModel()
-        sweep = model.sweep(hist, profile.load_store_fraction)
+        sweep = model.sweep_breakdowns(hist, profile.load_store_fraction)
         best = model.best_boundary(hist, profile.load_store_fraction)
         assert best.tpi_ns == min(b.tpi_ns for b in sweep.values())
 
