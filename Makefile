@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-engine obs-check resilience-check robust-check service-smoke lint typecheck ruff check figures examples clean
+.PHONY: install test bench bench-engine obs-check resilience-check robust-check service-smoke loadtest-smoke lint typecheck ruff check figures examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -41,6 +41,13 @@ robust-check:
 # deadline.  Mirrors the CI service job.
 service-smoke:
 	PYTHONPATH=src $(PYTHON) scripts/service_smoke.py
+
+# Boot a traced `repro serve`, run a small fixed-seed `repro loadtest`
+# against it, assert the SLOs pass and a run record lands in the
+# benchmark trajectory file, then validate the stitched distributed
+# trace end to end.  Mirrors the CI loadtest job.
+loadtest-smoke:
+	PYTHONPATH=src $(PYTHON) scripts/loadtest_smoke.py
 
 # Domain-aware static analysis (src/repro/analysis): determinism,
 # unit-suffix discipline, typed errors, observability naming.  Always

@@ -13,3 +13,4 @@ def pytest_configure(config):
     # Benchmarks live outside the default testpaths; make sure
     # pytest-benchmark is active even under `pytest benchmarks/`.
     config.addinivalue_line("markers", "figure(name): links a benchmark to a paper figure")
+    config.addinivalue_line("markers", "service: benchmarks of the sweep service layer")

@@ -20,6 +20,7 @@ from repro.obs.names import (
     EVENT_NAME_RE,
     EVENT_NAMES,
     METRIC_NAME_RE,
+    METRIC_NAMES,
     SPAN_NAMES,
 )
 
@@ -40,9 +41,9 @@ class ObservabilityNamingRule(Rule):
     title = "unregistered span/event name or malformed metric name"
     rationale = (
         "Trace names are API: dashboards and `repro obs summarize` "
-        "grep them. Every literal span/event name must be declared in "
-        "repro.obs.names; counters are repro_*_total, gauges and "
-        "histograms repro_* (never _total)."
+        "grep them. Every literal span/event/metric name must be "
+        "declared in repro.obs.names; counters are repro_*_total, "
+        "gauges and histograms repro_* (never _total)."
     )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
@@ -84,6 +85,13 @@ class ObservabilityNamingRule(Rule):
                         node,
                         f"counter name {name!r} must match repro_*_total",
                     )
+                elif name not in METRIC_NAMES:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"counter name {name!r} not registered in "
+                        "repro.obs.names.METRIC_NAMES",
+                    )
             elif called in ("gauge", "histogram"):
                 if not METRIC_NAME_RE.match(name) or name.endswith("_total"):
                     yield self.finding(
@@ -91,4 +99,11 @@ class ObservabilityNamingRule(Rule):
                         node,
                         f"{called} name {name!r} must match repro_* and "
                         "never end in _total (reserved for counters)",
+                    )
+                elif name not in METRIC_NAMES:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{called} name {name!r} not registered in "
+                        "repro.obs.names.METRIC_NAMES",
                     )

@@ -273,6 +273,9 @@ class JobStatus:
     exactly in the ``failed`` state.  ``source`` records how the answer
     was produced (``computed``, ``warm`` for the service's warm cache,
     ``merged`` for a single-flight attach to an in-flight duplicate).
+    ``trace_id`` is the distributed-trace id the server assigned (or
+    honoured from ``X-Repro-Trace``) for the request that created the
+    job; ``None`` when the server ran without a tracer.
     """
 
     job_id: str
@@ -285,6 +288,7 @@ class JobStatus:
     attempts: int = 0
     queued_s: float = 0.0
     wall_s: float = 0.0
+    trace_id: str | None = None
 
     def to_dict(self) -> dict[str, Any]:
         out: dict[str, Any] = {
@@ -302,6 +306,8 @@ class JobStatus:
             out["error"] = self.error
         if self.source is not None:
             out["source"] = self.source
+        if self.trace_id is not None:
+            out["trace_id"] = self.trace_id
         return out
 
     @classmethod
@@ -316,6 +322,7 @@ class JobStatus:
             {
                 "job_id", "tenant", "state", "request", "result",
                 "error", "source", "attempts", "queued_s", "wall_s",
+                "trace_id",
             },
         )
         state_raw = _require_type("state", document.get("state"), str)
@@ -344,6 +351,9 @@ class JobStatus:
                 "queued_s", document.get("queued_s", 0.0), float
             ),
             wall_s=_require_type("wall_s", document.get("wall_s", 0.0), float),
+            trace_id=_require_type(
+                "trace_id", document.get("trace_id"), str, optional=True
+            ),
         )
 
     def to_json(self) -> str:

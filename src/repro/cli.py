@@ -16,6 +16,7 @@ The public query API (see docs/service.md)::
     python -m repro query iqueue compress          # answer locally
     python -m repro serve --port 8337 --jobs 4     # run the sweep service
     python -m repro query tlb compress --url http://127.0.0.1:8337
+    python -m repro loadtest --tenants 4 --requests 8   # load + SLO check
 
 Every ``figure``/``ablation``/``extension`` run goes through the
 experiment engine and accepts its knobs::
@@ -28,6 +29,7 @@ Observability (see docs/observability.md)::
 
     python -m repro figure 9 --trace t.jsonl --metrics m.prom --profile
     python -m repro obs summarize t.jsonl
+    python -m repro obs critical-path t.jsonl --trace-id abc123
     python -m repro obs check
 
 Fault tolerance (see docs/resilience.md)::
@@ -466,6 +468,20 @@ def _obs_summarize(path: str) -> int:
     return 0
 
 
+def _obs_critical_path(path: str, trace_id: str | None) -> int:
+    from repro.errors import ObservabilityError
+    from repro.obs import read_records
+    from repro.obs.critical import critical_path, format_report
+
+    try:
+        report = critical_path(read_records(path), trace_id=trace_id)
+    except ObservabilityError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(format_report(report))
+    return 0
+
+
 def _obs_check() -> int:
     """Run a tiny traced sweep; validate every emitted record."""
     import tempfile
@@ -790,6 +806,9 @@ def _robust_check() -> int:
 
 def _serve(args, engine: ExperimentEngine) -> int:
     """Boot the sweep service and block until interrupted."""
+    from contextlib import ExitStack
+
+    from repro.obs.trace import Tracer
     from repro.service import QuotaPolicy, ServiceConfig, run_service
 
     config = ServiceConfig(
@@ -808,8 +827,63 @@ def _serve(args, engine: ExperimentEngine) -> int:
         # The CI smoke test parses this line for the bound port.
         print(f"serving on http://{config.host}:{service.port}", flush=True)
 
-    run_service(engine, config, on_ready=on_ready)
+    with ExitStack() as stack:
+        if args.trace:
+            # Every request span, queue wait, batch and stitched worker
+            # shard of the service's lifetime lands in this one file.
+            stack.enter_context(Tracer(args.trace))
+        run_service(engine, config, on_ready=on_ready)
     return 0
+
+
+def _loadtest(args) -> int:
+    """Drive a load/SLO run against a live or self-hosted service."""
+    from contextlib import ExitStack
+
+    from repro.errors import ReproError
+    from repro.obs.trace import Tracer
+    from repro.service import ServiceConfig, ServiceThread
+    from repro.service.loadtest import (
+        SloPolicy,
+        append_bench,
+        format_report,
+        run_loadtest,
+    )
+
+    slo = SloPolicy(
+        p50_s=args.slo_p50,
+        p95_s=args.slo_p95,
+        p99_s=args.slo_p99,
+        max_error_rate=args.slo_max_error_rate,
+        max_throttle_rate=args.slo_max_429_rate,
+    )
+    try:
+        with ExitStack() as stack:
+            if args.trace:
+                stack.enter_context(Tracer(args.trace))
+            url = args.url
+            if url is None:
+                engine = _engine_from_args(args)
+                service = stack.enter_context(
+                    ServiceThread(engine, ServiceConfig(port=0))
+                )
+                url = service.url
+            report = run_loadtest(
+                url,
+                tenants=args.tenants,
+                requests_per_tenant=args.requests,
+                seed=args.seed,
+                warm_fraction=args.warm_fraction,
+                slo=slo,
+            )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(format_report(report))
+    if args.bench:
+        append_bench(args.bench, report, label=args.label)
+        print(f"appended run record to {args.bench}")
+    return 0 if report.passed else 1
 
 
 def _query(args, engine: ExperimentEngine) -> int:
@@ -891,6 +965,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="render a trace file (or legacy telemetry log) human-readable",
     )
     osum.add_argument("path", help="JSONL trace file written via --trace")
+    ocp = obs_sub.add_parser(
+        "critical-path",
+        help="decompose a trace's end-to-end latency along the critical "
+             "path of its span tree",
+    )
+    ocp.add_argument("path", help="JSONL trace file written via --trace")
+    ocp.add_argument(
+        "--trace-id", default=None, metavar="ID",
+        help="analyse this trace id (default: the trace with the longest "
+             "root span)",
+    )
     obs_sub.add_parser(
         "check",
         help="run a tiny traced sweep and validate every record's schema",
@@ -975,6 +1060,64 @@ def build_parser() -> argparse.ArgumentParser:
     servep.add_argument(
         "--batch-window", type=float, default=0.02, metavar="S",
         help="seconds a new cell waits for batch companions (default: 0.02)",
+    )
+    loadp = sub.add_parser(
+        "loadtest",
+        help="drive a deterministic multi-tenant load mix at a sweep "
+             "service, judge latency SLOs, append to BENCH_service.json",
+        parents=[engine_opts],
+    )
+    loadp.add_argument(
+        "--url", default=None, metavar="URL",
+        help="target a running `repro serve` instance (default: self-host "
+             "an ephemeral service built from the engine options)",
+    )
+    loadp.add_argument(
+        "--tenants", type=int, default=2, metavar="N",
+        help="concurrent tenants, one thread each (default: 2)",
+    )
+    loadp.add_argument(
+        "--requests", type=int, default=4, metavar="M",
+        help="requests per tenant (default: 4)",
+    )
+    loadp.add_argument(
+        "--seed", type=int, default=0,
+        help="traffic-mix seed; same seed, same requests (default: 0)",
+    )
+    loadp.add_argument(
+        "--warm-fraction", type=float, default=0.5, metavar="F",
+        help="fraction of requests repeating the shared warm cell "
+             "(default: 0.5)",
+    )
+    loadp.add_argument(
+        "--bench", default="BENCH_service.json", metavar="PATH",
+        help="benchmark trajectory file to append the run record to; "
+             "empty string disables (default: BENCH_service.json)",
+    )
+    loadp.add_argument(
+        "--label", default="loadtest",
+        help="label stored on the run record (default: loadtest)",
+    )
+    slo_group = loadp.add_argument_group("SLO thresholds")
+    slo_group.add_argument(
+        "--slo-p50", type=float, default=2.0, metavar="S",
+        help="max p50 latency in seconds (default: 2.0)",
+    )
+    slo_group.add_argument(
+        "--slo-p95", type=float, default=15.0, metavar="S",
+        help="max p95 latency in seconds (default: 15.0)",
+    )
+    slo_group.add_argument(
+        "--slo-p99", type=float, default=30.0, metavar="S",
+        help="max p99 latency in seconds (default: 30.0)",
+    )
+    slo_group.add_argument(
+        "--slo-max-error-rate", type=float, default=0.0, metavar="F",
+        help="max fraction of requests ending in error (default: 0)",
+    )
+    slo_group.add_argument(
+        "--slo-max-429-rate", type=float, default=0.9, metavar="F",
+        help="max fraction of requests seeing a 429 (default: 0.9)",
     )
     queryp = sub.add_parser(
         "query",
@@ -1079,6 +1222,8 @@ def _dispatch(args) -> int:
     elif args.command == "obs":
         if args.obs_command == "summarize":
             return _obs_summarize(args.path)
+        if args.obs_command == "critical-path":
+            return _obs_critical_path(args.path, args.trace_id)
         return _obs_check()
     elif args.command == "cache-verify":
         return _cache_verify(args.cache_dir)
@@ -1093,6 +1238,8 @@ def _dispatch(args) -> int:
         return _robust_check()
     elif args.command == "serve":
         return _serve(args, _engine_from_args(args))
+    elif args.command == "loadtest":
+        return _loadtest(args)
     elif args.command == "query":
         return _query(args, _engine_from_args(args))
     elif args.command == "lint":

@@ -22,15 +22,17 @@ process, so cells sharing a trace amortise it within a worker.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import asdict, dataclass
-from typing import Any, Callable, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
 
 from repro.cache.config import PAPER_GEOMETRY, CacheGeometry
 from repro.cache.stackdist import DepthHistogram, StackDistanceEngine
 from repro.cache.timing import CacheTimingModel, LatencyMode
 from repro.cache.tpi import CacheTpiModel, TpiBreakdown
 from repro.errors import EngineError
+from repro.obs.trace import span
 from repro.ooo.machine import run_window_sweep
 from repro.tech.cacti import CacheIncrementTiming
 from repro.tlb.simulator import PageStackEngine, TlbDepthHistogram
@@ -44,6 +46,9 @@ from repro.workloads.address_trace import generate_address_trace
 from repro.workloads.instruction_trace import generate_instruction_trace
 from repro.workloads.profiles import BenchmarkProfile, IlpProfile
 from repro.workloads.suite import get_profile
+
+if TYPE_CHECKING:
+    from repro.obs.stitch import TraceContext
 
 
 @dataclass(frozen=True)
@@ -91,17 +96,57 @@ def evaluate_cell(cell: SweepCell) -> dict:
     return fn(cell.spec)
 
 
-def evaluate_chunk(cells: Sequence[SweepCell]) -> list[tuple[dict, float]]:
+def evaluate_chunk(
+    cells: Sequence[SweepCell],
+    chunk: int = 0,
+    attempt: int = 0,
+    trace: "TraceContext | None" = None,
+    shard_path: str | None = None,
+) -> list[tuple[dict, float]]:
     """Pool target: evaluate a chunk, returning (payload, wall_s) pairs.
 
     Top-level on purpose — spawn-mode workers must be able to unpickle
-    a reference to it.
+    a reference to it.  When ``trace`` and ``shard_path`` are given the
+    chunk runs under a worker-side shard tracer (see
+    :mod:`repro.obs.stitch`): the ``engine.worker`` / ``cell.evaluate``
+    spans land in the shard file and the engine stitches them into the
+    parent trace.  In-process callers pass neither, and the spans go to
+    whatever tracer is active (or the null tracer).
     """
+    if trace is not None and shard_path is not None:
+        from repro.obs.stitch import shard_tracer
+
+        tracer = shard_tracer(trace, shard_path)
+        with tracer:
+            return _evaluate_chunk_spans(cells, chunk, attempt)
+    return _evaluate_chunk_spans(cells, chunk, attempt)
+
+
+def _evaluate_chunk_spans(
+    cells: Sequence[SweepCell], chunk: int, attempt: int
+) -> list[tuple[dict, float]]:
     out: list[tuple[dict, float]] = []
-    for cell in cells:
-        start = time.perf_counter()
-        payload = evaluate_cell(cell)
-        out.append((payload, time.perf_counter() - start))
+    with span(
+        "engine.worker",
+        level="engine",
+        chunk=chunk,
+        attempt=attempt,
+        pid=os.getpid(),
+        n_cells=len(cells),
+    ):
+        for index, cell in enumerate(cells):
+            with span(
+                "cell.evaluate",
+                index=index,
+                kind=cell.kind,
+                cached=False,
+                retry=attempt > 0,
+            ) as cell_span:
+                start = time.perf_counter()
+                payload = evaluate_cell(cell)
+                wall = time.perf_counter() - start
+                cell_span.set(wall_s=wall)
+            out.append((payload, wall))
     return out
 
 

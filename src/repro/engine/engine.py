@@ -31,6 +31,8 @@ documented in ``docs/resilience.md``.
 from __future__ import annotations
 
 import math
+import shutil
+import tempfile
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -43,6 +45,7 @@ from repro.errors import EngineError
 from repro.obs import trace as obs
 from repro.obs.metrics import metrics
 from repro.obs.profile import add_sample, profiled
+from repro.obs.stitch import TraceContext, stitch_shards
 from repro.resilience.executor import ResilientExecutor
 from repro.resilience.faults import FaultPlan, corrupt_cache_entry
 from repro.resilience.journal import SweepJournal
@@ -361,13 +364,39 @@ class ExperimentEngine:
                 if self._journal is not None:
                     self._journal.record(keys[g], cells[g], payload, wall)
 
+        # Cross-process tracing: pooled workers cannot see this
+        # process's tracer, so hand them a TraceContext anchored on the
+        # open engine.map span; they write span shards to a scratch
+        # directory that is stitched into the parent trace afterwards.
+        # The serial path (jobs==1 or a single chunk) needs none of
+        # this — its spans reach the active tracer in-process.
+        tracer = obs.current_tracer()
+        shard_dir: str | None = None
+        trace_ctx: TraceContext | None = None
+        if tracer.enabled and self.jobs > 1 and len(chunks) > 1:
+            shard_dir = tempfile.mkdtemp(prefix="repro-trace-shards-")
+            trace_ctx = TraceContext(trace_id=tracer.trace_id, parent_id=span.id)
+
         executor = ResilientExecutor(
             jobs=self.jobs,
             policy=self._retry,
             fault_plan=self.fault_plan,
             span=span,
+            trace_ctx=trace_ctx,
+            shard_dir=shard_dir,
         )
-        executor.run(chunks, on_chunk_done=on_chunk_done)
+        try:
+            executor.run(chunks, on_chunk_done=on_chunk_done)
+        finally:
+            if shard_dir is not None:
+                stitched = stitch_shards(shard_dir, anchors={span.id})
+                tracer.adopt(stitched.records)
+                span.set(
+                    worker_shards=stitched.shards,
+                    stitched_spans=len(stitched.records),
+                    shard_orphans=stitched.orphans,
+                )
+                shutil.rmtree(shard_dir, ignore_errors=True)
         return executor.report
 
 

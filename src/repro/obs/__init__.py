@@ -31,6 +31,7 @@ catalog, and CLI usage (``--trace`` / ``--metrics`` / ``--profile`` and
 
 from __future__ import annotations
 
+from repro.obs.critical import critical_path
 from repro.obs.metrics import MetricsRegistry, metrics
 from repro.obs.profile import Profiler, profiled, profiling
 from repro.obs.schema import (
@@ -39,24 +40,38 @@ from repro.obs.schema import (
     validate_record,
     validate_trace,
 )
+from repro.obs.stitch import TraceContext, validate_parentage
 from repro.obs.summarize import summarize_path, summarize_trace
-from repro.obs.trace import Tracer, current_tracer, event, span, use_tracer
+from repro.obs.trace import (
+    Tracer,
+    current_tracer,
+    event,
+    new_trace_id,
+    scoped_trace,
+    span,
+    use_tracer,
+)
 
 __all__ = [
     "MetricsRegistry",
     "Profiler",
     "SPAN_LEVELS",
+    "TraceContext",
     "Tracer",
+    "critical_path",
     "current_tracer",
     "event",
     "metrics",
+    "new_trace_id",
     "profiled",
     "profiling",
     "read_records",
+    "scoped_trace",
     "span",
     "summarize_path",
     "summarize_trace",
     "use_tracer",
+    "validate_parentage",
     "validate_record",
     "validate_trace",
 ]

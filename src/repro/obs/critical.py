@@ -1,0 +1,203 @@
+"""Critical-path decomposition of a span tree.
+
+``repro obs critical-path t.jsonl`` answers "where did my request's
+800ms go?": pick a root span, walk the longest-child chain down the
+tree, and partition the root's wall time into named components that sum
+exactly to the end-to-end duration.
+
+At each node on the chain the node's window splits three ways:
+
+* **self** — the part no child span covers (scheduling gaps, queue
+  polls, executor hand-off): attributed to the node's own name;
+* **critical descendant** — the longest child, descended into;
+* **off-path siblings** — other children's windows outside the critical
+  descendant, attributed to their names by marginal interval coverage
+  (parallel workers overlapping the critical one count once).
+
+Because the three parts partition the window, ``sum(components) ==
+root.dur_s`` up to float noise; *coverage* reports the fraction of wall
+time explained below the top of the tree (1 − the chain's own gap
+time), which is the acceptance number for "≥95% of wall time attributed
+to named spans".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ObservabilityError
+from repro.obs.schema import validate_trace
+
+Interval = tuple[float, float]
+
+
+def _merge(intervals: list[Interval]) -> list[Interval]:
+    """Union of intervals as a sorted disjoint list."""
+    merged: list[Interval] = []
+    for lo, hi in sorted(intervals):
+        if merged and lo <= merged[-1][1]:
+            last_lo, last_hi = merged[-1]
+            merged[-1] = (last_lo, max(last_hi, hi))
+        else:
+            merged.append((lo, hi))
+    return merged
+
+
+def _length(intervals: list[Interval]) -> float:
+    return sum(hi - lo for lo, hi in intervals)
+
+
+def _clip(interval: Interval, window: Interval) -> Interval | None:
+    lo = max(interval[0], window[0])
+    hi = min(interval[1], window[1])
+    return (lo, hi) if hi > lo else None
+
+
+def _subtract(intervals: list[Interval], hole: Interval) -> list[Interval]:
+    """Remove ``hole`` from a disjoint interval list."""
+    out: list[Interval] = []
+    for lo, hi in intervals:
+        if hi <= hole[0] or lo >= hole[1]:
+            out.append((lo, hi))
+            continue
+        if lo < hole[0]:
+            out.append((lo, hole[0]))
+        if hi > hole[1]:
+            out.append((hole[1], hi))
+    return out
+
+
+@dataclass(frozen=True)
+class PathStep:
+    """One node on the critical path."""
+
+    name: str
+    span_id: str
+    dur_s: float
+    self_s: float
+
+
+@dataclass
+class CriticalPathReport:
+    """Decomposition of one trace's root span."""
+
+    trace_id: str
+    root_name: str
+    root_id: str
+    total_s: float
+    #: Seconds attributed per span name; sums to ``total_s``.
+    components: dict[str, float] = field(default_factory=dict)
+    #: Root-to-leaf chain of critical descendants.
+    chain: list[PathStep] = field(default_factory=list)
+    #: Fraction of ``total_s`` explained by spans below the chain nodes.
+    coverage: float = 1.0
+
+
+def critical_path(
+    records: list[dict], trace_id: str | None = None
+) -> CriticalPathReport:
+    """Decompose one trace's wall time along its critical path.
+
+    With ``trace_id=None`` the trace owning the longest root span is
+    analysed — for a loadtest trace file that is the slowest request.
+    """
+    validate_trace(records)
+    spans = [r for r in records if r.get("record") == "span"]
+    if trace_id is not None:
+        spans = [s for s in spans if s["trace_id"] == trace_id]
+        if not spans:
+            raise ObservabilityError(f"no spans with trace id {trace_id!r}")
+    roots = [s for s in spans if s.get("parent") is None]
+    if not roots:
+        raise ObservabilityError("no root span found (is the trace stitched?)")
+    root = max(roots, key=lambda s: s["dur_s"])
+    tid = root["trace_id"]
+    spans = [s for s in spans if s["trace_id"] == tid]
+    children: dict[str, list[dict]] = {}
+    for s in spans:
+        if s.get("parent") is not None:
+            children.setdefault(s["parent"], []).append(s)
+
+    report = CriticalPathReport(
+        trace_id=tid,
+        root_name=root["name"],
+        root_id=root["id"],
+        total_s=root["dur_s"],
+    )
+    components: dict[str, float] = {}
+
+    def attribute(name: str, seconds: float) -> None:
+        if seconds > 0.0:
+            components[name] = components.get(name, 0.0) + seconds
+
+    gap_total = 0.0
+    node = root
+    while True:
+        window: Interval = (node["ts"], node["ts"] + node["dur_s"])
+        kids = []
+        for kid in children.get(node["id"], []):
+            clipped = _clip((kid["ts"], kid["ts"] + kid["dur_s"]), window)
+            if clipped is not None:
+                kids.append((kid, clipped))
+        if not kids:
+            # Leaf of the chain: all remaining time is this span's.
+            self_s = window[1] - window[0]
+            attribute(node["name"], self_s)
+            report.chain.append(
+                PathStep(node["name"], node["id"], node["dur_s"], self_s)
+            )
+            break
+        union = _merge([w for _, w in kids])
+        self_s = (window[1] - window[0]) - _length(union)
+        attribute(node["name"], self_s)
+        gap_total += max(0.0, self_s)
+        report.chain.append(
+            PathStep(node["name"], node["id"], node["dur_s"], self_s)
+        )
+        nxt, nxt_window = max(kids, key=lambda kw: kw[1][1] - kw[1][0])
+        # Off-path time: sibling coverage outside the critical child,
+        # attributed marginally so overlapping siblings count once.
+        remaining = _subtract(union, nxt_window)
+        for kid, kid_window in sorted(kids, key=lambda kw: kw[1][0]):
+            if kid is nxt:
+                continue
+            marginal = 0.0
+            for seg in list(remaining):
+                cut = _clip(kid_window, seg)
+                if cut is not None:
+                    marginal += cut[1] - cut[0]
+                    remaining = _subtract(remaining, cut)
+            attribute(kid["name"], marginal)
+        node = nxt
+
+    report.components = dict(
+        sorted(components.items(), key=lambda kv: kv[1], reverse=True)
+    )
+    if report.total_s > 0.0:
+        report.coverage = max(0.0, 1.0 - gap_total / report.total_s)
+    return report
+
+
+def format_report(report: CriticalPathReport) -> str:
+    """Render a report the way ``repro obs critical-path`` prints it."""
+    lines = [
+        f"critical path for trace {report.trace_id} "
+        f"(root {report.root_name!r}, {report.total_s * 1e3:.1f} ms):",
+        "",
+    ]
+    for i, step in enumerate(report.chain):
+        indent = "  " * i
+        lines.append(
+            f"{indent}{step.name}  {step.dur_s * 1e3:.1f} ms"
+            f"  (self {step.self_s * 1e3:.1f} ms)  [{step.span_id}]"
+        )
+    lines.append("")
+    lines.append("wall-time attribution by span name:")
+    for name, seconds in report.components.items():
+        share = seconds / report.total_s if report.total_s > 0.0 else 0.0
+        lines.append(f"  {name:<24} {seconds * 1e3:>10.1f} ms  {share:>6.1%}")
+    lines.append(
+        f"attributed below the critical path: {report.coverage:.1%} "
+        f"of {report.total_s * 1e3:.1f} ms"
+    )
+    return "\n".join(lines)

@@ -15,7 +15,8 @@ conventions (enforced statically by ``repro lint`` rule RPR006, see
   and ``_total`` suffix (:data:`COUNTER_NAME_RE`).  Gauges and
   histograms carry the ``repro_`` prefix, a base unit where they are
   dimensional (``_ns``, ``_seconds``), and never ``_total``
-  (:data:`METRIC_NAME_RE`).
+  (:data:`METRIC_NAME_RE`).  All metric names are additionally
+  registered verbatim in :data:`METRIC_NAMES`.
 
 Adding an instrumentation point means adding its name here first;
 ``repro lint`` fails on any literal that is not registered, which keeps
@@ -45,11 +46,19 @@ SPAN_NAMES: frozenset[str] = frozenset(
         "reconfigure",
         "context_switch",
         "process_setup",
-        # Experiment engine and structure simulators.
+        # Experiment engine and structure simulators.  ``engine.worker``
+        # / ``cell.evaluate`` are written by pool workers into span
+        # shards and stitched into the parent trace (repro.obs.stitch).
         "engine.map",
+        "engine.worker",
+        "cell.evaluate",
         "structure.run",
-        # Sweep service (one span per flushed engine batch).
-        "service.batch",
+        # Sweep service request path: one ``service.request`` per HTTP
+        # request; ``service.queue_wait`` covers submit-to-batch-start;
+        # ``broker.batch`` covers one flushed engine batch.
+        "service.request",
+        "service.queue_wait",
+        "broker.batch",
         # Degradation study harness.
         "degradation_study",
         "degradation_cell",
@@ -105,6 +114,69 @@ COUNTER_NAME_RE: re.Pattern[str] = re.compile(r"^repro_[a-z0-9_]+_total$")
 #: which is reserved for counters).
 METRIC_NAME_RE: re.Pattern[str] = re.compile(r"^repro_[a-z0-9_]+$")
 
+#: Registered metric names — the exact inventory of what the stack
+#: exports on ``/metrics``.  Shape rules above still apply; membership
+#: here is additionally enforced by RPR006 so a typo'd metric name is a
+#: lint error, not a silent new time series.
+METRIC_NAMES: frozenset[str] = frozenset(
+    {
+        # Adaptive-control core.
+        "repro_clock_cycle_ns",
+        "repro_context_switches_total",
+        "repro_controller_choose_total",
+        "repro_controller_exploit_steps_total",
+        "repro_controller_interval_tpi_ns",
+        "repro_controller_observations_total",
+        "repro_controller_phase_changes_total",
+        "repro_controller_probe_steps_total",
+        "repro_controller_switches_total",
+        "repro_manager_decisions_total",
+        "repro_reconfigurations_total",
+        "repro_structure_runs_total",
+        # Experiment engine and cache.
+        "repro_engine_cache_corrupt_total",
+        "repro_engine_cache_hit_ratio",
+        "repro_engine_cache_hits_total",
+        "repro_engine_cache_misses_total",
+        "repro_engine_cell_wall_seconds",
+        "repro_engine_chunk_timeouts_total",
+        "repro_engine_journal_resumed_total",
+        "repro_engine_lost_chunks_total",
+        "repro_engine_pool_respawns_total",
+        "repro_engine_retries_total",
+        "repro_engine_runs_total",
+        "repro_engine_serial_fallbacks_total",
+        # Degraded-hardware robustness layer.
+        "repro_robust_configs_masked_total",
+        "repro_robust_fault_evacuations_total",
+        "repro_robust_faults_injected_total",
+        "repro_robust_remaps_total",
+        "repro_robust_retained_tpi_fraction",
+        "repro_robust_sensor_dropouts_total",
+        "repro_robust_sensor_stuck_total",
+        "repro_robust_thrash_locks_total",
+        "repro_robust_watchdog_fallbacks_total",
+        "repro_robust_watchdog_regressions_total",
+        # Sweep service.
+        "repro_service_batch_cells",
+        "repro_service_batches_total",
+        "repro_service_http_errors_total",
+        "repro_service_http_requests_total",
+        "repro_service_job_wall_seconds",
+        "repro_service_jobs_total",
+        "repro_service_queue_wait_seconds",
+        "repro_service_quota_rejections_total",
+        "repro_service_request_seconds",
+        "repro_service_requests_total",
+        "repro_service_singleflight_merged_total",
+        "repro_service_warm_admissions_total",
+        "repro_service_warm_entries",
+        "repro_service_warm_evictions_total",
+        "repro_service_warm_hits_total",
+        "repro_service_warm_rejections_total",
+    }
+)
+
 
 def is_registered_span(name: str) -> bool:
     """Whether ``name`` is a declared span name."""
@@ -114,6 +186,11 @@ def is_registered_span(name: str) -> bool:
 def is_registered_event(name: str) -> bool:
     """Whether ``name`` is a declared ``<area>.<event>`` event name."""
     return name in EVENT_NAMES
+
+
+def is_registered_metric(name: str) -> bool:
+    """Whether ``name`` is a declared counter/gauge/histogram name."""
+    return name in METRIC_NAMES
 
 
 def event_area(name: str) -> str | None:

@@ -86,16 +86,58 @@ def _timeline(intervals: Sequence[Mapping[str, Any]]) -> list[str]:
     return lines
 
 
+def _shard_count(records: Sequence[Mapping[str, Any]]) -> int:
+    """Distinct worker-shard id prefixes (``w<hex>-``) in the records."""
+    prefixes = {
+        r["id"].partition("-")[0]
+        for r in records
+        if isinstance(r.get("id"), str) and r["id"].startswith("w") and "-" in r["id"]
+    }
+    return len(prefixes)
+
+
 def summarize_trace(records: Sequence[Mapping[str, Any]]) -> str:
-    """Human-readable report over validated trace records."""
+    """Human-readable report over validated trace records.
+
+    A file holding one trace renders as a single report.  A stitched or
+    multi-request file (several trace ids, worker span shards merged in)
+    gets a per-trace breakdown: one section per trace id, in order of
+    first appearance, each noting how many worker shards contributed.
+    """
     validate_trace(records)
     spans = [r for r in records if r["record"] == "span"]
     events = [r for r in records if r["record"] == "event"]
-    traces = {r["trace_id"] for r in records}
-    out: list[str] = [
+    by_trace: dict[str, list[Mapping[str, Any]]] = {}
+    for r in records:
+        by_trace.setdefault(r["trace_id"], []).append(r)
+    header = (
         f"trace summary: {len(spans)} span(s), {len(events)} event(s), "
-        f"{len(traces)} trace(s)"
-    ]
+        f"{len(by_trace)} trace(s)"
+    )
+    if len(by_trace) <= 1:
+        return "\n".join([header] + _trace_body(spans, events))
+    out = [header]
+    for tid, recs in by_trace.items():
+        t_spans = [r for r in recs if r["record"] == "span"]
+        t_events = [r for r in recs if r["record"] == "event"]
+        shards = _shard_count(recs)
+        title = (
+            f"--- trace {tid}: {len(t_spans)} span(s), "
+            f"{len(t_events)} event(s)"
+        )
+        if shards:
+            title += f", {shards} worker shard(s)"
+        out.append("")
+        out.append(title)
+        out.extend(_trace_body(t_spans, t_events))
+    return "\n".join(out)
+
+
+def _trace_body(
+    spans: Sequence[Mapping[str, Any]], events: Sequence[Mapping[str, Any]]
+) -> list[str]:
+    """The per-trace report sections (everything below the header)."""
+    out: list[str] = []
 
     # -- reconfigurations -------------------------------------------------
     reconfigures = [s for s in spans if s["level"] == "reconfigure"]
@@ -170,7 +212,7 @@ def summarize_trace(records: Sequence[Mapping[str, Any]]) -> str:
         )[:10]:
             out.append(f"  {key}: {total:.4f}s over {int(count)} run(s)")
 
-    return "\n".join(out)
+    return out
 
 
 def summarize_path(path: str | Path) -> str:

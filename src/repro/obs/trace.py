@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import itertools
 import json
+import threading
 import time
 import uuid
 from contextlib import contextmanager
@@ -31,6 +32,11 @@ from typing import Any, Iterator, TextIO
 
 from repro.errors import ObservabilityError
 from repro.obs.schema import SPAN_LEVELS, validate_record
+
+
+def new_trace_id() -> str:
+    """A fresh 12-hex-digit trace id (the wire format of ``X-Repro-Trace``)."""
+    return uuid.uuid4().hex[:12]
 
 
 def _jsonable(value: Any) -> Any:
@@ -129,6 +135,26 @@ class _NullTracer:
     def event(self, name: str, **attrs: Any) -> None:
         pass
 
+    def new_span_id(self) -> str:
+        return ""
+
+    def record_span(
+        self,
+        name: str,
+        level: str = "section",
+        *,
+        ts: float,
+        dur_s: float,
+        trace_id: str | None = None,
+        span_id: str | None = None,
+        parent: str | None = None,
+        **attrs: Any,
+    ) -> str:
+        return ""
+
+    def adopt(self, records: list[dict]) -> int:
+        return 0
+
 
 NULL_TRACER = _NullTracer()
 
@@ -140,26 +166,49 @@ class Tracer:
     ----------
     path:
         JSONL sink; ``None`` keeps records in memory only (tests).
+    trace_id:
+        Adopt an existing trace id instead of minting one — used by
+        worker-shard tracers so their records join the parent trace.
+    id_prefix:
+        Prefix for generated span ids.  Shard tracers use a per-shard
+        prefix so ids stay unique when shards are merged.
+    root_parent:
+        Parent span id assigned to stack-root spans.  A shard tracer
+        sets this to the engine-side anchor span so worker spans attach
+        to the parent process's tree instead of floating as roots.
     """
 
     enabled = True
 
-    def __init__(self, path: str | Path | None = None) -> None:
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        *,
+        trace_id: str | None = None,
+        id_prefix: str = "s",
+        root_parent: str | None = None,
+    ) -> None:
         self.path = Path(path) if path is not None else None
-        self.trace_id = uuid.uuid4().hex[:12]
+        self.trace_id = trace_id if trace_id is not None else new_trace_id()
+        self.id_prefix = id_prefix
+        self.root_parent = root_parent
         self.records: list[dict] = []
         self._stack: list[str] = []
         self._ids = itertools.count(1)
         self._fh: TextIO | None = None
         self._restore: list[Any] = []
+        # The service records spans from its event loop while an engine
+        # batch closes spans on an executor thread; one lock keeps the
+        # JSONL sink line-atomic.
+        self._write_lock = threading.Lock()
 
     # -- record plumbing --------------------------------------------------
 
     def _next_id(self) -> str:
-        return f"s{next(self._ids):06x}"
+        return f"{self.id_prefix}{next(self._ids):06x}"
 
     def _push(self, span_id: str) -> str | None:
-        parent = self._stack[-1] if self._stack else None
+        parent = self._stack[-1] if self._stack else self.root_parent
         self._stack.append(span_id)
         return parent
 
@@ -172,12 +221,13 @@ class Tracer:
 
     def _write(self, record: dict) -> None:
         validate_record(record)
-        self.records.append(record)
-        if self.path is not None:
-            if self._fh is None:
-                self.path.parent.mkdir(parents=True, exist_ok=True)
-                self._fh = self.path.open("a", encoding="utf-8")
-            self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        with self._write_lock:
+            self.records.append(record)
+            if self.path is not None:
+                if self._fh is None:
+                    self.path.parent.mkdir(parents=True, exist_ok=True)
+                    self._fh = self.path.open("a", encoding="utf-8")
+                self._fh.write(json.dumps(record, sort_keys=True) + "\n")
 
     def _emit_event(self, name: str, parent: str | None, attrs: dict) -> None:
         self._write(
@@ -203,6 +253,63 @@ class Tracer:
     def event(self, name: str, **attrs: Any) -> None:
         """Emit a point event parented to the innermost open span."""
         self._emit_event(name, self._stack[-1] if self._stack else None, attrs)
+
+    def new_span_id(self) -> str:
+        """Reserve a span id for later :meth:`record_span` use.
+
+        Lets concurrent code (the asyncio service) hand a parent id to
+        downstream work before the parent span itself is recorded.
+        """
+        return self._next_id()
+
+    def record_span(
+        self,
+        name: str,
+        level: str = "section",
+        *,
+        ts: float,
+        dur_s: float,
+        trace_id: str | None = None,
+        span_id: str | None = None,
+        parent: str | None = None,
+        **attrs: Any,
+    ) -> str:
+        """Record one span with explicit timing and parentage, no stack.
+
+        The stack-based :meth:`span` context manager assumes one
+        spans-nest-within-spans flow of control; event-loop code serving
+        many interleaved requests instead measures ``ts``/``dur_s``
+        itself and records the finished span here.  ``trace_id``
+        defaults to the tracer's own; ``span_id`` defaults to a fresh
+        id (pass one reserved via :meth:`new_span_id` to pre-parent
+        children).  Returns the span id.
+        """
+        sid = span_id if span_id is not None else self._next_id()
+        self._write(
+            {
+                "record": "span",
+                "name": name,
+                "level": level,
+                "trace_id": trace_id if trace_id is not None else self.trace_id,
+                "id": sid,
+                "parent": parent,
+                "ts": ts,
+                "dur_s": dur_s,
+                "attrs": {k: _jsonable(v) for k, v in attrs.items()},
+            }
+        )
+        return sid
+
+    def adopt(self, records: list[dict]) -> int:
+        """Append already-formed records (worker shards) to this trace.
+
+        Records keep their own ids, parents and trace ids — stitching
+        decides parentage; the tracer only validates and persists.
+        Returns the number of records adopted.
+        """
+        for record in records:
+            self._write(record)
+        return len(records)
 
     def close(self) -> None:
         """Flush and close the on-disk sink (open spans stay unwritten)."""
@@ -240,6 +347,32 @@ def use_tracer(tracer: Tracer | _NullTracer) -> Iterator[Tracer | _NullTracer]:
         yield tracer
     finally:
         _CURRENT = previous
+
+
+@contextmanager
+def scoped_trace(
+    tracer: Tracer | _NullTracer,
+    trace_id: str,
+    parent_id: str | None,
+) -> Iterator[Tracer | _NullTracer]:
+    """Temporarily re-home ``tracer`` under another trace/parent.
+
+    Spans opened inside the block close with ``trace_id`` as their
+    trace and stack-roots parented to ``parent_id`` — how the broker
+    makes an engine batch's spans land in the triggering request's
+    trace.  Only safe while no other thread opens spans on ``tracer``
+    (the broker runs one batch at a time).
+    """
+    if not isinstance(tracer, Tracer):
+        yield tracer
+        return
+    saved = (tracer.trace_id, tracer.root_parent)
+    tracer.trace_id = trace_id
+    tracer.root_parent = parent_id
+    try:
+        yield tracer
+    finally:
+        tracer.trace_id, tracer.root_parent = saved
 
 
 def span(name: str, level: str = "section", **attrs: Any) -> Span | _NullSpan:

@@ -46,6 +46,7 @@ from typing import Callable, Sequence
 from repro.engine.cells import SweepCell
 from repro.errors import FatalError
 from repro.obs.metrics import metrics
+from repro.obs.stitch import TraceContext
 from repro.resilience.faults import FaultPlan, evaluate_chunk_with_faults
 from repro.resilience.policy import RetryPolicy
 
@@ -79,12 +80,20 @@ class ResilientExecutor:
         fault_plan: FaultPlan | None = None,
         span=None,
         sleep: Callable[[float], None] = time.sleep,
+        trace_ctx: TraceContext | None = None,
+        shard_dir: str | None = None,
     ) -> None:
         self.jobs = jobs
         self.policy = policy if policy is not None else RetryPolicy()
         self.fault_plan = fault_plan
         self.span = span
         self._sleep = sleep
+        # Cross-process tracing: pooled chunks receive the parent's
+        # TraceContext and write span shards under shard_dir (stitched
+        # by the engine afterwards).  The serial path ignores both —
+        # in-process spans reach the active tracer directly.
+        self.trace_ctx = trace_ctx
+        self.shard_dir = shard_dir
         self.report = ExecutionReport()
 
     # -- public API --------------------------------------------------------
@@ -143,6 +152,8 @@ class ResilientExecutor:
                             self.fault_plan,
                             i,
                             attempts[i],
+                            trace=self.trace_ctx,
+                            shard_dir=self.shard_dir,
                         )
                     for i in order:
                         try:

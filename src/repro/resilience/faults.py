@@ -49,6 +49,7 @@ from repro.errors import EngineError, TransientError
 
 if TYPE_CHECKING:  # import cycle guard: cache imports nothing from here
     from repro.engine.cache import ResultCache
+    from repro.obs.stitch import TraceContext
 
 #: Legal values of a fault event's ``kind`` field.
 FAULT_KINDS: tuple[str, ...] = ("crash", "hang", "transient", "corrupt_cache")
@@ -158,16 +159,32 @@ def evaluate_chunk_with_faults(
     chunk: int,
     attempt: int,
     serial: bool = False,
+    trace: "TraceContext | None" = None,
+    shard_dir: str | None = None,
 ) -> list[tuple[dict, float]]:
     """Pool target: fire any scheduled faults, then evaluate the chunk.
 
     Top-level on purpose — spawn-mode workers must be able to unpickle
     a reference to it.  With ``plan=None`` this is exactly
-    :func:`~repro.engine.cells.evaluate_chunk`.
+    :func:`~repro.engine.cells.evaluate_chunk`.  ``trace``/``shard_dir``
+    carry the parent's :class:`~repro.obs.stitch.TraceContext` into
+    pooled workers, which then write their spans to a per-(chunk,
+    attempt) shard file for the engine to stitch; serial execution
+    leaves them unset because the in-process tracer is already visible.
     """
     if plan is not None:
         plan.fire(chunk, attempt, serial=serial)
-    return evaluate_chunk(cells)
+    if trace is not None and shard_dir is not None and not serial:
+        from repro.obs.stitch import shard_path
+
+        return evaluate_chunk(
+            cells,
+            chunk=chunk,
+            attempt=attempt,
+            trace=trace,
+            shard_path=str(shard_path(shard_dir, chunk, attempt)),
+        )
+    return evaluate_chunk(cells, chunk=chunk, attempt=attempt)
 
 
 def corrupt_cache_entry(cache: "ResultCache", key: str) -> bool:

@@ -14,7 +14,9 @@ experiment engine.  The layers, transport-independent first:
 * :mod:`repro.service.server` — the HTTP/1.1 face
   (``POST /v1/optimize``, ``GET /v1/jobs/{id}``, ``GET /metrics``,
   ``GET /healthz``) plus hosting helpers;
-* :mod:`repro.service.client` — a typed stdlib client.
+* :mod:`repro.service.client` — a typed stdlib client;
+* :mod:`repro.service.loadtest` — the load/SLO harness behind
+  ``repro loadtest`` and the benchmark trajectory file.
 
 Boot one with ``repro serve`` or, in process::
 
@@ -26,6 +28,12 @@ Boot one with ``repro serve`` or, in process::
 from repro.service.broker import SweepBroker
 from repro.service.client import ServiceClient
 from repro.service.jobs import Job, JobStore
+from repro.service.loadtest import (
+    LoadReport,
+    SloPolicy,
+    append_bench,
+    run_loadtest,
+)
 from repro.service.quotas import QuotaPolicy, TenantQuotas
 from repro.service.server import (
     ServiceConfig,
@@ -38,13 +46,17 @@ from repro.service.warmcache import WarmResultStore
 __all__ = [
     "Job",
     "JobStore",
+    "LoadReport",
     "QuotaPolicy",
     "ServiceClient",
     "ServiceConfig",
     "ServiceThread",
+    "SloPolicy",
     "SweepBroker",
     "SweepService",
     "TenantQuotas",
     "WarmResultStore",
+    "append_bench",
+    "run_loadtest",
     "run_service",
 ]

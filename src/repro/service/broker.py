@@ -41,6 +41,7 @@ from repro.engine.engine import ExperimentEngine
 from repro.errors import QuotaExceededError, ServiceError
 from repro.obs import trace as obs
 from repro.obs.metrics import metrics
+from repro.obs.stitch import TraceContext
 from repro.service.jobs import Job, JobStore, new_job_id
 from repro.service.quotas import QuotaPolicy, TenantQuotas
 from repro.service.warmcache import WarmResultStore
@@ -108,13 +109,17 @@ class SweepBroker:
 
     # -- submission -------------------------------------------------------
 
-    async def submit(self, request: OptimizationRequest) -> Job:
+    async def submit(
+        self, request: OptimizationRequest, trace: TraceContext | None = None
+    ) -> Job:
         """Admit one request; returns its job (possibly already done).
 
-        Raises :class:`~repro.errors.ApiError` on a malformed request,
-        :class:`~repro.errors.QuotaExceededError` when the tenant is
-        over quota, and :class:`~repro.errors.ServiceError` after
-        :meth:`close`.
+        ``trace`` carries the HTTP layer's trace id and request-span id
+        so the job's queue wait and batch appear in the request's
+        distributed trace.  Raises :class:`~repro.errors.ApiError` on a
+        malformed request, :class:`~repro.errors.QuotaExceededError`
+        when the tenant is over quota, and
+        :class:`~repro.errors.ServiceError` after :meth:`close`.
         """
         if self._closed or self._batch_task is None:
             raise ServiceError("service is shutting down; submit rejected")
@@ -139,6 +144,7 @@ class SweepBroker:
             tenant=request.tenant,
             request=request,
             cell_key=key,
+            trace=trace,
         )
         self.jobs.add(job)
         obs.event(
@@ -200,28 +206,89 @@ class SweepBroker:
     async def _run_batch(self, batch: list[_Flight]) -> None:
         loop = asyncio.get_running_loop()
         cells = [flight.cell for flight in batch]
+        n_jobs = sum(len(f.jobs) for f in batch)
+        tracer = obs.current_tracer()
+        wait_hist = metrics().histogram(
+            "repro_service_queue_wait_seconds",
+            "submit-to-batch-start queue wait per job",
+        )
+        # (job, pre-allocated broker.batch span id) per job whose
+        # request carries a trace.  Queue wait and batch are recorded
+        # as *sibling* phases under the request span — the batch runs
+        # after the wait ends, so nesting it inside would break the
+        # temporal containment critical-path analysis relies on.
+        traced: list[tuple[Job, str]] = []
         for flight in batch:
             for job in flight.jobs:
                 job.attempts += 1
                 job.mark_running()
+                wait_s = max(0.0, time.monotonic() - job.created)
+                wait_hist.observe(wait_s, tenant=job.tenant)
+                if tracer.enabled and job.trace is not None:
+                    tracer.record_span(
+                        "service.queue_wait",
+                        trace_id=job.trace.trace_id,
+                        parent=job.trace.parent_id,
+                        ts=job.created_wall,
+                        dur_s=wait_s,
+                        job_id=job.job_id,
+                        tenant=job.tenant,
+                    )
+                    traced.append((job, tracer.new_span_id()))
+        # The engine's spans can live in exactly one trace; the first
+        # traced job's request is the *primary* and carries the full
+        # engine.map/worker subtree.  Sibling requests sharing the
+        # batch get their own broker.batch span linking to it.
+        primary = traced[0] if traced else None
+        batch_ts = time.time()
         misses_before = self.engine.stats.cache_misses
         start = time.perf_counter()
+
+        def mapped() -> list[dict]:
+            if primary is not None:
+                job0, batch_span_id = primary
+                assert job0.trace is not None
+                with obs.scoped_trace(tracer, job0.trace.trace_id, batch_span_id):
+                    return self.engine.map(cells)
+            return self.engine.map(cells)
+
+        error: Exception | None = None
         try:
-            with obs.span(
-                "service.batch", level="engine",
-                n_cells=len(cells),
-                n_jobs=sum(len(f.jobs) for f in batch),
-            ):
-                payloads = await loop.run_in_executor(
-                    None, self.engine.map, cells
-                )
+            payloads = await loop.run_in_executor(None, mapped)
         except Exception as exc:  # noqa: BLE001 - batch boundary: every
             # failure mode of the engine stack must land on the waiting
             # jobs as a failed state, never escape into the batch task.
+            error = exc
+        elapsed = time.perf_counter() - start
+        if tracer.enabled:
+            for job, batch_span_id in traced:
+                assert job.trace is not None
+                attrs: dict = {
+                    "n_cells": len(cells),
+                    "n_jobs": n_jobs,
+                    "shared": len(traced) > 1,
+                }
+                if primary is not None and job is not primary[0]:
+                    # Trace link: the engine subtree lives over there.
+                    assert primary[0].trace is not None
+                    attrs["engine_trace"] = primary[0].trace.trace_id
+                if error is not None:
+                    attrs["error"] = f"{type(error).__name__}: {error}"
+                tracer.record_span(
+                    "broker.batch",
+                    level="engine",
+                    trace_id=job.trace.trace_id,
+                    span_id=batch_span_id,
+                    parent=job.trace.parent_id,
+                    ts=batch_ts,
+                    dur_s=elapsed,
+                    **attrs,
+                )
+        if error is not None:
             for flight in batch:
                 self._flights.pop(flight.key, None)
                 for job in flight.jobs:
-                    self._fail(job, f"{type(exc).__name__}: {exc}")
+                    self._fail(job, f"{type(error).__name__}: {error}")
             return
         computed = self.engine.stats.cache_misses - misses_before
         metrics().counter(
@@ -234,7 +301,7 @@ class SweepBroker:
             "service.batch_flush",
             n_cells=len(cells),
             computed=computed,
-            elapsed_s=time.perf_counter() - start,
+            elapsed_s=elapsed,
         )
         for flight, payload in zip(batch, payloads):
             self._flights.pop(flight.key, None)

@@ -17,12 +17,28 @@ from urllib.parse import urlsplit
 
 from repro.api.types import JobStatus, OptimizationRequest, OptimizationResult
 from repro.errors import ApiError, QuotaExceededError, ServiceError
+from repro.obs.trace import new_trace_id
+
+#: The distributed-trace header (mirrors the server-side constant; the
+#: client avoids importing the server module).
+TRACE_HEADER: str = "X-Repro-Trace"
 
 
 class ServiceClient:
-    """Typed HTTP client for one sweep-service endpoint."""
+    """Typed HTTP client for one sweep-service endpoint.
 
-    def __init__(self, url: str, timeout_s: float = 120.0) -> None:
+    Every request carries an ``X-Repro-Trace`` header: ``trace_id``
+    pins one id for the client's lifetime (so a whole workflow shares a
+    trace); by default each request draws a fresh id.  The server
+    echoes the id it honoured on the response and on
+    :attr:`~repro.api.JobStatus.trace_id`;
+    :attr:`last_trace_id` keeps the most recent one for log
+    correlation.
+    """
+
+    def __init__(
+        self, url: str, timeout_s: float = 120.0, trace_id: str | None = None
+    ) -> None:
         split = urlsplit(url)
         if split.scheme != "http" or not split.hostname:
             raise ServiceError(
@@ -31,6 +47,9 @@ class ServiceClient:
         self.host = split.hostname
         self.port = split.port if split.port is not None else 80
         self.timeout_s = timeout_s
+        self.trace_id = trace_id
+        #: Trace id the server echoed on the most recent response.
+        self.last_trace_id: str | None = None
 
     # -- raw request ------------------------------------------------------
 
@@ -45,11 +64,18 @@ class ServiceClient:
                 json.dumps(body).encode("utf-8") if body is not None else None
             )
             headers = {"Content-Type": "application/json"} if body else {}
+            headers[TRACE_HEADER] = (
+                self.trace_id if self.trace_id is not None else new_trace_id()
+            )
             conn.request(method, path, body=payload, headers=headers)
             response = conn.getresponse()
             raw = response.read()
             document = json.loads(raw.decode("utf-8")) if raw else {}
-            return response.status, dict(response.getheaders()), document
+            response_headers = dict(response.getheaders())
+            echoed = response_headers.get(TRACE_HEADER)
+            if echoed:
+                self.last_trace_id = echoed
+            return response.status, response_headers, document
         finally:
             conn.close()
 

@@ -29,6 +29,7 @@ from repro.api.types import (
 )
 from repro.api.query import result_from_payload
 from repro.errors import ServiceError
+from repro.obs.stitch import TraceContext
 
 _JOB_COUNTER = itertools.count(1)
 
@@ -52,8 +53,14 @@ class Job:
     error: str | None = None
     attempts: int = 0
     created: float = field(default_factory=time.monotonic)
+    #: Wall-clock twin of ``created`` — span records carry epoch
+    #: timestamps, so queue-wait spans need both clocks.
+    created_wall: float = field(default_factory=time.time)
     started: float | None = None
     finished: float | None = None
+    #: The request's distributed-trace handle (trace id + the HTTP
+    #: ``service.request`` span id), or ``None`` outside a traced run.
+    trace: TraceContext | None = None
     done: asyncio.Event = field(default_factory=asyncio.Event)
 
     def mark_running(self) -> None:
@@ -98,6 +105,7 @@ class Job:
             attempts=self.attempts,
             queued_s=queued_s,
             wall_s=wall_s,
+            trace_id=self.trace.trace_id if self.trace is not None else None,
         )
 
 

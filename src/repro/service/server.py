@@ -27,7 +27,9 @@ from __future__ import annotations
 
 import asyncio
 import json
+import re
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 from urllib.parse import parse_qs, urlsplit
@@ -37,6 +39,7 @@ from repro.engine.engine import ExperimentEngine
 from repro.errors import ApiError, QuotaExceededError, ServiceError
 from repro.obs import trace as obs
 from repro.obs.metrics import metrics
+from repro.obs.stitch import TraceContext
 from repro.service.broker import SweepBroker
 from repro.service.quotas import QuotaPolicy, TenantQuotas
 from repro.service.warmcache import WarmResultStore
@@ -46,6 +49,15 @@ MAX_BODY_BYTES: int = 1 << 20
 
 #: Content type of the Prometheus text exposition format.
 PROMETHEUS_CONTENT_TYPE: str = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Distributed-trace header: a client may supply its own trace id; the
+#: server honours it, assigns one otherwise, and echoes the chosen id
+#: on every response.
+TRACE_HEADER: str = "X-Repro-Trace"
+
+#: Accepted trace-id shape; anything else is ignored (a hostile header
+#: must not be able to inject arbitrary bytes into trace files).
+_TRACE_ID_RE: re.Pattern[str] = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
 
 
 @dataclass(frozen=True)
@@ -125,38 +137,97 @@ class SweepService:
     async def _handle_one(
         self, reader: asyncio.StreamReader
     ) -> tuple[int, dict, bytes]:
+        started = time.perf_counter()
+        ts = time.time()
         request_line = await reader.readline()
         parts = request_line.decode("latin-1").split()
         if len(parts) != 3:
             return _json_response(400, {"error": "malformed request line"})
         method, target, _version = parts
-        content_length = 0
+        split = urlsplit(target)
+        query = parse_qs(split.query)
+        content_length_raw: str | None = None
+        trace_header: str | None = None
         while True:
             line = await reader.readline()
             if line in (b"\r\n", b"\n", b""):
                 break
             name, _, value = line.decode("latin-1").partition(":")
-            if name.strip().lower() == "content-length":
-                try:
-                    content_length = int(value.strip())
-                except ValueError:
-                    return _json_response(
-                        400, {"error": "malformed Content-Length"}
-                    )
+            name = name.strip().lower()
+            if name == "content-length":
+                content_length_raw = value.strip()
+            elif name == TRACE_HEADER.lower():
+                candidate = value.strip()
+                if _TRACE_ID_RE.match(candidate):
+                    trace_header = candidate
+        # Every request gets a trace id (the client's, when well
+        # formed); the span id is reserved up front so downstream spans
+        # can parent to the request before its span is recorded.
+        tracer = obs.current_tracer()
+        trace = TraceContext(
+            trace_id=trace_header if trace_header else obs.new_trace_id(),
+            parent_id=tracer.new_span_id() if tracer.enabled else None,
+        )
+        content_length = 0
+        if content_length_raw is not None:
+            try:
+                content_length = int(content_length_raw)
+            except ValueError:
+                return self._finish(
+                    _json_response(400, {"error": "malformed Content-Length"}),
+                    method, split.path, trace, ts, started,
+                )
         if content_length > MAX_BODY_BYTES:
-            return _json_response(
-                413, {"error": f"body exceeds {MAX_BODY_BYTES} bytes"}
+            return self._finish(
+                _json_response(
+                    413, {"error": f"body exceeds {MAX_BODY_BYTES} bytes"}
+                ),
+                method, split.path, trace, ts, started,
             )
         body = await reader.readexactly(content_length) if content_length else b""
-        split = urlsplit(target)
-        query = parse_qs(split.query)
         metrics().counter(
             "repro_service_http_requests_total", "HTTP requests received"
         ).inc(method=method, path=_route_label(split.path))
-        return await self._route(method, split.path, query, body)
+        response = await self._route(method, split.path, query, body, trace)
+        return self._finish(response, method, split.path, trace, ts, started)
+
+    def _finish(
+        self,
+        response: tuple[int, dict, bytes],
+        method: str,
+        path: str,
+        trace: TraceContext,
+        ts: float,
+        started: float,
+    ) -> tuple[int, dict, bytes]:
+        """Close out one request: latency histogram, span, trace header."""
+        status, headers, body = response
+        dur_s = time.perf_counter() - started
+        metrics().histogram(
+            "repro_service_request_seconds", "HTTP request latency"
+        ).observe(dur_s, method=method, path=_route_label(path))
+        tracer = obs.current_tracer()
+        if tracer.enabled:
+            tracer.record_span(
+                "service.request",
+                trace_id=trace.trace_id,
+                span_id=trace.parent_id,
+                parent=None,
+                ts=ts,
+                dur_s=dur_s,
+                method=method,
+                path=_route_label(path),
+                status=status,
+            )
+        return status, {**headers, TRACE_HEADER: trace.trace_id}, body
 
     async def _route(
-        self, method: str, path: str, query: dict, body: bytes
+        self,
+        method: str,
+        path: str,
+        query: dict,
+        body: bytes,
+        trace: TraceContext,
     ) -> tuple[int, dict, bytes]:
         if path == "/healthz" and method == "GET":
             return _json_response(200, {"ok": True})
@@ -168,21 +239,23 @@ class SweepService:
                 text.encode("utf-8"),
             )
         if path == "/v1/optimize" and method == "POST":
-            return await self._optimize(query, body)
+            return await self._optimize(query, body, trace)
         if path.startswith("/v1/jobs/") and method == "GET":
             return self._job_status(path.removeprefix("/v1/jobs/"))
         return _json_response(
             404, {"error": f"no route for {method} {path}"}
         )
 
-    async def _optimize(self, query: dict, body: bytes) -> tuple[int, dict, bytes]:
+    async def _optimize(
+        self, query: dict, body: bytes, trace: TraceContext
+    ) -> tuple[int, dict, bytes]:
         try:
             document = json.loads(body.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             return _json_response(400, {"error": f"body is not JSON: {exc}"})
         try:
             request = OptimizationRequest.from_dict(document)
-            job = await self.broker.submit(request)
+            job = await self.broker.submit(request, trace=trace)
         except ApiError as exc:
             return _json_response(400, {"error": str(exc)})
         except QuotaExceededError as exc:

@@ -473,8 +473,30 @@ class TestRPR006ObservabilityNaming:
 
     def test_well_formed_metrics_clean(self, tmp_path):
         source = """
-        m.counter('repro_engine_cells_total')
-        m.gauge('repro_pool_depth')
+        m.counter('repro_engine_cache_hits_total')
+        m.gauge('repro_engine_cache_hit_ratio')
+        m.histogram('repro_service_request_seconds')
+        """
+        assert lint_source(tmp_path, source).clean
+
+    def test_unregistered_counter_flagged(self, tmp_path):
+        # Well-shaped but not in METRIC_NAMES: still a lint error.
+        result = lint_source(tmp_path, "m.counter('repro_bogus_total')\n")
+        assert finding_rules(result) == ["RPR006"]
+        assert "METRIC_NAMES" in result.findings[0].message
+
+    def test_unregistered_histogram_flagged(self, tmp_path):
+        result = lint_source(tmp_path, "m.histogram('repro_bogus_seconds')\n")
+        assert finding_rules(result) == ["RPR006"]
+        assert "METRIC_NAMES" in result.findings[0].message
+
+    def test_new_tracing_span_names_registered(self, tmp_path):
+        source = """
+        tracer.span('service.request')
+        tracer.span('service.queue_wait')
+        tracer.span('broker.batch', level='engine')
+        tracer.span('engine.worker', level='engine')
+        tracer.span('cell.evaluate')
         """
         assert lint_source(tmp_path, source).clean
 

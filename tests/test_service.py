@@ -350,3 +350,118 @@ class TestJobStore:
         for _ in range(3):
             store.add(self._done_job(tiny_request()))
         assert store.get(open_job.job_id) is open_job
+
+
+# ---------------------------------------------------------------------------
+# distributed tracing over the wire
+# ---------------------------------------------------------------------------
+
+
+class TestDistributedTracing:
+    def test_client_and_server_logs_share_one_trace_id(self):
+        from repro.obs.trace import Tracer
+        from repro.service.server import TRACE_HEADER
+
+        engine = ExperimentEngine()
+        with Tracer() as tracer:
+            with ServiceThread(engine, ServiceConfig()) as svc:
+                client = ServiceClient(svc.url, trace_id="sharedtrace1")
+                status = client.submit(tiny_request(tenant="traced"))
+        # One id on the client, on the job status and on the server's
+        # own span records.
+        assert client.last_trace_id == "sharedtrace1"
+        assert status.trace_id == "sharedtrace1"
+        request_spans = [
+            r for r in tracer.records
+            if r["record"] == "span"
+            and r["name"] == "service.request"
+            and r["trace_id"] == "sharedtrace1"
+        ]
+        assert request_spans, "server recorded no span under the client's id"
+        assert TRACE_HEADER == "X-Repro-Trace"
+
+    def test_server_assigns_trace_id_without_client_pin(self):
+        from repro.obs.trace import Tracer
+
+        engine = ExperimentEngine()
+        with Tracer():
+            with ServiceThread(engine, ServiceConfig()) as svc:
+                client = ServiceClient(svc.url)  # fresh id per request
+                status = client.submit(tiny_request(tenant="unpinned"))
+        assert status.trace_id is not None
+        assert client.last_trace_id == status.trace_id
+
+    def test_response_echoes_trace_header_even_untraced(self, service):
+        # No tracer active on the server: the id is still assigned and
+        # echoed so client logs correlate with server logs.
+        client = ServiceClient(service.url, trace_id="echoonly0001")
+        client.submit(tiny_request(tenant="echo"))
+        assert client.last_trace_id == "echoonly0001"
+
+    def test_invalid_trace_header_is_replaced(self, service):
+        conn = http.client.HTTPConnection("127.0.0.1", service.port, timeout=30)
+        try:
+            conn.request(
+                "POST",
+                "/v1/optimize?wait=1",
+                body=json.dumps(tiny_request().to_dict()).encode("utf-8"),
+                headers={
+                    "Content-Type": "application/json",
+                    "X-Repro-Trace": "bad id with spaces!",
+                },
+            )
+            response = conn.getresponse()
+            response.read()
+            echoed = response.getheader("X-Repro-Trace")
+        finally:
+            conn.close()
+        assert response.status == 200
+        assert echoed and echoed != "bad id with spaces!"
+
+
+class TestLatencyHistograms:
+    def test_request_and_queue_wait_histograms_round_trip(self, service):
+        """The new latency families survive a real scrape -> parse."""
+        client = ServiceClient(service.url)
+        client.optimize(tiny_request(tenant="latency"))
+        families = parse_prometheus(client.metrics_text())
+
+        request_hist = families["repro_service_request_seconds"]
+        assert request_hist.kind == "histogram"
+        count = request_hist.value(
+            sample="repro_service_request_seconds_count",
+            method="POST", path="/v1/optimize",
+        )
+        assert count >= 1
+        total = request_hist.value(
+            sample="repro_service_request_seconds_sum",
+            method="POST", path="/v1/optimize",
+        )
+        assert total > 0
+        # The +Inf bucket is cumulative: it must equal the count.
+        inf_bucket = request_hist.value(
+            sample="repro_service_request_seconds_bucket",
+            le="+Inf", method="POST", path="/v1/optimize",
+        )
+        assert inf_bucket == count
+
+        wait_hist = families["repro_service_queue_wait_seconds"]
+        assert wait_hist.kind == "histogram"
+        assert wait_hist.value(
+            sample="repro_service_queue_wait_seconds_count", tenant="latency"
+        ) >= 1
+        assert wait_hist.value(
+            sample="repro_service_queue_wait_seconds_bucket",
+            le="+Inf", tenant="latency",
+        ) >= 1
+
+    def test_job_path_label_is_low_cardinality(self, service):
+        client = ServiceClient(service.url)
+        status = client.submit(tiny_request(tenant="cardinality"))
+        client.job(status.job_id)
+        families = parse_prometheus(client.metrics_text())
+        hist = families["repro_service_request_seconds"]
+        assert hist.value(
+            sample="repro_service_request_seconds_count",
+            method="GET", path="/v1/jobs/{id}",
+        ) >= 1
