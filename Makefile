@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-engine obs-check resilience-check robust-check service-smoke loadtest-smoke lint typecheck ruff check figures examples clean
+.PHONY: install test bench bench-engine obs-check resilience-check robust-check service-smoke loadtest-smoke chaos-smoke lint typecheck ruff check figures examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -48,6 +48,13 @@ service-smoke:
 # trace end to end.  Mirrors the CI loadtest job.
 loadtest-smoke:
 	PYTHONPATH=src $(PYTHON) scripts/loadtest_smoke.py
+
+# Run the deterministic chaos drill (`repro chaos`): SIGKILL a
+# journaled server mid-batch and assert every acked job recovers,
+# trip/shed/recover the circuit breaker, replay a corrupted journal.
+# Mirrors the CI chaos job.
+chaos-smoke:
+	PYTHONPATH=src $(PYTHON) scripts/chaos_smoke.py
 
 # Domain-aware static analysis (src/repro/analysis): determinism,
 # unit-suffix discipline, typed errors, observability naming.  Always

@@ -1,0 +1,44 @@
+"""CI smoke test for the chaos drill.
+
+Runs ``repro chaos`` with a fixed seed as a real subprocess — the full
+deterministic drill: SIGKILL a journaled server mid-batch and assert
+every acked job recovers, trip/shed/recover the circuit breaker, and
+replay a deliberately corrupted journal — inside a hard deadline so a
+wedged drill fails CI instead of hanging it.
+
+Usage: ``PYTHONPATH=src python scripts/chaos_smoke.py``
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+DEADLINE_S = 300.0
+SEED = 0
+
+
+def main() -> None:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src"
+    env["PYTHONUNBUFFERED"] = "1"
+    try:
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "chaos", "--seed", str(SEED)],
+            env=env,
+            timeout=DEADLINE_S,
+        )
+    except subprocess.TimeoutExpired:
+        raise SystemExit(
+            f"chaos smoke FAILED: drill still running after {DEADLINE_S:.0f}s"
+        )
+    if proc.returncode != 0:
+        raise SystemExit(
+            f"chaos smoke FAILED: drill exited with code {proc.returncode}"
+        )
+    print("chaos smoke PASSED")
+
+
+if __name__ == "__main__":
+    main()

@@ -80,7 +80,13 @@ class OptimizationRequest:
     matching :class:`~repro.core.metrics.StructureSweep` implementation
     (which is what every figure harness uses).  Two requests with equal
     fields are interchangeable — the service deduplicates on exactly
-    this identity (minus ``tenant``).
+    this identity (minus ``tenant`` and ``deadline_s``, which describe
+    the *caller*, not the question).
+
+    ``deadline_s`` is the end-to-end budget in seconds, counted from
+    service admission; a job that cannot be answered within it fails
+    with ``504`` rather than occupying the engine (see
+    ``docs/service.md``).  ``None`` means no deadline.
     """
 
     structure: str
@@ -91,6 +97,7 @@ class OptimizationRequest:
     warmup_refs: int | None = None
     n_instructions: int | None = None
     n_branches: int | None = None
+    deadline_s: float | None = None
 
     def __post_init__(self) -> None:
         _require_type("structure", self.structure, str)
@@ -113,6 +120,16 @@ class OptimizationRequest:
             value = _require_type(name, getattr(self, name), int, optional=True)
             if value is not None and value < 0:
                 raise ApiError(f"field {name!r} must be >= 0, got {value}")
+        deadline = _require_type(
+            "deadline_s", self.deadline_s, float, optional=True
+        )
+        if deadline is not None:
+            if not deadline > 0:
+                raise ApiError(
+                    f"field 'deadline_s' must be > 0 seconds, got {deadline}"
+                )
+            # frozen dataclass: normalise an int deadline to float in place
+            object.__setattr__(self, "deadline_s", float(deadline))
 
     def to_dict(self) -> dict[str, Any]:
         """Plain-JSON form; ``None`` sizing fields are omitted."""
@@ -127,6 +144,8 @@ class OptimizationRequest:
             value = getattr(self, name)
             if value is not None:
                 out[name] = value
+        if self.deadline_s is not None:
+            out["deadline_s"] = self.deadline_s
         return out
 
     @classmethod
@@ -157,9 +176,15 @@ class OptimizationRequest:
         return cls.from_dict(document)
 
     def cache_identity(self) -> str:
-        """Tenant-independent identity two duplicate requests share."""
+        """Tenant-independent identity two duplicate requests share.
+
+        ``deadline_s`` is excluded too: how long a caller is willing to
+        wait never changes what the answer is, so requests differing
+        only in deadline still share one evaluation.
+        """
         doc = self.to_dict()
         doc.pop("tenant", None)
+        doc.pop("deadline_s", None)
         return json.dumps(doc, sort_keys=True, separators=(",", ":"))
 
 

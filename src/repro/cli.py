@@ -810,6 +810,7 @@ def _serve(args, engine: ExperimentEngine) -> int:
 
     from repro.obs.trace import Tracer
     from repro.service import QuotaPolicy, ServiceConfig, run_service
+    from repro.service.breaker import BreakerPolicy
 
     config = ServiceConfig(
         host=args.host,
@@ -821,6 +822,13 @@ def _serve(args, engine: ExperimentEngine) -> int:
         ),
         warm_entries=args.warm_entries,
         batch_window_s=args.batch_window,
+        journal_path=args.job_journal,
+        max_jobs=args.max_jobs,
+        breaker=BreakerPolicy(
+            failure_threshold=args.breaker_failures,
+            reset_timeout_s=args.breaker_reset,
+        ),
+        drain_timeout_s=args.drain_timeout,
     )
 
     def on_ready(service) -> None:
@@ -1061,6 +1069,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch-window", type=float, default=0.02, metavar="S",
         help="seconds a new cell waits for batch companions (default: 0.02)",
     )
+    servep.add_argument(
+        "--job-journal", default=None, metavar="PATH",
+        help="durable job journal (JSONL WAL); admitted jobs survive a "
+             "crash and are recovered on restart (default: disabled)",
+    )
+    servep.add_argument(
+        "--max-jobs", type=int, default=4096, metavar="N",
+        help="hard cap on the job table; admission past it answers 429 "
+             "(default: 4096)",
+    )
+    servep.add_argument(
+        "--breaker-failures", type=int, default=3, metavar="N",
+        help="consecutive failed engine batches before the circuit "
+             "breaker opens (default: 3)",
+    )
+    servep.add_argument(
+        "--breaker-reset", type=float, default=5.0, metavar="S",
+        help="seconds an open breaker sheds before probing (default: 5)",
+    )
+    servep.add_argument(
+        "--drain-timeout", type=float, default=10.0, metavar="S",
+        help="SIGTERM drain budget for in-flight batches (default: 10)",
+    )
+    chaosp = sub.add_parser(
+        "chaos",
+        help="run the deterministic chaos drill: SIGKILL/recovery, "
+             "breaker open/close, journal corruption — exits 0 only if "
+             "every invariant holds",
+    )
+    chaosp.add_argument(
+        "--seed", type=int, default=0,
+        help="fault-plan seed; same seed, same drill (default: 0)",
+    )
+    chaosp.add_argument(
+        "--workdir", default=None, metavar="DIR",
+        help="directory for journals/cache scratch (default: a fresh "
+             "temporary directory, kept for post-mortems)",
+    )
     loadp = sub.add_parser(
         "loadtest",
         help="drive a deterministic multi-tenant load mix at a sweep "
@@ -1240,6 +1286,12 @@ def _dispatch(args) -> int:
         return _serve(args, _engine_from_args(args))
     elif args.command == "loadtest":
         return _loadtest(args)
+    elif args.command == "chaos":
+        from repro.service.chaos import format_report, run_chaos
+
+        report = run_chaos(seed=args.seed, workdir=args.workdir)
+        print(format_report(report))
+        return 0 if report.passed else 1
     elif args.command == "query":
         return _query(args, _engine_from_args(args))
     elif args.command == "lint":

@@ -34,7 +34,7 @@ import math
 import shutil
 import tempfile
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Sequence
 
@@ -195,8 +195,17 @@ class ExperimentEngine:
         """Evaluate a single cell (convenience wrapper over :meth:`map`)."""
         return self.map([cell])[0]
 
-    def map(self, cells: Sequence[SweepCell]) -> list[dict]:
-        """Evaluate every cell, returning payloads in submission order."""
+    def map(
+        self, cells: Sequence[SweepCell], deadline_s: float | None = None
+    ) -> list[dict]:
+        """Evaluate every cell, returning payloads in submission order.
+
+        ``deadline_s`` is the caller's remaining end-to-end budget: it
+        clamps the retry policy's per-chunk timeout so a pooled run
+        cannot sit on a hung worker past the deadline.  The serial path
+        (``jobs=1``) evaluates inline and cannot be interrupted, so
+        there the deadline is only enforced by the caller afterwards.
+        """
         cells = list(cells)
         run_id = new_run_id()
         with obs.span(
@@ -204,9 +213,15 @@ class ExperimentEngine:
             run_id=run_id, jobs=self.jobs, n_cells=len(cells),
             cache_enabled=self._cache is not None,
         ) as span, profiled("engine.map"):
-            return self._map_traced(cells, run_id, span)
+            return self._map_traced(cells, run_id, span, deadline_s)
 
-    def _map_traced(self, cells: list[SweepCell], run_id: str, span) -> list[dict]:
+    def _map_traced(
+        self,
+        cells: list[SweepCell],
+        run_id: str,
+        span,
+        deadline_s: float | None = None,
+    ) -> list[dict]:
         start = time.perf_counter()
         self._telemetry.emit(
             "run_start",
@@ -255,7 +270,9 @@ class ExperimentEngine:
 
         report = None
         if misses:
-            report = self._compute(cells, misses, keys, payloads, walls, span)
+            report = self._compute(
+                cells, misses, keys, payloads, walls, span, deadline_s
+            )
 
         elapsed = time.perf_counter() - start
         busy = sum(walls[i] for i in misses)
@@ -339,13 +356,23 @@ class ExperimentEngine:
             if idx < len(cells):
                 corrupt_cache_entry(self._cache, self._cache.key(cells[idx]))
 
-    def _compute(self, cells, misses, keys, payloads, walls, span):
+    def _compute(self, cells, misses, keys, payloads, walls, span, deadline_s=None):
         """Evaluate the cache misses resiliently, persisting as they land.
 
         Returns the executor's :class:`~repro.resilience.ExecutionReport`.
         Cache and journal writes happen in the per-chunk callback, so an
         interrupted run keeps everything that finished.
         """
+        policy = self._retry
+        if deadline_s is not None:
+            # Clamp the per-chunk timeout to the caller's remaining
+            # budget (pooled mode only; the serial path has no way to
+            # interrupt an evaluation already in flight).
+            timeout = policy.timeout_s
+            clamped = (
+                deadline_s if timeout is None else min(timeout, deadline_s)
+            )
+            policy = replace(policy, timeout_s=max(clamped, 0.001))
         chunk_size = self.chunk_size or max(
             1, math.ceil(len(misses) / (self.jobs * CHUNKS_PER_WORKER))
         )
@@ -379,7 +406,7 @@ class ExperimentEngine:
 
         executor = ResilientExecutor(
             jobs=self.jobs,
-            policy=self._retry,
+            policy=policy,
             fault_plan=self.fault_plan,
             span=span,
             trace_ctx=trace_ctx,

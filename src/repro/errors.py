@@ -154,12 +154,48 @@ class QuotaExceededError(ReproError):
         self.retry_after_s = retry_after_s
 
 
+class ServiceOverloadedError(QuotaExceededError):
+    """The service's global job table is full (backpressure, not failure).
+
+    Unlike its parent, this is not one tenant misbehaving but the whole
+    service at capacity: the bounded :class:`~repro.service.JobStore`
+    cannot admit another job without growing past its hard cap.  The
+    HTTP layer maps it to the same ``429`` + ``Retry-After`` contract,
+    so polite clients back off identically.
+    """
+
+
 class ServiceError(ReproError):
     """The sweep service was misused or hit an internal fault.
 
     Raised, for example, for a lookup of an unknown job id, a submit
     after shutdown, or a malformed HTTP request body.
     """
+
+
+class DeadlineExceededError(ServiceError):
+    """A job's end-to-end deadline passed before it could be served.
+
+    Raised (or recorded on the failed job) when the ``deadline_s``
+    carried by an :class:`~repro.api.OptimizationRequest` — or the
+    ``X-Repro-Deadline`` header — expires while the job is queued or
+    running.  The HTTP layer maps it to ``504 Gateway Timeout``.
+    """
+
+
+class CircuitOpenError(ServiceError):
+    """The service's circuit breaker is open; work is being shed.
+
+    Carries ``retry_after_s`` — the remaining breaker cooldown — which
+    the HTTP layer maps to ``503`` + ``Retry-After``.  Distinct from
+    :class:`QuotaExceededError`: the tenant did nothing wrong, the
+    engine is unhealthy and every submission is shed until a half-open
+    probe succeeds.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
 
 
 class CacheCorruptionError(EngineError):

@@ -93,9 +93,15 @@ EVENT_NAMES: frozenset[str] = frozenset(
         "robust.tpi_regression",
         "robust.watchdog_fallback",
         "service.batch_flush",
+        "service.breaker_transition",
+        "service.deadline_exceeded",
+        "service.draining",
+        "service.idempotent_hit",
         "service.job_done",
         "service.job_failed",
         "service.job_queued",
+        "service.job_recovered",
+        "service.journal_replayed",
         "service.quota_reject",
         "service.singleflight_merge",
         "service.started",
@@ -160,10 +166,19 @@ METRIC_NAMES: frozenset[str] = frozenset(
         # Sweep service.
         "repro_service_batch_cells",
         "repro_service_batches_total",
+        "repro_service_breaker_state",
+        "repro_service_breaker_transitions_total",
+        "repro_service_deadline_exceeded_total",
         "repro_service_http_errors_total",
         "repro_service_http_requests_total",
+        "repro_service_idempotent_hits_total",
         "repro_service_job_wall_seconds",
+        "repro_service_jobs_inflight",
+        "repro_service_jobs_recovered_total",
         "repro_service_jobs_total",
+        "repro_service_journal_corrupt_records_total",
+        "repro_service_journal_records_total",
+        "repro_service_overload_rejections_total",
         "repro_service_queue_wait_seconds",
         "repro_service_quota_rejections_total",
         "repro_service_request_seconds",

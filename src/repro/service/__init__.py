@@ -9,6 +9,10 @@ experiment engine.  The layers, transport-independent first:
 * :mod:`repro.service.warmcache` — the shared in-memory warm result
   store (admission policy + LRU eviction);
 * :mod:`repro.service.jobs` — job lifecycle and the bounded job table;
+* :mod:`repro.service.journal` — the durable job journal (fsynced
+  JSONL WAL) behind crash recovery and idempotent resubmission;
+* :mod:`repro.service.breaker` — the circuit breaker shedding load
+  while the engine fails batches back to back;
 * :mod:`repro.service.broker` — single-flight dedup and batching of
   compatible requests into one ``engine.map`` fan-out;
 * :mod:`repro.service.server` — the HTTP/1.1 face
@@ -16,7 +20,9 @@ experiment engine.  The layers, transport-independent first:
   ``GET /healthz``) plus hosting helpers;
 * :mod:`repro.service.client` — a typed stdlib client;
 * :mod:`repro.service.loadtest` — the load/SLO harness behind
-  ``repro loadtest`` and the benchmark trajectory file.
+  ``repro loadtest`` and the benchmark trajectory file;
+* :mod:`repro.service.chaos` — the deterministic chaos drill behind
+  ``repro chaos`` (SIGKILL recovery, breaker, journal corruption).
 
 Boot one with ``repro serve`` or, in process::
 
@@ -25,9 +31,12 @@ Boot one with ``repro serve`` or, in process::
         client = ServiceClient(svc.url)
 """
 
+from repro.service.breaker import BreakerPolicy, CircuitBreaker
 from repro.service.broker import SweepBroker
+from repro.service.chaos import ChaosReport, run_chaos
 from repro.service.client import ServiceClient
 from repro.service.jobs import Job, JobStore
+from repro.service.journal import JobJournal, JournalReplay
 from repro.service.loadtest import (
     LoadReport,
     SloPolicy,
@@ -44,8 +53,13 @@ from repro.service.server import (
 from repro.service.warmcache import WarmResultStore
 
 __all__ = [
+    "BreakerPolicy",
+    "ChaosReport",
+    "CircuitBreaker",
     "Job",
+    "JobJournal",
     "JobStore",
+    "JournalReplay",
     "LoadReport",
     "QuotaPolicy",
     "ServiceClient",
@@ -57,6 +71,7 @@ __all__ = [
     "TenantQuotas",
     "WarmResultStore",
     "append_bench",
+    "run_chaos",
     "run_loadtest",
     "run_service",
 ]

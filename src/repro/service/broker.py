@@ -25,11 +25,29 @@ the cost ladder cheapest-first:
 Everything runs on one asyncio loop — submissions, the batch task and
 completion fan-out — so the broker needs no locks; the blocking
 ``engine.map`` is pushed to a thread via ``run_in_executor``.
+
+Crash-safety and overload-safety wrap this ladder (see
+``docs/service.md``):
+
+* an optional :class:`~repro.service.journal.JobJournal` records every
+  admission durably before it is acknowledged and every terminal
+  transition after, so :meth:`SweepBroker.recover` can resurrect the
+  jobs a killed server acked but never finished — idempotently, because
+  resurrection re-enters the same warm-store/single-flight ladder;
+* an ``Idempotency-Key`` maps retried POSTs (e.g. after a crash or a
+  lost response) back to the original job instead of a duplicate;
+* every job may carry an end-to-end deadline: a batch never runs a job
+  whose deadline already passed (fail fast as 504) and the minimum
+  remaining budget is pushed into the engine's per-chunk timeout;
+* a :class:`~repro.service.breaker.CircuitBreaker` around the engine
+  call sheds submissions with ``503`` + ``Retry-After`` while the
+  engine is failing batches back to back (warm hits are still served).
 """
 
 from __future__ import annotations
 
 import asyncio
+import logging
 import time
 from dataclasses import dataclass, field
 
@@ -38,13 +56,17 @@ from repro.api.types import OptimizationRequest
 from repro.engine.cache import cell_key, technology_fingerprint
 from repro.engine.cells import SweepCell
 from repro.engine.engine import ExperimentEngine
-from repro.errors import QuotaExceededError, ServiceError
+from repro.errors import ApiError, QuotaExceededError, ServiceError
 from repro.obs import trace as obs
 from repro.obs.metrics import metrics
 from repro.obs.stitch import TraceContext
+from repro.service.breaker import BreakerPolicy, CircuitBreaker
 from repro.service.jobs import Job, JobStore, new_job_id
+from repro.service.journal import JobJournal
 from repro.service.quotas import QuotaPolicy, TenantQuotas
 from repro.service.warmcache import WarmResultStore
+
+_LOG = logging.getLogger("repro.service.broker")
 
 
 @dataclass
@@ -69,6 +91,13 @@ class SweepBroker:
     #: Most distinct cells evaluated per engine ``map`` call.
     max_batch: int = 64
     jobs_retain: int = 1024
+    #: Hard cap on the job table; past it admission answers 429.
+    max_jobs: int = 4096
+    #: Durable job journal; ``None`` (the default) disables journaling
+    #: and the crash-recovery path with it.
+    journal: JobJournal | None = None
+    #: Circuit-breaker policy for the engine ``map`` call.
+    breaker_policy: BreakerPolicy = field(default_factory=BreakerPolicy)
 
     def __post_init__(self) -> None:
         if self.batch_window_s < 0:
@@ -78,9 +107,16 @@ class SweepBroker:
         if self.max_batch < 1:
             raise ServiceError(f"max_batch must be >= 1, got {self.max_batch}")
         self.quotas = TenantQuotas(policy=self.quota_policy)
-        self.jobs = JobStore(retain=self.jobs_retain)
+        # A table capped below the retain target can never hold that
+        # many terminal jobs anyway; clamp so a small --max-jobs works
+        # without also tuning retention.
+        retain = min(self.jobs_retain, self.max_jobs)
+        self.jobs = JobStore(retain=retain, max_jobs=self.max_jobs)
+        self.breaker = CircuitBreaker(self.breaker_policy)
         self._flights: dict[str, _Flight] = {}
         self._pending: list[_Flight] = []
+        #: ``tenant:idempotency-key`` -> job id of the original admission.
+        self._idempotent: dict[str, str] = {}
         self._wake: asyncio.Event | None = None
         self._batch_task: asyncio.Task | None = None
         self._closed = False
@@ -98,33 +134,157 @@ class SweepBroker:
         self._wake = asyncio.Event()
         self._batch_task = asyncio.create_task(self._batch_loop())
 
-    async def close(self) -> None:
-        """Stop accepting work, drain in-flight batches, stop the task."""
+    async def close(self, drain_s: float | None = None) -> None:
+        """Stop accepting work, drain in-flight batches, stop the task.
+
+        ``drain_s`` bounds how long the drain may take (the SIGTERM
+        drain budget): past it the batch task is cancelled and every
+        job still open fails as ``shutdown`` rather than hanging its
+        waiters.  ``None`` drains without a bound.
+        """
         self._closed = True
         if self._wake is not None:
             self._wake.set()
-        if self._batch_task is not None:
-            await self._batch_task
+        task = self._batch_task
+        if task is not None:
+            if drain_s is None:
+                await task
+            else:
+                try:
+                    await asyncio.wait_for(asyncio.shield(task), drain_s)
+                except asyncio.TimeoutError:
+                    task.cancel()
+                    try:
+                        await task
+                    except asyncio.CancelledError:
+                        pass
             self._batch_task = None
+        for flight in list(self._flights.values()):
+            for job in flight.jobs:
+                if not job.done.is_set():
+                    self._fail(
+                        job, "service shut down before the job completed"
+                    )
+        self._flights.clear()
+        self._pending.clear()
+
+    # -- crash recovery ---------------------------------------------------
+
+    async def recover(self) -> int:
+        """Resurrect the journal's incomplete jobs; returns how many.
+
+        Called once after :meth:`start`, before the listener opens.
+        Replayed jobs keep their original ids (so ``GET /v1/jobs/{id}``
+        keeps working across the restart) and re-enter the normal
+        warm-store/single-flight ladder, which is what makes recovery
+        idempotent — a cell answered meanwhile is served, not re-run.
+        Quota tokens are *not* re-charged: the work was already paid
+        for when it was first admitted.  Deadlines are not restored
+        either — they were relative to a dead process's clock.
+        """
+        if self.journal is None:
+            return 0
+        replay = self.journal.replay()
+        self._idempotent.update(replay.idempotency)
+        recovered = 0
+        for entry in replay.incomplete:
+            try:
+                cell = request_cell(entry.request)
+            except ApiError as exc:
+                _LOG.warning(
+                    "journal job %s no longer maps to a cell (%s); dropping",
+                    entry.job_id,
+                    exc,
+                )
+                continue
+            # Re-derived under the *current* fingerprint — a journal
+            # from before a recalibration resurrects the question,
+            # never a stale answer.
+            key = cell_key(cell, self._fingerprint)
+            job = Job(
+                job_id=entry.job_id,
+                tenant=entry.tenant,
+                request=entry.request,
+                cell_key=key,
+                idempotency_key=entry.idempotency_key,
+                recovered=True,
+            )
+            self.jobs.add(job)
+            obs.event(
+                "service.job_recovered",
+                job_id=job.job_id,
+                tenant=job.tenant,
+                cell_key=key,
+            )
+            self._dispatch(job, cell, key, self.warm.get(key))
+            recovered += 1
+        if recovered:
+            metrics().counter(
+                "repro_service_jobs_recovered_total",
+                "incomplete jobs resurrected from the job journal",
+            ).inc(recovered)
+        obs.event(
+            "service.journal_replayed",
+            path=str(self.journal.path),
+            records=replay.n_records,
+            complete=replay.n_complete,
+            corrupt=replay.n_corrupt,
+            recovered=recovered,
+        )
+        return recovered
 
     # -- submission -------------------------------------------------------
 
     async def submit(
-        self, request: OptimizationRequest, trace: TraceContext | None = None
+        self,
+        request: OptimizationRequest,
+        trace: TraceContext | None = None,
+        idempotency_key: str | None = None,
     ) -> Job:
         """Admit one request; returns its job (possibly already done).
 
         ``trace`` carries the HTTP layer's trace id and request-span id
         so the job's queue wait and batch appear in the request's
-        distributed trace.  Raises :class:`~repro.errors.ApiError` on a
-        malformed request, :class:`~repro.errors.QuotaExceededError`
-        when the tenant is over quota, and
-        :class:`~repro.errors.ServiceError` after :meth:`close`.
+        distributed trace.  ``idempotency_key`` maps a retried POST
+        back to the original job while that job is still in the table.
+        Raises :class:`~repro.errors.ApiError` on a malformed request,
+        :class:`~repro.errors.QuotaExceededError` when the tenant is
+        over quota (its :class:`~repro.errors.ServiceOverloadedError`
+        subtype when the whole job table is full),
+        :class:`~repro.errors.CircuitOpenError` while the breaker sheds
+        engine work, and :class:`~repro.errors.ServiceError` after
+        :meth:`close`.
         """
         if self._closed or self._batch_task is None:
             raise ServiceError("service is shutting down; submit rejected")
         cell = request_cell(request)  # ApiError before any quota spend
         key = cell_key(cell, self._fingerprint)
+
+        idem_key: str | None = None
+        if idempotency_key is not None:
+            idem_key = f"{request.tenant}:{idempotency_key}"
+            known = self._idempotent.get(idem_key)
+            if known is not None and known in self.jobs:
+                job = self.jobs.get(known)
+                metrics().counter(
+                    "repro_service_idempotent_hits_total",
+                    "retried POSTs answered with their original job",
+                ).inc(tenant=request.tenant)
+                obs.event(
+                    "service.idempotent_hit",
+                    job_id=job.job_id,
+                    tenant=request.tenant,
+                    idempotency_key=idempotency_key,
+                )
+                return job
+            self._idempotent.pop(idem_key, None)  # job evicted: stale
+
+        # The breaker guards the *engine*: a warm hit costs no engine
+        # work, so it is served even while the breaker sheds.
+        warm_payload = self.warm.get(key)
+        if warm_payload is None:
+            self.breaker.admit()
+        self.jobs.reserve()  # 429 before any quota token is consumed
         try:
             self.quotas.admit(request.tenant)
         except QuotaExceededError:
@@ -145,8 +305,19 @@ class SweepBroker:
             request=request,
             cell_key=key,
             trace=trace,
+            idempotency_key=idempotency_key,
         )
+        if request.deadline_s is not None:
+            job.deadline = job.created + request.deadline_s
+        if self.journal is not None:
+            # The durability point: on disk before the POST is acked.
+            self.journal.record_admit(
+                job.job_id, job.tenant, key, request,
+                idempotency_key=idempotency_key,
+            )
         self.jobs.add(job)
+        if idem_key is not None:
+            self._remember_idempotent(idem_key, job.job_id)
         obs.event(
             "service.job_queued",
             job_id=job.job_id,
@@ -155,13 +326,25 @@ class SweepBroker:
             structure=request.structure,
             workload=request.workload,
         )
+        self._dispatch(job, cell, key, warm_payload)
+        return job
 
-        warm_payload = self.warm.get(key)
+    def _remember_idempotent(self, idem_key: str, job_id: str) -> None:
+        if len(self._idempotent) >= 4 * self.max_jobs:
+            # Lazy bound: drop mappings whose job already left the table.
+            self._idempotent = {
+                k: v for k, v in self._idempotent.items() if v in self.jobs
+            }
+        self._idempotent[idem_key] = job_id
+
+    def _dispatch(
+        self, job: Job, cell: SweepCell, key: str, warm_payload: dict | None
+    ) -> None:
+        """Route one admitted job: warm hit, flight merge, or new flight."""
         if warm_payload is not None:
             obs.event("service.warm_hit", job_id=job.job_id, cell_key=key)
             self._finish(job, warm_payload, source="warm")
-            return job
-
+            return
         flight = self._flights.get(key)
         if flight is not None:
             flight.jobs.append(job)
@@ -172,14 +355,12 @@ class SweepBroker:
             obs.event(
                 "service.singleflight_merge", job_id=job.job_id, cell_key=key
             )
-            return job
-
+            return
         flight = _Flight(key=key, cell=cell, jobs=[job])
         self._flights[key] = flight
         self._pending.append(flight)
         assert self._wake is not None
         self._wake.set()
-        return job
 
     async def wait(self, job: Job, timeout: float | None = None) -> Job:
         """Block until ``job`` reaches a terminal state."""
@@ -205,6 +386,25 @@ class SweepBroker:
 
     async def _run_batch(self, batch: list[_Flight]) -> None:
         loop = asyncio.get_running_loop()
+        # Deadline fail-fast: never spend engine time on a job whose
+        # end-to-end budget already expired while it queued.
+        now = time.monotonic()
+        live: list[_Flight] = []
+        for flight in batch:
+            keep: list[Job] = []
+            for job in flight.jobs:
+                if job.expired(now):
+                    self._fail_deadline(job)
+                else:
+                    keep.append(job)
+            flight.jobs = keep
+            if keep:
+                live.append(flight)
+            else:
+                self._flights.pop(flight.key, None)
+        batch = live
+        if not batch:
+            return
         cells = [flight.cell for flight in batch]
         n_jobs = sum(len(f.jobs) for f in batch)
         tracer = obs.current_tracer()
@@ -212,6 +412,9 @@ class SweepBroker:
             "repro_service_queue_wait_seconds",
             "submit-to-batch-start queue wait per job",
         )
+        # The tightest surviving deadline bounds the whole batch: it is
+        # pushed into the engine as a per-chunk timeout clamp.
+        deadline_s: float | None = None
         # (job, pre-allocated broker.batch span id) per job whose
         # request carries a trace.  Queue wait and batch are recorded
         # as *sibling* phases under the request span — the batch runs
@@ -222,6 +425,15 @@ class SweepBroker:
             for job in flight.jobs:
                 job.attempts += 1
                 job.mark_running()
+                if self.journal is not None:
+                    self.journal.record_running(job.job_id)
+                remaining = job.remaining_s(now)
+                if remaining is not None:
+                    deadline_s = (
+                        remaining
+                        if deadline_s is None
+                        else min(deadline_s, remaining)
+                    )
                 wait_s = max(0.0, time.monotonic() - job.created)
                 wait_hist.observe(wait_s, tenant=job.tenant)
                 if tracer.enabled and job.trace is not None:
@@ -244,13 +456,20 @@ class SweepBroker:
         misses_before = self.engine.stats.cache_misses
         start = time.perf_counter()
 
+        def call_engine() -> list[dict]:
+            # ``deadline_s`` is passed only when a job set one, so any
+            # duck-typed engine exposing plain ``map(cells)`` still works.
+            if deadline_s is not None:
+                return self.engine.map(cells, deadline_s=max(deadline_s, 0.001))
+            return self.engine.map(cells)
+
         def mapped() -> list[dict]:
             if primary is not None:
                 job0, batch_span_id = primary
                 assert job0.trace is not None
                 with obs.scoped_trace(tracer, job0.trace.trace_id, batch_span_id):
-                    return self.engine.map(cells)
-            return self.engine.map(cells)
+                    return call_engine()
+            return call_engine()
 
         error: Exception | None = None
         try:
@@ -285,11 +504,13 @@ class SweepBroker:
                     **attrs,
                 )
         if error is not None:
+            self.breaker.record_failure()
             for flight in batch:
                 self._flights.pop(flight.key, None)
                 for job in flight.jobs:
                     self._fail(job, f"{type(error).__name__}: {error}")
             return
+        self.breaker.record_success()
         computed = self.engine.stats.cache_misses - misses_before
         metrics().counter(
             "repro_service_batches_total", "engine batches flushed"
@@ -303,17 +524,45 @@ class SweepBroker:
             computed=computed,
             elapsed_s=elapsed,
         )
+        now = time.monotonic()
         for flight, payload in zip(batch, payloads):
             self._flights.pop(flight.key, None)
+            # The payload warms the store either way: a deadline is a
+            # property of the request, not of the answer.
             self.warm.admit(flight.key, payload)
             for job in flight.jobs:
-                self._finish(job, payload, source="computed")
+                if job.expired(now):
+                    self._fail_deadline(job)
+                else:
+                    self._finish(job, payload, source="computed")
 
     # -- completion -------------------------------------------------------
 
+    def _fail_deadline(self, job: Job) -> None:
+        """Fail one job whose end-to-end deadline passed (HTTP 504)."""
+        job.deadline_hit = True
+        metrics().counter(
+            "repro_service_deadline_exceeded_total",
+            "jobs failed because their end-to-end deadline passed",
+        ).inc(tenant=job.tenant)
+        obs.event(
+            "service.deadline_exceeded",
+            job_id=job.job_id,
+            tenant=job.tenant,
+            deadline_s=job.request.deadline_s,
+        )
+        self._fail(
+            job,
+            f"deadline exceeded: the {job.request.deadline_s}s end-to-end "
+            "budget passed before the job could be served",
+        )
+
     def _finish(self, job: Job, payload: dict, source: str) -> None:
         job.complete(payload, source)
+        self.jobs.note_closed(job)
         self.quotas.release(job.tenant)
+        if self.journal is not None:
+            self.journal.record_done(job.job_id, source)
         status = job.status()
         metrics().counter(
             "repro_service_jobs_total", "jobs reaching a terminal state"
@@ -332,7 +581,10 @@ class SweepBroker:
 
     def _fail(self, job: Job, error: str) -> None:
         job.fail(error)
+        self.jobs.note_closed(job)
         self.quotas.release(job.tenant)
+        if self.journal is not None:
+            self.journal.record_failed(job.job_id, error)
         metrics().counter(
             "repro_service_jobs_total", "jobs reaching a terminal state"
         ).inc(state="failed", source="error")

@@ -2,10 +2,20 @@
 
 Wraps ``http.client`` so callers — the CLI, tests, the CI smoke script
 — speak the service's JSON protocol through typed
-:mod:`repro.api` objects instead of hand-rolled dicts.  Quota
-backpressure surfaces as :class:`~repro.errors.QuotaExceededError`
-carrying the server's ``Retry-After``, so a polite caller can sleep and
-resubmit; :meth:`ServiceClient.optimize` does exactly that when asked.
+:mod:`repro.api` objects instead of hand-rolled dicts.  Backpressure
+surfaces as typed errors carrying the server's ``Retry-After``:
+:class:`~repro.errors.QuotaExceededError` for ``429`` (per-tenant
+quota or a full job table) and :class:`~repro.errors.CircuitOpenError`
+for ``503`` + ``Retry-After`` (the breaker shedding load), so a polite
+caller can sleep and resubmit; :meth:`ServiceClient.optimize` does
+exactly that when asked.  A ``504`` raises
+:class:`~repro.errors.DeadlineExceededError`.
+
+Polling is deterministic: :meth:`ServiceClient.wait` grows its poll
+interval through :class:`~repro.resilience.RetryPolicy`'s hash-derived
+jitter (seeded, keyed by job id), so two runs of the same workload poll
+on identical schedules — no ``random`` anywhere, per the repo's
+determinism conventions.
 """
 
 from __future__ import annotations
@@ -16,12 +26,28 @@ import time
 from urllib.parse import urlsplit
 
 from repro.api.types import JobStatus, OptimizationRequest, OptimizationResult
-from repro.errors import ApiError, QuotaExceededError, ServiceError
+from repro.errors import (
+    ApiError,
+    CircuitOpenError,
+    DeadlineExceededError,
+    QuotaExceededError,
+    ServiceError,
+)
 from repro.obs.trace import new_trace_id
+from repro.resilience.policy import RetryPolicy
 
 #: The distributed-trace header (mirrors the server-side constant; the
 #: client avoids importing the server module).
 TRACE_HEADER: str = "X-Repro-Trace"
+
+#: Idempotency header (mirrors the server-side constant).
+IDEMPOTENCY_HEADER: str = "Idempotency-Key"
+
+#: Default policy shaping :meth:`ServiceClient.wait` poll intervals:
+#: 50ms growing 1.5x per poll, capped at 1s, with deterministic jitter.
+_POLL_POLICY = RetryPolicy(
+    max_attempts=3, base_delay_s=0.05, backoff=1.5, max_delay_s=1.0
+)
 
 
 class ServiceClient:
@@ -37,7 +63,11 @@ class ServiceClient:
     """
 
     def __init__(
-        self, url: str, timeout_s: float = 120.0, trace_id: str | None = None
+        self,
+        url: str,
+        timeout_s: float = 120.0,
+        trace_id: str | None = None,
+        poll_policy: RetryPolicy | None = None,
     ) -> None:
         split = urlsplit(url)
         if split.scheme != "http" or not split.hostname:
@@ -48,13 +78,20 @@ class ServiceClient:
         self.port = split.port if split.port is not None else 80
         self.timeout_s = timeout_s
         self.trace_id = trace_id
+        self.poll_policy = (
+            poll_policy if poll_policy is not None else _POLL_POLICY
+        )
         #: Trace id the server echoed on the most recent response.
         self.last_trace_id: str | None = None
 
     # -- raw request ------------------------------------------------------
 
     def _request(
-        self, method: str, path: str, body: dict | None = None
+        self,
+        method: str,
+        path: str,
+        body: dict | None = None,
+        extra_headers: dict | None = None,
     ) -> tuple[int, dict, dict]:
         conn = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout_s
@@ -67,6 +104,8 @@ class ServiceClient:
             headers[TRACE_HEADER] = (
                 self.trace_id if self.trace_id is not None else new_trace_id()
             )
+            if extra_headers:
+                headers.update(extra_headers)
             conn.request(method, path, body=payload, headers=headers)
             response = conn.getresponse()
             raw = response.read()
@@ -81,13 +120,21 @@ class ServiceClient:
 
     def _raise_for(self, status: int, headers: dict, document: dict) -> None:
         error = document.get("error", f"HTTP {status}")
+        retry_after = float(
+            document.get("retry_after_s", headers.get("Retry-After", 1))
+        )
         if status == 429:
-            retry_after = float(
-                document.get("retry_after_s", headers.get("Retry-After", 1))
-            )
             raise QuotaExceededError(error, retry_after_s=retry_after)
         if status == 400:
             raise ApiError(error)
+        if status == 503 and (
+            "retry_after_s" in document or "Retry-After" in headers
+        ):
+            # The breaker shedding load, as opposed to a plain shutdown
+            # 503 (which carries no Retry-After and is not retryable).
+            raise CircuitOpenError(error, retry_after_s=retry_after)
+        if status == 504:
+            raise DeadlineExceededError(error)
         raise ServiceError(f"HTTP {status}: {error}")
 
     # -- typed endpoints --------------------------------------------------
@@ -110,11 +157,29 @@ class ServiceClient:
             conn.close()
 
     def submit(
-        self, request: OptimizationRequest, wait: bool = True
+        self,
+        request: OptimizationRequest,
+        wait: bool = True,
+        idempotency_key: str | None = None,
     ) -> JobStatus:
-        """Submit one request; raises on 4xx/5xx instead of returning."""
+        """Submit one request; raises on 4xx/5xx instead of returning.
+
+        ``idempotency_key`` travels as the ``Idempotency-Key`` header:
+        resubmitting with the same key (e.g. retrying after a crash or
+        a lost response) returns the original job instead of admitting
+        a duplicate.  A ``504`` — the job's end-to-end ``deadline_s``
+        budget passed — raises
+        :class:`~repro.errors.DeadlineExceededError`.
+        """
         path = "/v1/optimize" + ("?wait=1" if wait else "")
-        status, headers, document = self._request("POST", path, request.to_dict())
+        extra = (
+            {IDEMPOTENCY_HEADER: idempotency_key}
+            if idempotency_key is not None
+            else None
+        )
+        status, headers, document = self._request(
+            "POST", path, request.to_dict(), extra_headers=extra
+        )
         if status not in (200, 202):
             self._raise_for(status, headers, document)
         return JobStatus.from_dict(document)
@@ -125,38 +190,61 @@ class ServiceClient:
             self._raise_for(status, headers, document)
         return JobStatus.from_dict(document)
 
+    def wait(self, job_id: str, timeout_s: float | None = None) -> JobStatus:
+        """Poll one job until it reaches a terminal state.
+
+        The poll interval grows deterministically — the policy's
+        exponential schedule plus hash-derived jitter keyed by the job
+        id — so repeated runs poll on identical schedules and a
+        thundering herd of waiters (distinct job ids) naturally
+        de-synchronises without any randomness.
+        """
+        budget = timeout_s if timeout_s is not None else self.timeout_s
+        deadline = time.monotonic() + budget
+        poll = 0
+        while True:
+            status = self.job(job_id)
+            if status.state.is_terminal():
+                return status
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {status.state.value} after "
+                    f"{budget:g}s"
+                )
+            poll += 1
+            time.sleep(self.poll_policy.delay_s(poll, token=job_id))
+
     def optimize(
         self,
         request: OptimizationRequest,
         *,
-        poll_s: float = 0.2,
         max_retries: int = 32,
+        idempotency_key: str | None = None,
     ) -> OptimizationResult:
         """Submit and block until the result, honouring backpressure.
 
-        Retries 429s after the advertised ``Retry-After`` (up to
-        ``max_retries`` times) and polls a still-running job until it
-        reaches a terminal state.
+        Retries ``429`` (quota/overload) and breaker ``503`` after the
+        advertised ``Retry-After`` (up to ``max_retries`` times), then
+        polls a still-running job with :meth:`wait`'s deterministic
+        backoff until it reaches a terminal state.
         """
         for attempt in range(max_retries + 1):
             try:
-                status = self.submit(request, wait=True)
+                status = self.submit(
+                    request, wait=True, idempotency_key=idempotency_key
+                )
                 break
-            except QuotaExceededError as exc:
+            except (QuotaExceededError, CircuitOpenError) as exc:
                 if attempt == max_retries:
                     raise
                 time.sleep(exc.retry_after_s)
-        deadline = time.monotonic() + self.timeout_s
-        while not status.state.is_terminal():
-            if time.monotonic() >= deadline:
-                raise ServiceError(
-                    f"job {status.job_id} still {status.state.value} after "
-                    f"{self.timeout_s:g}s"
-                )
-            time.sleep(poll_s)
-            status = self.job(status.job_id)
+        if not status.state.is_terminal():
+            status = self.wait(status.job_id)
         if status.result is None:
-            raise ServiceError(
-                f"job {status.job_id} failed: {status.error or 'unknown error'}"
-            )
+            error = status.error or "unknown error"
+            if error.startswith("deadline exceeded"):
+                raise DeadlineExceededError(
+                    f"job {status.job_id}: {error}"
+                )
+            raise ServiceError(f"job {status.job_id} failed: {error}")
         return status.result

@@ -13,8 +13,16 @@ four routes, JSON in/out, connection-per-request:
 
 Error mapping is the contract the client retries against:
 :class:`~repro.errors.ApiError` -> ``400``,
-:class:`~repro.errors.QuotaExceededError` -> ``429`` + ``Retry-After``,
-unknown job -> ``404``, shutdown -> ``503``, anything else -> ``500``.
+:class:`~repro.errors.QuotaExceededError` -> ``429`` + ``Retry-After``
+(including its :class:`~repro.errors.ServiceOverloadedError` subtype),
+:class:`~repro.errors.CircuitOpenError` -> ``503`` + ``Retry-After``,
+a deadline-failed job -> ``504``, unknown job -> ``404``, shutdown ->
+``503``, anything else -> ``500``.
+
+Two request headers extend the contract (see ``docs/service.md``):
+``Idempotency-Key`` maps a retried POST back to the original job, and
+``X-Repro-Deadline`` carries the end-to-end budget in seconds (the
+body's ``deadline_s`` field wins when both are present).
 
 :class:`SweepService` owns the listener plus a
 :class:`~repro.service.broker.SweepBroker`; :func:`run_service` hosts
@@ -28,19 +36,28 @@ from __future__ import annotations
 import asyncio
 import json
 import re
+import signal
 import threading
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable
 from urllib.parse import parse_qs, urlsplit
 
 from repro.api.types import OptimizationRequest
 from repro.engine.engine import ExperimentEngine
-from repro.errors import ApiError, QuotaExceededError, ServiceError
+from repro.errors import (
+    ApiError,
+    CircuitOpenError,
+    QuotaExceededError,
+    ServiceError,
+)
 from repro.obs import trace as obs
 from repro.obs.metrics import metrics
 from repro.obs.stitch import TraceContext
+from repro.service.breaker import BreakerPolicy
 from repro.service.broker import SweepBroker
+from repro.service.journal import JobJournal
 from repro.service.quotas import QuotaPolicy, TenantQuotas
 from repro.service.warmcache import WarmResultStore
 
@@ -59,6 +76,18 @@ TRACE_HEADER: str = "X-Repro-Trace"
 #: must not be able to inject arbitrary bytes into trace files).
 _TRACE_ID_RE: re.Pattern[str] = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
 
+#: Idempotency header: a retried POST carrying the same key (within a
+#: tenant) is answered with the original job instead of a duplicate.
+IDEMPOTENCY_HEADER: str = "Idempotency-Key"
+
+#: Accepted idempotency-key shape; anything else is ignored (same
+#: hostile-header rule as trace ids — keys land in the job journal).
+_IDEMPOTENCY_KEY_RE: re.Pattern[str] = re.compile(r"^[A-Za-z0-9._:-]{1,128}$")
+
+#: Deadline header: the request's end-to-end budget in seconds.  The
+#: body's ``deadline_s`` field takes precedence when both are present.
+DEADLINE_HEADER: str = "X-Repro-Deadline"
+
 
 @dataclass(frozen=True)
 class ServiceConfig:
@@ -74,6 +103,16 @@ class ServiceConfig:
     #: Default ``?wait=1`` timeout before the server gives up blocking
     #: and returns the still-running status.
     wait_timeout_s: float = 60.0
+    #: Path of the durable job journal; ``None`` disables journaling
+    #: and crash recovery with it.
+    journal_path: str | Path | None = None
+    #: Circuit-breaker policy around the engine ``map`` call.
+    breaker: BreakerPolicy = field(default_factory=BreakerPolicy)
+    #: Hard cap on the broker's job table (admission past it is 429).
+    max_jobs: int = 4096
+    #: SIGTERM drain budget: how long :meth:`SweepService.stop` lets
+    #: in-flight batches finish before cancelling them.
+    drain_timeout_s: float = 10.0
 
 
 class SweepService:
@@ -87,6 +126,13 @@ class SweepService:
             warm=WarmResultStore(max_entries=config.warm_entries),
             batch_window_s=config.batch_window_s,
             max_batch=config.max_batch,
+            max_jobs=config.max_jobs,
+            journal=(
+                JobJournal(config.journal_path)
+                if config.journal_path is not None
+                else None
+            ),
+            breaker_policy=config.breaker,
         )
         self._server: asyncio.base_events.Server | None = None
 
@@ -99,16 +145,21 @@ class SweepService:
 
     async def start(self) -> None:
         await self.broker.start()
+        # Replay the job journal *before* the port opens: recovered
+        # jobs re-enter the batch loop ahead of any new traffic.
+        await self.broker.recover()
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
         )
 
     async def stop(self) -> None:
+        # Graceful drain: stop accepting first, then give in-flight
+        # batches the drain budget before the broker cancels them.
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
-        await self.broker.close()
+        await self.broker.close(drain_s=self.config.drain_timeout_s)
 
     # -- connection handling ----------------------------------------------
 
@@ -148,6 +199,8 @@ class SweepService:
         query = parse_qs(split.query)
         content_length_raw: str | None = None
         trace_header: str | None = None
+        idempotency_key: str | None = None
+        deadline_raw: str | None = None
         while True:
             line = await reader.readline()
             if line in (b"\r\n", b"\n", b""):
@@ -160,6 +213,12 @@ class SweepService:
                 candidate = value.strip()
                 if _TRACE_ID_RE.match(candidate):
                     trace_header = candidate
+            elif name == IDEMPOTENCY_HEADER.lower():
+                candidate = value.strip()
+                if _IDEMPOTENCY_KEY_RE.match(candidate):
+                    idempotency_key = candidate
+            elif name == DEADLINE_HEADER.lower():
+                deadline_raw = value.strip()
         # Every request gets a trace id (the client's, when well
         # formed); the span id is reserved up front so downstream spans
         # can parent to the request before its span is recorded.
@@ -188,7 +247,10 @@ class SweepService:
         metrics().counter(
             "repro_service_http_requests_total", "HTTP requests received"
         ).inc(method=method, path=_route_label(split.path))
-        response = await self._route(method, split.path, query, body, trace)
+        response = await self._route(
+            method, split.path, query, body, trace,
+            idempotency_key=idempotency_key, deadline_raw=deadline_raw,
+        )
         return self._finish(response, method, split.path, trace, ts, started)
 
     def _finish(
@@ -228,6 +290,8 @@ class SweepService:
         query: dict,
         body: bytes,
         trace: TraceContext,
+        idempotency_key: str | None = None,
+        deadline_raw: str | None = None,
     ) -> tuple[int, dict, bytes]:
         if path == "/healthz" and method == "GET":
             return _json_response(200, {"ok": True})
@@ -239,7 +303,10 @@ class SweepService:
                 text.encode("utf-8"),
             )
         if path == "/v1/optimize" and method == "POST":
-            return await self._optimize(query, body, trace)
+            return await self._optimize(
+                query, body, trace,
+                idempotency_key=idempotency_key, deadline_raw=deadline_raw,
+            )
         if path.startswith("/v1/jobs/") and method == "GET":
             return self._job_status(path.removeprefix("/v1/jobs/"))
         return _json_response(
@@ -247,15 +314,35 @@ class SweepService:
         )
 
     async def _optimize(
-        self, query: dict, body: bytes, trace: TraceContext
+        self,
+        query: dict,
+        body: bytes,
+        trace: TraceContext,
+        idempotency_key: str | None = None,
+        deadline_raw: str | None = None,
     ) -> tuple[int, dict, bytes]:
         try:
             document = json.loads(body.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             return _json_response(400, {"error": f"body is not JSON: {exc}"})
+        if deadline_raw is not None:
+            try:
+                deadline_s = float(deadline_raw)
+            except ValueError:
+                return _json_response(
+                    400,
+                    {
+                        "error": f"malformed {DEADLINE_HEADER} header: "
+                        f"{deadline_raw!r} is not a number of seconds"
+                    },
+                )
+            if isinstance(document, dict) and "deadline_s" not in document:
+                document["deadline_s"] = deadline_s
         try:
             request = OptimizationRequest.from_dict(document)
-            job = await self.broker.submit(request, trace=trace)
+            job = await self.broker.submit(
+                request, trace=trace, idempotency_key=idempotency_key
+            )
         except ApiError as exc:
             return _json_response(400, {"error": str(exc)})
         except QuotaExceededError as exc:
@@ -266,6 +353,14 @@ class SweepService:
                     "Retry-After": TenantQuotas.retry_after_header(exc)
                 },
             )
+        except CircuitOpenError as exc:
+            return _json_response(
+                503,
+                {"error": str(exc), "retry_after_s": exc.retry_after_s},
+                extra_headers={
+                    "Retry-After": str(max(1, int(exc.retry_after_s + 0.999)))
+                },
+            )
         except ServiceError as exc:
             return _json_response(503, {"error": str(exc)})
         wait = query.get("wait", ["0"])[-1] not in ("0", "", "false")
@@ -274,6 +369,8 @@ class SweepService:
                 await self.broker.wait(job, timeout=self.config.wait_timeout_s)
             except asyncio.TimeoutError:
                 pass  # return the still-running status; client may poll
+        if job.done.is_set() and job.deadline_hit:
+            return _json_response(504, job.status().to_dict())
         status_code = 200 if job.done.is_set() else 202
         return _json_response(status_code, job.status().to_dict())
 
@@ -310,6 +407,7 @@ _REASONS = {
     429: "Too Many Requests",
     500: "Internal Server Error",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 
@@ -334,6 +432,9 @@ def run_service(
 
     The ``repro serve`` entry point.  ``on_ready`` fires once the port
     is bound (the CLI prints the URL; the CI smoke test parses it).
+    SIGTERM and SIGINT trigger a graceful drain: the listener closes,
+    in-flight batches get ``config.drain_timeout_s`` to finish, and
+    the process exits 0 — the contract ``repro chaos`` asserts.
     """
 
     async def _main() -> None:
@@ -344,11 +445,27 @@ def run_service(
         )
         if on_ready is not None:
             on_ready(service)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        installed: list[signal.Signals] = []
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+                installed.append(sig)
+            except (NotImplementedError, RuntimeError):
+                pass  # platform without loop signal handlers
         try:
-            await asyncio.Event().wait()  # serve until cancelled
+            await stop.wait()  # serve until signalled or cancelled
         except asyncio.CancelledError:
             pass
         finally:
+            for sig in installed:
+                loop.remove_signal_handler(sig)
+            obs.event(
+                "service.draining",
+                drain_timeout_s=config.drain_timeout_s,
+                open_jobs=service.broker.jobs.open_jobs(),
+            )
             await service.stop()
 
     try:

@@ -500,6 +500,28 @@ class TestRPR006ObservabilityNaming:
         """
         assert lint_source(tmp_path, source).clean
 
+    def test_service_robustness_names_registered(self, tmp_path):
+        # The crash-safety PR's new events and metrics (journal,
+        # breaker, deadlines, recovery) are registered names.
+        source = """
+        tracer.event('service.breaker_transition')
+        tracer.event('service.deadline_exceeded')
+        tracer.event('service.draining')
+        tracer.event('service.idempotent_hit')
+        tracer.event('service.job_recovered')
+        tracer.event('service.journal_replayed')
+        m.counter('repro_service_breaker_transitions_total')
+        m.counter('repro_service_deadline_exceeded_total')
+        m.counter('repro_service_idempotent_hits_total')
+        m.counter('repro_service_jobs_recovered_total')
+        m.counter('repro_service_journal_corrupt_records_total')
+        m.counter('repro_service_journal_records_total')
+        m.counter('repro_service_overload_rejections_total')
+        m.gauge('repro_service_breaker_state')
+        m.gauge('repro_service_jobs_inflight')
+        """
+        assert lint_source(tmp_path, source).clean
+
     def test_dynamic_names_skipped(self, tmp_path):
         assert lint_source(tmp_path, "tracer.span(name_variable)\n").clean
 

@@ -1,0 +1,654 @@
+"""Crash-safety, deadlines and overload behaviour of the sweep service.
+
+The acceptance story of the robustness PR:
+
+* the job journal is a real WAL — fsynced admits survive SIGKILL, torn
+  tails and corrupt lines are skipped (never fatal), replay isolates
+  exactly the incomplete jobs and the idempotency map;
+* a killed-mid-batch server, restarted against the same journal,
+  finishes every job it acked before dying (the real subprocess drill);
+* ``Idempotency-Key`` maps retried POSTs to the original job;
+* ``deadline_s`` propagates end to end and an expired job answers 504;
+* the circuit breaker trips on consecutive batch failures, sheds with
+  503 + ``Retry-After``, probes after the cooldown, and closes —
+  while warm hits keep being served;
+* the job table's hard cap turns unbounded open-job growth into 429
+  backpressure;
+* shutdown drains within its budget and fails (never hangs) leftovers.
+"""
+
+import asyncio
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.api import OptimizationRequest
+from repro.engine.engine import ExperimentEngine
+from repro.errors import (
+    ApiError,
+    CircuitOpenError,
+    DeadlineExceededError,
+    QuotaExceededError,
+    ServiceError,
+    ServiceOverloadedError,
+    TransientError,
+)
+from repro.resilience import RetryPolicy
+from repro.service import (
+    BreakerPolicy,
+    CircuitBreaker,
+    JobJournal,
+    QuotaPolicy,
+    ServiceClient,
+    ServiceConfig,
+    ServiceThread,
+    SweepBroker,
+)
+from repro.service.chaos import ChaosReport, _run_corruption_phase
+from repro.service.jobs import Job, JobStore, new_job_id
+
+N_REFS = 3_000
+WARMUP = 500
+
+
+def tiny_request(tenant="anonymous", workload="compress", **kwargs):
+    kwargs.setdefault("n_refs", N_REFS)
+    kwargs.setdefault("warmup_refs", WARMUP)
+    return OptimizationRequest("dcache", workload, tenant=tenant, **kwargs)
+
+
+def run_coro(coro):
+    return asyncio.run(coro)
+
+
+# ---------------------------------------------------------------------------
+# job journal: WAL semantics
+# ---------------------------------------------------------------------------
+
+
+class TestJobJournal:
+    def test_admit_then_done_is_complete(self, tmp_path):
+        journal = JobJournal(tmp_path / "j.jsonl")
+        request = tiny_request()
+        journal.record_admit("job-1", "t", "key-1", request)
+        journal.record_running("job-1")
+        journal.record_done("job-1", source="computed")
+        replay = journal.replay()
+        assert replay.incomplete == ()
+        assert replay.n_complete == 1
+        assert replay.n_corrupt == 0
+
+    def test_admit_without_terminal_is_incomplete(self, tmp_path):
+        journal = JobJournal(tmp_path / "j.jsonl")
+        request = tiny_request(workload="li")
+        journal.record_admit("job-1", "t", "key-1", request)
+        journal.record_admit("job-2", "t", "key-2", tiny_request())
+        journal.record_failed("job-2", "boom")
+        replay = journal.replay()
+        assert [j.job_id for j in replay.incomplete] == ["job-1"]
+        # The replayed request round-trips verbatim.
+        assert replay.incomplete[0].request == request
+
+    def test_torn_tail_is_skipped_not_fatal(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = JobJournal(path)
+        journal.record_admit("job-1", "t", "key-1", tiny_request())
+        with path.open("a") as fh:
+            fh.write('{"journal": 1, "event": "admit", "job_id":')  # SIGKILL
+        replay = journal.replay()
+        assert [j.job_id for j in replay.incomplete] == ["job-1"]
+        assert replay.n_corrupt == 1
+
+    def test_foreign_schema_records_are_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text(
+            '{"journal": 999, "event": "admit", "job_id": "x"}\n'
+            '{"journal": 1, "event": "bogus", "job_id": "x"}\n'
+        )
+        replay = JobJournal(path).replay()
+        assert replay.incomplete == ()
+        assert replay.n_corrupt == 2
+
+    def test_idempotency_map_round_trips(self, tmp_path):
+        journal = JobJournal(tmp_path / "j.jsonl")
+        journal.record_admit(
+            "job-1", "acme", "key-1", tiny_request(), idempotency_key="k1"
+        )
+        journal.record_admit("job-2", "acme", "key-2", tiny_request())
+        replay = journal.replay()
+        assert replay.idempotency == {"acme:k1": "job-1"}
+
+    def test_duplicate_admits_collapse_to_first(self, tmp_path):
+        journal = JobJournal(tmp_path / "j.jsonl")
+        journal.record_admit("job-1", "a", "key-1", tiny_request())
+        journal.record_admit("job-1", "b", "key-2", tiny_request())
+        replay = journal.replay()
+        assert len(replay.incomplete) == 1
+        assert replay.incomplete[0].tenant == "a"
+
+    def test_missing_file_is_empty_journal(self, tmp_path):
+        replay = JobJournal(tmp_path / "absent.jsonl").replay()
+        assert replay.incomplete == () and replay.n_records == 0
+
+
+# ---------------------------------------------------------------------------
+# circuit breaker: the state machine, driven by a fake clock
+# ---------------------------------------------------------------------------
+
+
+class TestCircuitBreaker:
+    def make(self, threshold=3, reset=5.0):
+        now = [0.0]
+        breaker = CircuitBreaker(
+            BreakerPolicy(failure_threshold=threshold, reset_timeout_s=reset),
+            clock=lambda: now[0],
+        )
+        return breaker, now
+
+    def test_trips_after_consecutive_failures(self):
+        breaker, _ = self.make(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+
+    def test_success_resets_the_failure_streak(self):
+        breaker, _ = self.make(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # streak broken: 1, not 2
+
+    def test_open_breaker_sheds_with_remaining_cooldown(self):
+        breaker, now = self.make(threshold=1, reset=5.0)
+        breaker.record_failure()
+        now[0] = 2.0
+        with pytest.raises(CircuitOpenError) as excinfo:
+            breaker.admit()
+        assert excinfo.value.retry_after_s == pytest.approx(3.0)
+
+    def test_cooldown_admits_a_probe_as_half_open(self):
+        breaker, now = self.make(threshold=1, reset=5.0)
+        breaker.record_failure()
+        now[0] = 5.0
+        breaker.admit()  # does not raise: the probe flows through
+        assert breaker.state == "half_open"
+
+    def test_successful_probe_closes(self):
+        breaker, now = self.make(threshold=1, reset=1.0)
+        breaker.record_failure()
+        now[0] = 1.0
+        breaker.admit()
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_failed_probe_reopens_and_restarts_cooldown(self):
+        breaker, now = self.make(threshold=3, reset=5.0)
+        for _ in range(3):
+            breaker.record_failure()
+        now[0] = 5.0
+        breaker.admit()
+        breaker.record_failure()  # a single half-open failure re-trips
+        assert breaker.state == "open"
+        with pytest.raises(CircuitOpenError):
+            breaker.admit()  # cooldown restarted at t=5
+
+    def test_policy_validation(self):
+        with pytest.raises(ServiceError):
+            BreakerPolicy(failure_threshold=0)
+        with pytest.raises(ServiceError):
+            BreakerPolicy(reset_timeout_s=0.0)
+
+
+# ---------------------------------------------------------------------------
+# job table hard cap: overload is 429 backpressure, not growth
+# ---------------------------------------------------------------------------
+
+
+class TestJobTableCap:
+    def open_job(self):
+        return Job(
+            job_id=new_job_id(),
+            tenant="t",
+            request=tiny_request(),
+            cell_key="k",
+        )
+
+    def test_open_jobs_hit_the_hard_cap(self):
+        store = JobStore(retain=1, max_jobs=3)
+        for _ in range(3):
+            store.add(self.open_job())
+        with pytest.raises(ServiceOverloadedError) as excinfo:
+            store.reserve()
+        assert excinfo.value.retry_after_s > 0
+        # ServiceOverloadedError IS QuotaExceededError, so the HTTP
+        # layer's existing 429 + Retry-After branch handles it.
+        assert isinstance(excinfo.value, QuotaExceededError)
+
+    def test_terminal_jobs_are_evicted_to_make_room(self):
+        store = JobStore(retain=1, max_jobs=2)
+        done = self.open_job()
+        store.add(done)
+        done.complete({}, source="warm")
+        store.note_closed(done)
+        store.add(self.open_job())
+        store.reserve()  # trims the terminal job instead of raising
+        assert len(store) < store.max_jobs
+
+    def test_open_job_accounting(self):
+        store = JobStore(retain=2, max_jobs=4)
+        job = self.open_job()
+        store.add(job)
+        assert store.open_jobs() == 1
+        job.fail("x")
+        store.note_closed(job)
+        assert store.open_jobs() == 0
+
+    def test_broker_rejects_when_table_is_full(self):
+        async def drill():
+            broker = SweepBroker(
+                engine=ExperimentEngine(),
+                quota_policy=QuotaPolicy(burst=64, max_inflight=64),
+                batch_window_s=30.0,  # jobs stay queued for the test
+                jobs_retain=1,
+                max_jobs=1,
+            )
+            await broker.start()
+            try:
+                await broker.submit(tiny_request())
+                with pytest.raises(ServiceOverloadedError):
+                    await broker.submit(tiny_request(workload="li"))
+            finally:
+                await broker.close(drain_s=0.1)
+
+        run_coro(drill())
+
+
+# ---------------------------------------------------------------------------
+# deadlines: validation, propagation, 504
+# ---------------------------------------------------------------------------
+
+
+class TestDeadlines:
+    def test_deadline_must_be_positive(self):
+        with pytest.raises(ApiError):
+            tiny_request(deadline_s=0)
+        with pytest.raises(ApiError):
+            tiny_request(deadline_s=-1.5)
+
+    def test_deadline_is_normalised_to_float(self):
+        request = tiny_request(deadline_s=5)
+        assert request.deadline_s == 5.0
+        assert isinstance(request.deadline_s, float)
+
+    def test_deadline_not_part_of_cell_identity(self):
+        with_deadline = tiny_request(deadline_s=5.0)
+        without = tiny_request()
+        assert with_deadline.cache_identity() == without.cache_identity()
+
+    def test_expired_job_answers_504(self):
+        # A deadline far smaller than the batch window expires while
+        # queued; the fail-fast path must answer 504 without spending
+        # any engine time on it.
+        engine = ExperimentEngine()
+        config = ServiceConfig(batch_window_s=0.3)
+        with ServiceThread(engine, config) as thread:
+            client = ServiceClient(thread.url)
+            with pytest.raises(DeadlineExceededError):
+                client.submit(tiny_request(deadline_s=0.01), wait=True)
+        assert engine.stats.cache_misses == 0
+
+    def test_deadline_header_sets_the_budget(self):
+        config = ServiceConfig(batch_window_s=0.3)
+        with ServiceThread(ExperimentEngine(), config) as thread:
+            client = ServiceClient(thread.url)
+            status, _, _ = client._request(
+                "POST",
+                "/v1/optimize?wait=1",
+                tiny_request().to_dict(),
+                extra_headers={"X-Repro-Deadline": "0.01"},
+            )
+            assert status == 504
+
+    def test_malformed_deadline_header_is_400(self):
+        with ServiceThread(ExperimentEngine(), ServiceConfig()) as thread:
+            client = ServiceClient(thread.url)
+            status, _, document = client._request(
+                "POST",
+                "/v1/optimize",
+                tiny_request().to_dict(),
+                extra_headers={"X-Repro-Deadline": "soonish"},
+            )
+            assert status == 400
+            assert "X-Repro-Deadline" in document["error"]
+
+    def test_generous_deadline_completes_normally(self):
+        with ServiceThread(ExperimentEngine(), ServiceConfig()) as thread:
+            client = ServiceClient(thread.url)
+            status = client.submit(tiny_request(deadline_s=60.0), wait=True)
+            assert status.state.value == "done"
+
+
+# ---------------------------------------------------------------------------
+# idempotency keys
+# ---------------------------------------------------------------------------
+
+
+class TestIdempotency:
+    def test_same_key_returns_the_original_job(self):
+        with ServiceThread(ExperimentEngine(), ServiceConfig()) as thread:
+            client = ServiceClient(thread.url)
+            first = client.submit(
+                tiny_request(), wait=True, idempotency_key="retry-1"
+            )
+            second = client.submit(
+                tiny_request(), wait=False, idempotency_key="retry-1"
+            )
+            assert second.job_id == first.job_id
+
+    def test_keys_are_tenant_scoped(self):
+        with ServiceThread(ExperimentEngine(), ServiceConfig()) as thread:
+            client = ServiceClient(thread.url)
+            a = client.submit(
+                tiny_request(tenant="a"), wait=True, idempotency_key="k"
+            )
+            b = client.submit(
+                tiny_request(tenant="b"), wait=True, idempotency_key="k"
+            )
+            assert a.job_id != b.job_id
+
+    def test_without_key_every_post_is_a_new_job(self):
+        with ServiceThread(ExperimentEngine(), ServiceConfig()) as thread:
+            client = ServiceClient(thread.url)
+            first = client.submit(tiny_request(), wait=True)
+            second = client.submit(tiny_request(), wait=True)
+            assert first.job_id != second.job_id  # warm-served, still new
+
+
+# ---------------------------------------------------------------------------
+# circuit breaker over HTTP: shed, probe, recover; warm hits still served
+# ---------------------------------------------------------------------------
+
+
+class _FailingNTimesEngine:
+    """Duck-typed engine: the first ``n`` map calls raise, then delegate."""
+
+    def __init__(self, n):
+        self._inner = ExperimentEngine()
+        self.failures_left = n
+
+    @property
+    def stats(self):
+        return self._inner.stats
+
+    def map(self, cells, deadline_s=None):
+        if self.failures_left > 0:
+            self.failures_left -= 1
+            raise TransientError("injected batch failure")
+        return self._inner.map(cells, deadline_s=deadline_s)
+
+
+class TestBreakerOverHttp:
+    def test_open_breaker_sheds_and_recovers(self):
+        config = ServiceConfig(
+            batch_window_s=0.0,
+            breaker=BreakerPolicy(failure_threshold=2, reset_timeout_s=0.3),
+        )
+        engine = _FailingNTimesEngine(2)
+        with ServiceThread(engine, config) as thread:
+            broker = thread.service.broker
+            client = ServiceClient(thread.url)
+            for i, workload in enumerate(("compress", "li")):
+                status = client.submit(tiny_request(workload=workload), wait=True)
+                assert status.state.value == "failed"
+            assert broker.breaker.state == "open"
+            with pytest.raises(CircuitOpenError) as excinfo:
+                client.submit(tiny_request(workload="ijpeg"), wait=False)
+            assert excinfo.value.retry_after_s > 0
+            time.sleep(0.35)
+            status = client.submit(tiny_request(workload="ijpeg"), wait=True)
+            assert status.state.value == "done"
+            assert broker.breaker.state == "closed"
+
+    def test_warm_hits_are_served_while_open(self):
+        config = ServiceConfig(
+            batch_window_s=0.0,
+            breaker=BreakerPolicy(failure_threshold=1, reset_timeout_s=60.0),
+        )
+        engine = _FailingNTimesEngine(0)
+        with ServiceThread(engine, config) as thread:
+            client = ServiceClient(thread.url)
+            client.submit(tiny_request(), wait=True)  # warms the store
+            thread.service.broker.breaker.record_failure()  # trip it
+            assert thread.service.broker.breaker.state == "open"
+            warm = client.submit(tiny_request(tenant="other"), wait=True)
+            assert warm.source == "warm"
+            with pytest.raises(CircuitOpenError):
+                client.submit(tiny_request(workload="li"), wait=False)
+
+
+# ---------------------------------------------------------------------------
+# recovery: journal replay resurrects acked work
+# ---------------------------------------------------------------------------
+
+
+class TestRecovery:
+    def test_journaled_jobs_recover_in_a_fresh_service(self, tmp_path):
+        # Simulate "server died after acking": write admits straight to
+        # the journal, then boot a service pointed at it.  The jobs
+        # must complete under their original ids without resubmission.
+        journal_path = tmp_path / "jobs.jsonl"
+        journal = JobJournal(journal_path)
+        requests = [
+            tiny_request(tenant="acme"),
+            tiny_request(tenant="acme", workload="li"),
+        ]
+        for i, request in enumerate(requests):
+            journal.record_admit(
+                f"job-pre-{i}", "acme", f"key-{i}", request,
+                idempotency_key=f"idem-{i}",
+            )
+        config = ServiceConfig(journal_path=journal_path)
+        with ServiceThread(ExperimentEngine(), config) as thread:
+            client = ServiceClient(thread.url)
+            for i in range(len(requests)):
+                status = client.wait(f"job-pre-{i}", timeout_s=60.0)
+                assert status.state.value == "done"
+            # And the idempotency map survived the replay too.
+            echo = client.submit(
+                requests[0], wait=False, idempotency_key="idem-0"
+            )
+            assert echo.job_id == "job-pre-0"
+        replay = JobJournal(journal_path).replay()
+        assert replay.incomplete == ()  # terminal records were journaled
+
+    def test_recovery_is_idempotent_against_the_warm_store(self, tmp_path):
+        # Recovery re-enters the warm/single-flight ladder: a journal
+        # with two incomplete admits of the SAME cell costs at most one
+        # evaluation after restart.
+        journal_path = tmp_path / "jobs.jsonl"
+        journal = JobJournal(journal_path)
+        journal.record_admit("job-a", "t", "k", tiny_request())
+        journal.record_admit("job-b", "t", "k", tiny_request())
+        engine = ExperimentEngine()
+        config = ServiceConfig(journal_path=journal_path)
+        with ServiceThread(engine, config) as thread:
+            client = ServiceClient(thread.url)
+            assert client.wait("job-a", timeout_s=60.0).state.value == "done"
+            assert client.wait("job-b", timeout_s=60.0).state.value == "done"
+        assert engine.stats.cache_misses == 1  # single-flight merged them
+
+    def test_sigkilled_service_recovers_every_acked_job(self, tmp_path):
+        # The real thing, mirroring the engine-layer SIGKILL test: a
+        # real `repro serve` process is SIGKILLed inside the batch
+        # window (no cleanup of any kind runs), restarted against the
+        # same journal, and every job it acked reaches a terminal state.
+        journal = tmp_path / "jobs.jsonl"
+        cache_dir = tmp_path / "cache"
+        env = dict(os.environ)
+        src = str(Path(repro.__file__).resolve().parents[1])
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        env["PYTHONUNBUFFERED"] = "1"
+        argv = [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0", "--jobs", "1",
+            "--cache-dir", str(cache_dir),
+            "--job-journal", str(journal),
+            "--batch-window", "1.0",
+            "--quota-burst", "64", "--quota-rate", "1000",
+        ]
+
+        def wait_ready(proc):
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                line = proc.stdout.readline()
+                if "serving on " in line:
+                    return line.split("serving on ", 1)[1].strip()
+                if proc.poll() is not None:
+                    pytest.fail(f"server exited early: {proc.returncode}")
+            pytest.fail("server never became ready")
+
+        proc = subprocess.Popen(
+            argv, env=env, stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT, text=True,
+        )
+        try:
+            url = wait_ready(proc)
+            client = ServiceClient(url, timeout_s=30.0)
+            acked = [
+                client.submit(
+                    tiny_request(workload=w), wait=False,
+                    idempotency_key=f"crash-{w}",
+                ).job_id
+                for w in ("compress", "li")
+            ]
+            proc.send_signal(signal.SIGKILL)  # inside the batch window
+        finally:
+            proc.kill()
+            proc.wait(timeout=10)
+
+        replay = JobJournal(journal).replay()
+        assert {j.job_id for j in replay.incomplete} == set(acked)
+
+        proc = subprocess.Popen(
+            argv, env=env, stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT, text=True,
+        )
+        try:
+            url = wait_ready(proc)
+            client = ServiceClient(url, timeout_s=60.0)
+            for job_id in acked:
+                status = client.wait(job_id, timeout_s=60.0)
+                assert status.state.is_terminal()
+                assert status.state.value == "done"
+        finally:
+            proc.terminate()
+            try:
+                assert proc.wait(timeout=30) == 0  # graceful drain
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                pytest.fail("server did not drain after SIGTERM")
+
+
+# ---------------------------------------------------------------------------
+# shutdown drain
+# ---------------------------------------------------------------------------
+
+
+class TestDrain:
+    def test_drain_budget_fails_stuck_jobs_instead_of_hanging(self):
+        class _StuckEngine:
+            # Slower than the drain budget: the drain must cut it
+            # loose, not wait it out.
+            stats = ExperimentEngine().stats
+
+            def map(self, cells, deadline_s=None):
+                time.sleep(5.0)
+                return ExperimentEngine().map(cells)
+
+        async def drill():
+            broker = SweepBroker(
+                engine=_StuckEngine(),  # type: ignore[arg-type]
+                batch_window_s=0.0,
+            )
+            await broker.start()
+            job = await broker.submit(tiny_request())
+            start = time.monotonic()
+            await broker.close(drain_s=0.2)
+            assert time.monotonic() - start < 5.0
+            assert job.done.is_set()
+            assert "shut down" in (job.error or "")
+
+        run_coro(drill())
+
+    def test_submit_after_close_is_rejected(self):
+        async def drill():
+            broker = SweepBroker(engine=ExperimentEngine())
+            await broker.start()
+            await broker.close()
+            with pytest.raises(ServiceError):
+                await broker.submit(tiny_request())
+
+        run_coro(drill())
+
+
+# ---------------------------------------------------------------------------
+# client backoff: deterministic, Retry-After-honouring
+# ---------------------------------------------------------------------------
+
+
+class TestClientBackoff:
+    def test_poll_schedule_is_deterministic(self):
+        policy_a = RetryPolicy(base_delay_s=0.05, backoff=1.5, max_delay_s=1.0)
+        policy_b = RetryPolicy(base_delay_s=0.05, backoff=1.5, max_delay_s=1.0)
+        schedule_a = [policy_a.delay_s(n, token="job-x") for n in range(1, 8)]
+        schedule_b = [policy_b.delay_s(n, token="job-x") for n in range(1, 8)]
+        assert schedule_a == schedule_b  # hash jitter, not a PRNG
+
+    def test_distinct_jobs_desynchronise(self):
+        policy = RetryPolicy(base_delay_s=0.05, backoff=1.5, max_delay_s=1.0)
+        assert policy.delay_s(3, token="job-x") != policy.delay_s(
+            3, token="job-y"
+        )
+
+    def test_wait_polls_until_terminal(self):
+        config = ServiceConfig(batch_window_s=0.05)
+        with ServiceThread(ExperimentEngine(), config) as thread:
+            client = ServiceClient(thread.url)
+            submitted = client.submit(tiny_request(), wait=False)
+            status = client.wait(submitted.job_id, timeout_s=60.0)
+            assert status.state.value == "done"
+
+    def test_wait_times_out_with_a_clear_error(self):
+        config = ServiceConfig(batch_window_s=60.0)
+        with ServiceThread(ExperimentEngine(), config) as thread:
+            client = ServiceClient(thread.url)
+            submitted = client.submit(tiny_request(), wait=False)
+            with pytest.raises(ServiceError, match="still"):
+                client.wait(submitted.job_id, timeout_s=0.3)
+
+
+# ---------------------------------------------------------------------------
+# chaos harness internals (the full drill runs in CI's chaos-smoke job)
+# ---------------------------------------------------------------------------
+
+
+class TestChaosHarness:
+    def test_corruption_phase_invariants_hold(self, tmp_path):
+        report = ChaosReport(seed=7)
+        _run_corruption_phase(report, tmp_path)
+        assert report.violations == []
+        assert report.corrupt_records == 1
+
+    def test_report_fails_on_any_violation(self):
+        report = ChaosReport(seed=0)
+        assert report.passed
+        report.violations.append("x")
+        assert not report.passed
