@@ -1,0 +1,131 @@
+"""The dispatch plane's JSON wire format.
+
+One evaluate call ships a chunk of :class:`~repro.engine.cells.SweepCell`
+records plus everything a worker needs to reproduce the engine's local
+semantics exactly: the chunk/attempt coordinates (which key the fault
+plan and the span attributes), the serialized
+:class:`~repro.resilience.faults.FaultPlan` (so injected faults fire on
+the worker that actually runs the chunk), and the parent's
+:class:`~repro.obs.stitch.TraceContext` (so worker-side spans join the
+caller's distributed trace).
+
+Everything here is plain JSON — cells and payloads already are by the
+engine's contract, and fault plans / trace contexts are frozen
+dataclasses of primitives — so the encode/decode pair round-trips
+byte-identically and a remote evaluation is indistinguishable from a
+local one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.engine.cells import SweepCell
+from repro.errors import ServiceError
+from repro.obs.stitch import TraceContext
+from repro.resilience.faults import FaultEvent, FaultPlan
+
+
+def encode_cells(cells: Sequence[SweepCell]) -> list[dict]:
+    """Cells as JSON documents (spec is JSON-able by contract)."""
+    return [{"kind": cell.kind, "spec": dict(cell.spec)} for cell in cells]
+
+
+def decode_cells(raw: Any) -> list[SweepCell]:
+    """The inverse of :func:`encode_cells`; raises on a malformed doc."""
+    if not isinstance(raw, list):
+        raise ServiceError(f"evaluate body: cells must be a list, got {raw!r}")
+    cells: list[SweepCell] = []
+    for entry in raw:
+        if (
+            not isinstance(entry, dict)
+            or not isinstance(entry.get("kind"), str)
+            or not isinstance(entry.get("spec"), dict)
+        ):
+            raise ServiceError(f"evaluate body: malformed cell {entry!r}")
+        cells.append(SweepCell(kind=entry["kind"], spec=entry["spec"]))
+    return cells
+
+
+def encode_plan(plan: FaultPlan | None) -> list[dict] | None:
+    """A fault plan as a JSON list of events (``None`` passes through)."""
+    if plan is None or not plan.events:
+        return None
+    return [
+        {
+            "kind": event.kind,
+            "chunk": event.chunk,
+            "attempt": event.attempt,
+            "hang_s": event.hang_s,
+        }
+        for event in plan.events
+    ]
+
+
+def decode_plan(raw: Any) -> FaultPlan | None:
+    """The inverse of :func:`encode_plan`."""
+    if raw is None:
+        return None
+    if not isinstance(raw, list):
+        raise ServiceError(f"evaluate body: fault_plan must be a list, got {raw!r}")
+    events = tuple(
+        FaultEvent(
+            kind=entry["kind"],
+            chunk=int(entry["chunk"]),
+            attempt=int(entry["attempt"]),
+            hang_s=float(entry["hang_s"]),
+        )
+        for entry in raw
+    )
+    return FaultPlan(events=events)
+
+
+def encode_trace(trace: TraceContext | None) -> dict | None:
+    """A trace context as JSON (``None`` passes through)."""
+    if trace is None:
+        return None
+    return {"trace_id": trace.trace_id, "parent_id": trace.parent_id}
+
+
+def decode_trace(raw: Any) -> TraceContext | None:
+    """The inverse of :func:`encode_trace`."""
+    if raw is None:
+        return None
+    if not isinstance(raw, dict) or not isinstance(raw.get("trace_id"), str):
+        raise ServiceError(f"evaluate body: malformed trace context {raw!r}")
+    return TraceContext(
+        trace_id=raw["trace_id"], parent_id=raw.get("parent_id")
+    )
+
+
+def evaluate_request(
+    cells: Sequence[SweepCell],
+    chunk: int,
+    attempt: int,
+    plan: FaultPlan | None = None,
+    trace: TraceContext | None = None,
+) -> dict:
+    """The body of one ``POST /v1/evaluate`` call to a worker."""
+    return {
+        "cells": encode_cells(cells),
+        "chunk": chunk,
+        "attempt": attempt,
+        "fault_plan": encode_plan(plan),
+        "trace": encode_trace(trace),
+    }
+
+
+def decode_pairs(raw: Any) -> list[tuple[dict, float]]:
+    """A worker's ``pairs`` response field as (payload, wall_s) tuples."""
+    if not isinstance(raw, list):
+        raise ServiceError(f"evaluate response: pairs must be a list, got {raw!r}")
+    pairs: list[tuple[dict, float]] = []
+    for entry in raw:
+        if (
+            not isinstance(entry, (list, tuple))
+            or len(entry) != 2
+            or not isinstance(entry[0], dict)
+        ):
+            raise ServiceError(f"evaluate response: malformed pair {entry!r}")
+        pairs.append((entry[0], float(entry[1])))
+    return pairs

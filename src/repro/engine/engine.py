@@ -36,7 +36,7 @@ import tempfile
 import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.engine.cache import ResultCache
 from repro.engine.cells import SweepCell
@@ -50,6 +50,9 @@ from repro.resilience.executor import ResilientExecutor
 from repro.resilience.faults import FaultPlan, corrupt_cache_entry
 from repro.resilience.journal import SweepJournal
 from repro.resilience.policy import RetryPolicy
+
+if TYPE_CHECKING:
+    from repro.dispatch.plane import DispatchPlane
 
 #: Chunks submitted per worker: small enough to load-balance uneven
 #: cells, large enough to amortise pickling and per-future overhead.
@@ -114,6 +117,12 @@ class ExperimentEngine:
     resume:
         Serve cells already recorded in ``journal`` instead of
         recomputing them.  Requires ``journal``.
+    dispatcher:
+        A :class:`~repro.dispatch.DispatchPlane` to fan chunks out to
+        remote ``repro worker`` processes.  ``None`` (the default)
+        keeps everything on the local pool; a plane with no healthy
+        workers degrades to the local pool per batch, so attaching one
+        never changes results — only where they are computed.
     """
 
     jobs: int = 1
@@ -125,6 +134,7 @@ class ExperimentEngine:
     fault_plan: FaultPlan | None = None
     journal: str | Path | None = None
     resume: bool = False
+    dispatcher: "DispatchPlane | None" = None
     stats: EngineStats = field(default_factory=EngineStats)
 
     def __post_init__(self) -> None:
@@ -400,18 +410,39 @@ class ExperimentEngine:
         tracer = obs.current_tracer()
         shard_dir: str | None = None
         trace_ctx: TraceContext | None = None
-        if tracer.enabled and self.jobs > 1 and len(chunks) > 1:
+        # Remote dispatch always shards (the workers are other hosts);
+        # the local pool only when it actually fans out.
+        dispatching = self.dispatcher is not None and self.dispatcher.ready()
+        if tracer.enabled and (
+            dispatching or (self.jobs > 1 and len(chunks) > 1)
+        ):
             shard_dir = tempfile.mkdtemp(prefix="repro-trace-shards-")
             trace_ctx = TraceContext(trace_id=tracer.trace_id, parent_id=span.id)
 
-        executor = ResilientExecutor(
-            jobs=self.jobs,
-            policy=policy,
-            fault_plan=self.fault_plan,
-            span=span,
-            trace_ctx=trace_ctx,
-            shard_dir=shard_dir,
-        )
+        # The executor seam: a dispatch plane with healthy workers
+        # supplies a RemoteExecutor; otherwise (including mid-sweep
+        # degradation handled inside the plane) the local resilient
+        # pool runs the batch.  When no dispatcher is attached this is
+        # a single None check — the workers-off hot path is unchanged.
+        executor = None
+        if self.dispatcher is not None:
+            executor = self.dispatcher.executor(
+                jobs=self.jobs,
+                policy=policy,
+                fault_plan=self.fault_plan,
+                span=span,
+                trace_ctx=trace_ctx,
+                shard_dir=shard_dir,
+            )
+        if executor is None:
+            executor = ResilientExecutor(
+                jobs=self.jobs,
+                policy=policy,
+                fault_plan=self.fault_plan,
+                span=span,
+                trace_ctx=trace_ctx,
+                shard_dir=shard_dir,
+            )
         try:
             executor.run(chunks, on_chunk_done=on_chunk_done)
         finally:

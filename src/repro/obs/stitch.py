@@ -22,14 +22,18 @@ validity plus every-trace-has-a-root, run over a fully stitched file.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import uuid
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.errors import ObservabilityError
+from repro.obs.metrics import metrics
 from repro.obs.schema import validate_trace
 from repro.obs.trace import Tracer
+
+_LOG = logging.getLogger("repro.obs.stitch")
 
 SHARD_SUFFIX = ".spans.jsonl"
 
@@ -78,17 +82,31 @@ class StitchResult:
 
 
 def read_shard(path: str | Path) -> list[dict]:
-    """Read one shard tolerantly: a crashed worker may truncate the tail."""
+    """Read one shard tolerantly: a crashed worker may truncate the tail.
+
+    Torn lines — a worker SIGKILLed mid-write leaves a truncated final
+    JSONL record — are skipped with a warning and counted on
+    ``repro_obs_shard_torn_lines_total``, mirroring the job journal's
+    torn-line policy: corruption is survivable but never silent.
+    """
     records: list[dict] = []
     with open(path, encoding="utf-8") as fh:
-        for line in fh:
+        for lineno, line in enumerate(fh, start=1):
             line = line.strip()
             if not line:
                 continue
             try:
                 record = json.loads(line)
             except json.JSONDecodeError:
-                continue  # torn final write from a killed worker
+                metrics().counter(
+                    "repro_obs_shard_torn_lines_total",
+                    "torn span-shard lines skipped while stitching",
+                ).inc()
+                _LOG.warning(
+                    "span shard %s line %d is torn (killed worker?); skipping",
+                    path, lineno,
+                )
+                continue
             if isinstance(record, dict):
                 records.append(record)
     return records
