@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-engine obs-check resilience-check robust-check service-smoke loadtest-smoke chaos-smoke distributed-smoke lint typecheck ruff check figures examples clean
+.PHONY: install test bench bench-engine bench-lint obs-check resilience-check robust-check service-smoke loadtest-smoke chaos-smoke distributed-smoke lint lint-graph typecheck ruff check figures examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -70,6 +70,17 @@ distributed-smoke:
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro lint src
 
+# Dump the analyzer's resolved cross-module call graph as JSON (the
+# input RPR009-RPR012 reason over) — pipe through jq to explore.
+lint-graph:
+	PYTHONPATH=src $(PYTHON) -m repro lint src --graph
+
+# Warm-cache analyzer budget: a cache-hit whole-tree lint must beat the
+# cold run >= 3x and stay under its wall budget; appends analyzer
+# wall-times to BENCH_lint.json.
+bench-lint:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_bench_lint.py --benchmark-only -s
+
 # mypy/ruff are optional dev tools (pip install -e '.[dev]'); skip
 # gracefully when they are not on PATH so `make check` works in a
 # minimal container.
@@ -97,4 +108,4 @@ examples:
 	@for f in examples/*.py; do echo "== $$f =="; $(PYTHON) $$f; done
 
 clean:
-	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache figures
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .repro-lint-cache figures

@@ -21,34 +21,50 @@ Layout:
     ``[tool.repro.lint]`` pyproject configuration (rule selection and
     per-path allowlists).
 ``runner``
-    File walking, per-file rule execution, human/JSON rendering and
-    the ``repro lint`` entry point with stable exit codes
-    (:data:`EXIT_CLEAN` / :data:`EXIT_FINDINGS` / :data:`EXIT_ERROR`).
+    File walking, the per-file and whole-project passes, the on-disk
+    analysis cache, human/JSON/SARIF rendering and the ``repro lint``
+    entry point with stable exit codes (:data:`EXIT_CLEAN` /
+    :data:`EXIT_FINDINGS` / :data:`EXIT_ERROR`).
+``project``
+    Multi-file parsing into cacheable :class:`ModuleSummary` objects —
+    imports, classes with attribute types, functions with call sites.
+``callgraph``
+    Best-effort intra-package call resolution (re-exports, ``self``
+    attribution, typed locals) and async reachability.
+``cache``
+    Content-hash-keyed on-disk cache for summaries and findings.
+``sarif``
+    SARIF 2.1.0 rendering for CI annotation.
 ``rules``
-    The domain rules, RPR001..RPR008 (see ``docs/static-analysis.md``
+    The domain rules, RPR001..RPR012 (see ``docs/static-analysis.md``
     for the catalog).
 """
 
 from __future__ import annotations
 
 from repro.analysis.config import LintConfig, load_config
-from repro.analysis.core import FileContext, Finding, Rule
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.core import FileContext, Finding, ProjectRule, Rule
+from repro.analysis.project import ModuleSummary, ProjectContext, summarize
 from repro.analysis.registry import all_rules, get_rule, register, rule_ids
 from repro.analysis.runner import (
     EXIT_CLEAN,
     EXIT_ERROR,
     EXIT_FINDINGS,
     LintResult,
+    build_graph_json,
     lint_paths,
     main,
     render_human,
     render_json,
 )
+from repro.analysis.sarif import render_sarif
 
 # Importing the rules package registers every built-in rule.
 from repro.analysis import rules as _rules  # noqa: F401  (import side effect)
 
 __all__ = [
+    "CallGraph",
     "EXIT_CLEAN",
     "EXIT_ERROR",
     "EXIT_FINDINGS",
@@ -56,8 +72,12 @@ __all__ = [
     "Finding",
     "LintConfig",
     "LintResult",
+    "ModuleSummary",
+    "ProjectContext",
+    "ProjectRule",
     "Rule",
     "all_rules",
+    "build_graph_json",
     "get_rule",
     "lint_paths",
     "load_config",
@@ -65,5 +85,7 @@ __all__ = [
     "register",
     "render_human",
     "render_json",
+    "render_sarif",
     "rule_ids",
+    "summarize",
 ]

@@ -1,0 +1,126 @@
+"""On-disk analysis cache keyed by file content hashes.
+
+The project pass parses and summarises every file; the cache makes the
+warm path (nothing changed) skip all of it.  Three entry families
+share one directory:
+
+* per-file findings of the single-file rules,
+* per-file :class:`~repro.analysis.project.ModuleSummary` objects,
+* the whole-project findings, keyed by the aggregate of every file's
+  content hash — any edit anywhere invalidates just this one entry
+  (summaries of untouched files stay warm).
+
+Every key mixes in :data:`~repro.analysis.project.ANALYSIS_VERSION`,
+the active rule ids and the config fingerprint, so a new rule, a
+``--select`` or a pyproject edit can never serve stale results.
+Entries are JSON files written atomically (tmp + ``os.replace``); a
+corrupt or unreadable entry is treated as a miss and rewritten — the
+cache can always be deleted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.analysis.config import LintConfig
+from repro.analysis.project import ANALYSIS_VERSION
+
+#: Directory name created under the config root.
+CACHE_DIR_NAME = ".repro-lint-cache"
+
+
+def content_hash(data: bytes) -> str:
+    """SHA-256 hex digest of one file's raw bytes."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def config_fingerprint(config: LintConfig) -> str:
+    """Stable digest of everything in the config that affects results."""
+    payload = {
+        "select": sorted(config.select),
+        "per_path_ignores": [
+            [pattern, sorted(ids)] for pattern, ids in config.per_path_ignores
+        ],
+    }
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+
+
+def _digest(*parts: str) -> str:
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(part.encode("utf-8"))
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+def file_key(
+    display_path: str, file_hash: str, rule_ids: Iterable[str], config_fp: str
+) -> str:
+    """Cache key for one file's single-file-rule findings."""
+    return _digest(
+        "file", str(ANALYSIS_VERSION), display_path, file_hash,
+        ",".join(sorted(rule_ids)), config_fp,
+    )
+
+
+def summary_key(display_path: str, file_hash: str) -> str:
+    """Cache key for one file's module summary."""
+    return _digest("summary", str(ANALYSIS_VERSION), display_path, file_hash)
+
+
+def project_key(
+    file_hashes: Mapping[str, str], rule_ids: Iterable[str], config_fp: str
+) -> str:
+    """Cache key for the whole-project findings.
+
+    ``file_hashes`` maps display path -> content hash for *every*
+    linted file; one changed byte anywhere changes this key.
+    """
+    files = ";".join(f"{path}:{digest}" for path, digest in sorted(file_hashes.items()))
+    return _digest(
+        "project", str(ANALYSIS_VERSION), files,
+        ",".join(sorted(rule_ids)), config_fp,
+    )
+
+
+class AnalysisCache:
+    """A directory of JSON entries with hit/miss accounting."""
+
+    def __init__(self, directory: Path) -> None:
+        self.directory = Path(directory)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> Any | None:
+        """The cached payload, or ``None`` on miss/corruption."""
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: Any) -> None:
+        """Atomically persist one entry; IO failures are non-fatal."""
+        path = self._path(key)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(f".tmp-{os.getpid()}")
+            tmp.write_text(
+                json.dumps(payload, sort_keys=True), encoding="utf-8"
+            )
+            os.replace(tmp, path)
+        except OSError:
+            # A read-only checkout must still lint; it just stays cold.
+            pass

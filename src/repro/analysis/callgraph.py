@@ -1,0 +1,389 @@
+"""Best-effort intra-package call graph over module summaries.
+
+Resolution follows what a reader (or a type checker on a good day) can
+see statically:
+
+* bare names through the lexical scope chain — nested defs, module
+  functions and classes, then the import map,
+* imports through re-export chains (``from x import y as z`` in one
+  module, ``from that import z`` in another) with a cycle guard,
+* method calls through *class attribution*: ``self.journal.record_admit``
+  types ``journal`` from the class's attribute map (annotations,
+  dataclass fields, ``self.journal = JobJournal(...)``), then resolves
+  ``record_admit`` through the class and its project bases,
+* locals and parameters through their annotations or
+  ``x = ClassName(...)`` assignments.
+
+Anything else resolves to ``None`` (unknown) or to an *external* dotted
+name such as ``time.sleep`` — externals are exactly what the blocking
+registry of RPR009 matches against.  Unknowns are skipped: the graph
+under-approximates, so project rules report only what they can prove a
+path for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.analysis.project import (
+    CallSite,
+    ClassInfo,
+    FunctionInfo,
+    ModuleSummary,
+    ProjectContext,
+)
+
+#: Resolution outcome kinds.
+KIND_FUNCTION = "function"  # a project function/method (graph node)
+KIND_CLASS = "class"  # a project class (constructor with no __init__)
+KIND_MODULE = "module"  # a project module object
+KIND_EXTERNAL = "external"  # dotted name outside the linted tree
+
+_MAX_CHASE = 32
+
+
+@dataclass(frozen=True)
+class ResolvedCall:
+    """One call site plus where it leads."""
+
+    site: CallSite
+    #: ``KIND_*`` or ``None`` when the callee could not be resolved.
+    kind: str | None
+    #: Canonical fq target (``repro.service.journal.JobJournal._append``
+    #: or an external like ``os.fsync``); ``None`` when unresolved.
+    target: str | None
+
+
+class CallGraph:
+    """Resolved call graph over a :class:`ProjectContext`."""
+
+    def __init__(self, project: ProjectContext) -> None:
+        self.project = project
+        #: fq function name -> (owning module summary, function info)
+        self.functions: dict[str, tuple[ModuleSummary, FunctionInfo]] = {}
+        #: fq class name -> (owning module summary, class info)
+        self.classes: dict[str, tuple[ModuleSummary, ClassInfo]] = {}
+        self._resolved: dict[str, tuple[ResolvedCall, ...]] = {}
+
+    @classmethod
+    def build(cls, project: ProjectContext) -> "CallGraph":
+        graph = cls(project)
+        for summary in project.modules.values():
+            for fn in summary.functions:
+                graph.functions[f"{summary.module}.{fn.name}"] = (summary, fn)
+            for info in summary.classes.values():
+                graph.classes[f"{summary.module}.{info.name}"] = (summary, info)
+        return graph
+
+    # -- symbol resolution --------------------------------------------------
+
+    def _module_prefix(self, fq: str) -> str | None:
+        """The longest linted-module prefix of ``fq``."""
+        parts = fq.split(".")
+        for end in range(len(parts), 0, -1):
+            candidate = ".".join(parts[:end])
+            if candidate in self.project.modules:
+                return candidate
+        return None
+
+    def resolve_symbol(self, fq: str) -> tuple[str, str]:
+        """Canonicalise a fully dotted name, chasing re-exports.
+
+        Returns ``(kind, canonical_fq)`` with kind one of the
+        ``KIND_*`` constants; names with no linted-module prefix are
+        ``KIND_EXTERNAL`` verbatim.
+        """
+        seen: set[str] = set()
+        for _ in range(_MAX_CHASE):
+            if fq in seen:
+                return (KIND_EXTERNAL, fq)
+            seen.add(fq)
+            mod = self._module_prefix(fq)
+            if mod is None:
+                return (KIND_EXTERNAL, fq)
+            if fq == mod:
+                return (KIND_MODULE, fq)
+            summary = self.project.modules[mod]
+            rest = fq[len(mod) + 1 :].split(".")
+            sym = rest[0]
+            if sym in summary.classes:
+                cls_fq = f"{mod}.{sym}"
+                if len(rest) == 1:
+                    return (KIND_CLASS, cls_fq)
+                if len(rest) == 2:
+                    method = self.resolve_method(cls_fq, rest[1])
+                    if method is not None:
+                        return (KIND_FUNCTION, method)
+                return (KIND_EXTERNAL, fq)
+            if summary.function(sym) is not None:
+                if len(rest) == 1:
+                    return (KIND_FUNCTION, f"{mod}.{sym}")
+                return (KIND_EXTERNAL, fq)
+            if sym in summary.imports:
+                tail = "." + ".".join(rest[1:]) if len(rest) > 1 else ""
+                fq = summary.imports[sym] + tail
+                continue
+            if sym in summary.module_types and len(rest) == 2:
+                # Module-level instance: `tracer = Tracer()` elsewhere,
+                # then `tracer.record_span(...)` through an import.
+                cls_fq = self.resolve_type(summary, summary.module_types[sym])
+                if cls_fq is not None:
+                    method = self.resolve_method(cls_fq, rest[1])
+                    if method is not None:
+                        return (KIND_FUNCTION, method)
+            return (KIND_EXTERNAL, fq)
+        return (KIND_EXTERNAL, fq)
+
+    def resolve_type(
+        self, summary: ModuleSummary, raw: str, _depth: int = 0
+    ) -> str | None:
+        """Resolve raw type text to a *project* class fq, else ``None``."""
+        if _depth > _MAX_CHASE:
+            return None
+        parts = raw.split(".")
+        head = parts[0]
+        if head in summary.classes and len(parts) == 1:
+            return f"{summary.module}.{head}"
+        if head in summary.imports:
+            tail = "." + ".".join(parts[1:]) if len(parts) > 1 else ""
+            kind, fq = self.resolve_symbol(summary.imports[head] + tail)
+            return fq if kind == KIND_CLASS else None
+        return None
+
+    def external_type(self, summary: ModuleSummary, raw: str) -> str:
+        """The fq text of a type that is not a project class.
+
+        ``threading.Lock`` with ``import threading`` stays
+        ``threading.Lock``; ``Lock`` with ``from threading import
+        Lock`` becomes ``threading.Lock``.
+        """
+        parts = raw.split(".")
+        head = parts[0]
+        if head in summary.imports:
+            tail = "." + ".".join(parts[1:]) if len(parts) > 1 else ""
+            return summary.imports[head] + tail
+        return raw
+
+    def resolve_method(
+        self, cls_fq: str, name: str, _depth: int = 0
+    ) -> str | None:
+        """Find ``name`` on the class or its project bases (best-effort MRO)."""
+        if _depth > _MAX_CHASE or cls_fq not in self.classes:
+            return None
+        summary, info = self.classes[cls_fq]
+        if name in info.methods:
+            return f"{cls_fq}.{name}"
+        for base_raw in info.bases:
+            base_fq = self.resolve_type(summary, base_raw, _depth + 1)
+            if base_fq is not None:
+                found = self.resolve_method(base_fq, name, _depth + 1)
+                if found is not None:
+                    return found
+        return None
+
+    def attr_type(self, cls_fq: str, attr: str, _depth: int = 0) -> str | None:
+        """Project-class fq of attribute ``attr``, walking project bases."""
+        if _depth > _MAX_CHASE or cls_fq not in self.classes:
+            return None
+        summary, info = self.classes[cls_fq]
+        raw = info.attr_types.get(attr)
+        if raw is not None:
+            return self.resolve_type(summary, raw)
+        for base_raw in info.bases:
+            base_fq = self.resolve_type(summary, base_raw, _depth + 1)
+            if base_fq is not None:
+                found = self.attr_type(base_fq, attr, _depth + 1)
+                if found is not None:
+                    return found
+        return None
+
+    # -- call resolution ----------------------------------------------------
+
+    def _scope_chain(self, fn: FunctionInfo) -> list[str]:
+        """Enclosing qualname prefixes, innermost first, '' last."""
+        chain: list[str] = []
+        qual = fn.name
+        while qual:
+            chain.append(qual)
+            qual = qual.rsplit(".", 1)[0] if "." in qual else ""
+        chain.append("")
+        return chain
+
+    def _constructor(self, cls_fq: str) -> tuple[str, str]:
+        init = self.resolve_method(cls_fq, "__init__")
+        if init is not None:
+            return (KIND_FUNCTION, init)
+        return (KIND_CLASS, cls_fq)
+
+    def resolve_call(
+        self, summary: ModuleSummary, fn: FunctionInfo, callee: str
+    ) -> tuple[str | None, str | None]:
+        """Resolve one raw callee within a function's scope.
+
+        Returns ``(kind, target)``; ``(None, None)`` when unknown.
+        """
+        parts = callee.split(".")
+        head = parts[0]
+        rest = parts[1:]
+
+        if head in ("self", "cls") and fn.cls is not None:
+            cls_fq = f"{summary.module}.{fn.cls}"
+            if len(rest) == 1:
+                method = self.resolve_method(cls_fq, rest[0])
+                return (KIND_FUNCTION, method) if method else (None, None)
+            if len(rest) == 2:
+                attr_cls = self.attr_type(cls_fq, rest[0])
+                if attr_cls is not None:
+                    method = self.resolve_method(attr_cls, rest[1])
+                    if method is not None:
+                        return (KIND_FUNCTION, method)
+                # A non-project attribute type is still worth naming:
+                # self._conn.request -> http.client.HTTPConnection.request.
+                _, info = self.classes.get(cls_fq, (None, None))
+                raw = info.attr_types.get(rest[0]) if info is not None else None
+                if raw is not None and self.resolve_type(summary, raw) is None:
+                    ext = self.external_type(summary, raw)
+                    return (KIND_EXTERNAL, f"{ext}.{rest[1]}")
+            return (None, None)
+
+        # Typed locals and parameters: jobs.reserve() with jobs: JobStore.
+        if head in fn.local_types:
+            if len(rest) == 1:
+                raw = fn.local_types[head]
+                local_cls = self.resolve_type(summary, raw)
+                if local_cls is not None:
+                    method = self.resolve_method(local_cls, rest[0])
+                    return (KIND_FUNCTION, method) if method else (None, None)
+                ext = self.external_type(summary, raw)
+                return (KIND_EXTERNAL, f"{ext}.{rest[0]}")
+            return (None, None)
+
+        if not rest:
+            # Bare call: nested defs shadow module scope.
+            for scope in self._scope_chain(fn):
+                qual = f"{scope}.{head}" if scope else head
+                if summary.function(qual) is not None:
+                    return (KIND_FUNCTION, f"{summary.module}.{qual}")
+            if head in summary.classes:
+                return self._constructor(f"{summary.module}.{head}")
+            if head in summary.imports:
+                kind, fq = self.resolve_symbol(summary.imports[head])
+                if kind == KIND_CLASS:
+                    return self._constructor(fq)
+                return (kind, fq)
+            return (None, None)
+
+        if head in summary.classes:
+            if len(rest) == 1:
+                method = self.resolve_method(f"{summary.module}.{head}", rest[0])
+                return (KIND_FUNCTION, method) if method else (None, None)
+            return (None, None)
+
+        if head in summary.imports:
+            kind, fq = self.resolve_symbol(summary.imports[head] + "." + ".".join(rest))
+            if kind == KIND_CLASS:
+                return self._constructor(fq)
+            return (kind, fq)
+
+        if head in summary.module_types:
+            if len(rest) == 1:
+                raw = summary.module_types[head]
+                mod_cls = self.resolve_type(summary, raw)
+                if mod_cls is not None:
+                    method = self.resolve_method(mod_cls, rest[0])
+                    return (KIND_FUNCTION, method) if method else (None, None)
+                ext = self.external_type(summary, raw)
+                return (KIND_EXTERNAL, f"{ext}.{rest[0]}")
+            return (None, None)
+
+        return (None, None)
+
+    def resolved_calls(self, fq: str) -> tuple[ResolvedCall, ...]:
+        """Every call site of function ``fq``, resolved (memoised)."""
+        cached = self._resolved.get(fq)
+        if cached is not None:
+            return cached
+        summary, fn = self.functions[fq]
+        out = []
+        for site in fn.calls:
+            kind, target = self.resolve_call(summary, fn, site.callee)
+            out.append(ResolvedCall(site=site, kind=kind, target=target))
+        resolved = tuple(out)
+        self._resolved[fq] = resolved
+        return resolved
+
+    def expr_type(
+        self, summary: ModuleSummary, fn: FunctionInfo, expr: str
+    ) -> str | None:
+        """The fq type of a simple expression, project class or external.
+
+        Used by the lock rule: ``self._lock`` -> ``threading.Lock``.
+        """
+        parts = expr.split(".")
+        head = parts[0]
+        raw: str | None = None
+        owner = summary
+        if head == "self" and fn.cls is not None and len(parts) == 2:
+            cls_fq = f"{summary.module}.{fn.cls}"
+            project_cls = self.attr_type(cls_fq, parts[1])
+            if project_cls is not None:
+                return project_cls
+            _, info = self.classes.get(cls_fq, (None, None))
+            raw = info.attr_types.get(parts[1]) if info is not None else None
+        elif len(parts) == 1:
+            raw = fn.local_types.get(head) or summary.module_types.get(head)
+        if raw is None:
+            return None
+        project_cls = self.resolve_type(owner, raw)
+        if project_cls is not None:
+            return project_cls
+        return self.external_type(owner, raw)
+
+    # -- traversal ----------------------------------------------------------
+
+    def async_roots(self) -> Iterator[tuple[str, ModuleSummary, FunctionInfo]]:
+        """Every ``async def`` in the linted tree."""
+        for fq, (summary, fn) in sorted(self.functions.items()):
+            if fn.is_async:
+                yield fq, summary, fn
+
+    def is_async(self, fq: str) -> bool:
+        entry = self.functions.get(fq)
+        return entry is not None and entry[1].is_async
+
+    # -- export -------------------------------------------------------------
+
+    def to_json(self) -> dict[str, Any]:
+        """The ``repro lint --graph`` dump: nodes with resolved edges."""
+        nodes = []
+        for fq, (summary, fn) in sorted(self.functions.items()):
+            edges = []
+            for call in self.resolved_calls(fq):
+                edges.append(
+                    {
+                        "raw": call.site.callee,
+                        "target": call.target,
+                        "kind": call.kind,
+                        "line": call.site.line,
+                        "awaited": call.site.awaited,
+                        "via_executor": call.site.via_executor,
+                        "detached": call.site.detached,
+                    }
+                )
+            nodes.append(
+                {
+                    "function": fq,
+                    "module": summary.module,
+                    "path": summary.display_path,
+                    "line": fn.line,
+                    "async": fn.is_async,
+                    "calls": edges,
+                }
+            )
+        return {
+            "version": 1,
+            "functions": len(nodes),
+            "modules": len(self.project.modules),
+            "nodes": nodes,
+        }

@@ -100,6 +100,42 @@ class Rule:
         )
 
 
+class ProjectRule(Rule):
+    """Base class for a whole-program (cross-module) rule.
+
+    Project rules run in the second lint pass, after every file has
+    been summarised by :mod:`repro.analysis.project`.  They receive the
+    :class:`~repro.analysis.project.ProjectContext` — every module
+    summary plus the resolved call graph — instead of one file, and may
+    anchor findings in any linted file.  They remain pure functions of
+    the summaries, which is what keeps the project pass cacheable.
+    """
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Project rules do not participate in the per-file pass."""
+        return iter(())
+
+    def check_project(self, project: Any) -> Iterator[Finding]:
+        """Yield every violation across the whole linted tree.
+
+        ``project`` is a :class:`repro.analysis.project.ProjectContext`
+        (typed as ``Any`` here to keep :mod:`core` import-light).
+        """
+        raise NotImplementedError
+
+    def project_finding(
+        self, display_path: str, line: int, col: int, message: str
+    ) -> Finding:
+        """A :class:`Finding` at an explicit location in any module."""
+        return Finding(
+            path=display_path,
+            line=line,
+            col=col + 1,
+            rule_id=self.rule_id,
+            message=message,
+        )
+
+
 # ---------------------------------------------------------------------------
 # shared AST helpers
 # ---------------------------------------------------------------------------

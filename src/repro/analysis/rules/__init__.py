@@ -7,6 +7,20 @@ examples, lives in ``docs/static-analysis.md``.
 
 from __future__ import annotations
 
-from repro.analysis.rules import conventions, determinism, naming, units_rules
+from repro.analysis.rules import (
+    concurrency,
+    conventions,
+    determinism,
+    drift,
+    naming,
+    units_rules,
+)
 
-__all__ = ["conventions", "determinism", "naming", "units_rules"]
+__all__ = [
+    "concurrency",
+    "conventions",
+    "determinism",
+    "drift",
+    "naming",
+    "units_rules",
+]

@@ -1,0 +1,188 @@
+"""Cross-file invariant rules (RPR011, RPR012) — project pass.
+
+RPR011 closes the two gaps the per-file RPR006 cannot see: emission
+call sites RPR006 does not recognise (the tracer method
+``record_span``), and the reverse direction — names registered in
+:mod:`repro.obs.names` that nothing in the linted tree ever emits,
+which is how a renamed span silently orphans its dashboard.
+
+RPR012 encodes the journal contract from ``service/journal.py``: a
+record the caller is told is durable must hit the disk (``fsync``)
+after its write and *before* the acknowledgement — on every path,
+including the async ones where a fire-and-forget executor dispatch
+lets the ack overtake the flush.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro.analysis.callgraph import KIND_FUNCTION
+from repro.analysis.core import Finding, ProjectRule
+from repro.analysis.project import ModuleSummary, ProjectContext
+from repro.analysis.registry import register
+
+# ---------------------------------------------------------------------------
+# RPR011: registry drift
+# ---------------------------------------------------------------------------
+
+_SET_KINDS: Mapping[str, str] = {
+    "SPAN_NAMES": "span",
+    "EVENT_NAMES": "event",
+    "METRIC_NAMES": "metric",
+}
+
+
+@register
+class RegistryDriftRule(ProjectRule):
+    """RPR011: the obs names registry and the code agree, both ways."""
+
+    rule_id = "RPR011"
+    title = "observability name drift across the registry boundary"
+    rationale = (
+        "Dashboards grep registered names. A span emitted through the "
+        "tracer under an unregistered name is invisible to them "
+        "(RPR006 only sees the module-level helpers); a registered "
+        "name nothing emits is a dashboard watching a dead signal."
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        registry = project.names_registry()
+        span_names = self._known_names(registry, "SPAN_NAMES")
+        # Forward: record_span call sites RPR006 cannot attribute.
+        for summary in project.modules.values():
+            if registry is not None and summary.module == registry.module:
+                continue
+            for emission in summary.emissions:
+                if emission.call != "record_span":
+                    continue
+                if emission.name not in span_names:
+                    yield self.project_finding(
+                        summary.display_path,
+                        emission.line,
+                        emission.col,
+                        f"span name '{emission.name}' is not registered "
+                        "in repro.obs.names SPAN_NAMES",
+                    )
+        # Reverse: registered names nothing in the linted tree emits.
+        if registry is None:
+            return
+        emitted: set[str] = set()
+        for summary in project.modules.values():
+            if summary.module == registry.module:
+                continue
+            emitted.update(summary.name_literals)
+        for set_name, kind in _SET_KINDS.items():
+            for name, line in sorted(registry.registry_sets.get(set_name, {}).items()):
+                if name not in emitted:
+                    yield self.project_finding(
+                        registry.display_path,
+                        line,
+                        0,
+                        f"{kind} name '{name}' is registered in "
+                        f"{set_name} but never emitted anywhere in the "
+                        "linted tree",
+                    )
+
+    @staticmethod
+    def _known_names(registry: ModuleSummary | None, set_name: str) -> frozenset[str]:
+        if registry is not None:
+            return frozenset(registry.registry_sets.get(set_name, {}))
+        # Registry module not part of this lint run (e.g. a fixture
+        # tree): fall back to the installed registry.
+        from repro.obs import names
+
+        return getattr(names, set_name)  # type: ignore[no-any-return]
+
+
+# ---------------------------------------------------------------------------
+# RPR012: durability ordering
+# ---------------------------------------------------------------------------
+
+_FSYNCS = ("os.fsync", "os.fdatasync")
+_WRITE_TAILS = ("write", "writelines")
+
+
+@register
+class DurabilityOrderingRule(ProjectRule):
+    """RPR012: durable writes are fsynced before anyone can ack them."""
+
+    rule_id = "RPR012"
+    title = "journal write observable before fsync"
+    rationale = (
+        "The journal contract (service/journal.py): a record reported "
+        "durable is on disk before the caller acks. A write with no "
+        "fsync after it, or an admit record dispatched fire-and-forget "
+        "from async code, lets the acknowledgement overtake the flush "
+        "— exactly the crash window the journal exists to close."
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        graph = project.graph
+        # Journal-like classes: any method transitively naming os.fsync
+        # directly in its body marks the class as durability-bearing.
+        journal_classes: set[str] = set()
+        for fq, (summary, fn) in graph.functions.items():
+            if fn.cls is None:
+                continue
+            for call in graph.resolved_calls(fq):
+                if call.target in _FSYNCS:
+                    journal_classes.add(f"{summary.module}.{fn.cls}")
+                    break
+
+        # Part 1: inside a journal class, every writing method must
+        # fsync at-or-after its last write (a conditional fsync counts
+        # — `if durable:` gating is the method's own contract).
+        for cls_fq in sorted(journal_classes):
+            summary, info = graph.classes[cls_fq]
+            for method in info.methods:
+                fn = summary.function(f"{info.name}.{method}")
+                if fn is None:
+                    continue
+                writes = [
+                    c
+                    for c in fn.calls
+                    if "." in c.callee and c.callee.rsplit(".", 1)[1] in _WRITE_TAILS
+                ]
+                if not writes:
+                    continue
+                fq = f"{summary.module}.{fn.name}"
+                fsync_lines = [
+                    c.site.line
+                    for c in graph.resolved_calls(fq)
+                    if c.target in _FSYNCS
+                ]
+                last_write = max(writes, key=lambda c: c.line)
+                if not any(line >= last_write.line for line in fsync_lines):
+                    yield self.project_finding(
+                        summary.display_path,
+                        last_write.line,
+                        last_write.col,
+                        f"`{last_write.callee}` in journal class "
+                        f"`{info.name}.{method}` has no fsync after it; "
+                        "the record is claimed durable but can be lost "
+                        "on crash",
+                    )
+
+        # Part 2: async callers must await the durable admit record —
+        # a detached or un-awaited executor dispatch lets the POST ack
+        # overtake the fsync.
+        for fq, summary, fn in graph.async_roots():
+            for call in graph.resolved_calls(fq):
+                if call.kind != KIND_FUNCTION or call.target is None:
+                    continue
+                cls_fq, _, method = call.target.rpartition(".")
+                if cls_fq not in journal_classes or "admit" not in method:
+                    continue
+                if call.site.detached or (
+                    call.site.via_executor and not call.site.awaited
+                ):
+                    yield self.project_finding(
+                        summary.display_path,
+                        call.site.line,
+                        call.site.col,
+                        f"durable admit record `{call.site.callee}` is "
+                        "dispatched fire-and-forget from async code; "
+                        "the ack can overtake the fsync — await the "
+                        "executor future before acknowledging",
+                    )

@@ -1,0 +1,98 @@
+"""SARIF 2.1.0 output for ``repro lint --format sarif``.
+
+The Static Analysis Results Interchange Format is what CI systems
+(GitHub code scanning among them) ingest to annotate PR diffs.  One
+run, one ``repro-lint`` driver, one result per finding; in-source
+``# repro: noqa[...]`` waivers are emitted as suppressed results so
+the annotation surface can audit them, matching the JSON renderer.
+
+Exit-code semantics are unchanged — SARIF is a rendering, not a
+policy: 0 clean / 1 findings / 2 linter error, same as every format.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.analysis.core import Finding
+from repro.analysis.registry import all_rules
+
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Parse failures (RPR000) are errors; rule findings are warnings.
+_PARSE_RULE_ID = "RPR000"
+
+
+def _result(finding: Finding, *, suppressed: bool) -> dict[str, Any]:
+    level = "error" if finding.rule_id == _PARSE_RULE_ID else "warning"
+    result: dict[str, Any] = {
+        "ruleId": finding.rule_id,
+        "level": level,
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col,
+                    },
+                }
+            }
+        ],
+    }
+    if suppressed:
+        result["suppressions"] = [{"kind": "inSource"}]
+    return result
+
+
+def render_sarif(result: Any) -> str:
+    """Serialise a ``LintResult`` as a SARIF 2.1.0 log."""
+    rules = [
+        {
+            "id": cls.rule_id,
+            "name": cls.__name__,
+            "shortDescription": {"text": cls.title},
+            "fullDescription": {"text": cls.rationale or cls.title},
+        }
+        for cls in all_rules()
+    ]
+    rules.append(
+        {
+            "id": _PARSE_RULE_ID,
+            "name": "ParseFailure",
+            "shortDescription": {"text": "file does not parse"},
+            "fullDescription": {
+                "text": "The target file could not be parsed as Python."
+            },
+        }
+    )
+    log = {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://example.invalid/repro/docs/static-analysis"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "results": [
+                    *(_result(f, suppressed=False) for f in result.findings),
+                    *(_result(f, suppressed=True) for f in result.suppressed),
+                ],
+            }
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=True)

@@ -1263,7 +1263,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to lint (default: src)",
     )
     lintp.add_argument(
-        "--format", dest="output_format", choices=("human", "json"),
+        "--format", dest="output_format", choices=("human", "json", "sarif"),
         default="human", help="output format (default: human)",
     )
     lintp.add_argument(
@@ -1273,6 +1273,18 @@ def build_parser() -> argparse.ArgumentParser:
     lintp.add_argument(
         "--list-rules", action="store_true",
         help="list registered rules and exit",
+    )
+    lintp.add_argument(
+        "--graph", action="store_true",
+        help="dump the resolved cross-module call graph as JSON and exit",
+    )
+    lintp.add_argument(
+        "--no-project", action="store_true",
+        help="skip the cross-module project pass (RPR009-RPR012)",
+    )
+    lintp.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore and do not write the on-disk analysis cache",
     )
     sub.add_parser("suite", help="print the calibrated application suite")
     sub.add_parser("clock", help="print the CAP clock table")
@@ -1369,6 +1381,9 @@ def _dispatch(args) -> int:
             output_format=args.output_format,
             select=select,
             list_rules=args.list_rules,
+            project=not args.no_project,
+            use_cache=not args.no_cache,
+            graph=args.graph,
         )
     elif args.command == "cache-clear":
         engine = ExperimentEngine(cache_dir=args.cache_dir)

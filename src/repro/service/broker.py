@@ -47,9 +47,12 @@ Crash-safety and overload-safety wrap this ladder (see
 from __future__ import annotations
 
 import asyncio
+import functools
 import logging
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from typing import Any, Callable
 
 from repro.api.query import request_cell
 from repro.api.types import OptimizationRequest
@@ -72,6 +75,19 @@ from repro.service.quotas import QuotaPolicy, TenantQuotas
 from repro.service.warmcache import WarmResultStore
 
 _LOG = logging.getLogger("repro.service.broker")
+
+
+def _note_journal_error(future: "asyncio.Future[Any]") -> None:
+    """Surface a failed fire-and-forget journal append in the log.
+
+    A lost running/done record only costs a re-run on recovery; the
+    admit path is awaited and propagates its errors to the submitter.
+    """
+    if future.cancelled():
+        return
+    exc = future.exception()
+    if exc is not None:
+        _LOG.error("journal append failed: %s", exc)
 
 #: Times one job may be shed back into the queue by an engine-side
 #: ``CircuitOpenError`` before it is terminally failed.  Generous on
@@ -130,6 +146,10 @@ class SweepBroker:
         #: ``tenant:idempotency-key`` -> job id of the original admission.
         self._idempotent: dict[str, str] = {}
         self._wake: asyncio.Event | None = None
+        # All journal appends run on this single thread: one writer
+        # preserves the admit -> running -> done record order while the
+        # fsyncs stay off the event loop (RPR009).
+        self._journal_pool: ThreadPoolExecutor | None = None
         self._batch_task: asyncio.Task | None = None
         self._requeue_tasks: set[asyncio.Task] = set()
         self._closed = False
@@ -145,6 +165,10 @@ class SweepBroker:
             raise ServiceError("broker already started")
         self._closed = False
         self._wake = asyncio.Event()
+        if self.journal is not None and self._journal_pool is None:
+            self._journal_pool = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="job-journal"
+            )
         self._batch_task = asyncio.create_task(self._batch_loop())
 
     async def close(self, drain_s: float | None = None) -> None:
@@ -184,6 +208,16 @@ class SweepBroker:
                     )
         self._flights.clear()
         self._pending.clear()
+        pool = self._journal_pool
+        if pool is not None:
+            self._journal_pool = None
+            # Drain the journal thread so every record queued above
+            # (including the shutdown failures) is on disk before close
+            # returns — the chaos drill's replay contract depends on it.
+            # shutdown(wait=True) joins the thread, so it runs off-loop.
+            await asyncio.get_running_loop().run_in_executor(
+                None, functools.partial(pool.shutdown, True)
+            )
 
     # -- crash recovery ---------------------------------------------------
 
@@ -328,9 +362,16 @@ class SweepBroker:
             job.deadline = job.created + request.deadline_s
         if self.journal is not None:
             # The durability point: on disk before the POST is acked.
-            self.journal.record_admit(
-                job.job_id, job.tenant, key, request,
-                idempotency_key=idempotency_key,
+            # The append (and its fsync) runs on the journal thread so
+            # the event loop never blocks; awaiting the future keeps
+            # durable-before-ack intact.
+            await asyncio.get_running_loop().run_in_executor(
+                self._journal_pool,
+                functools.partial(
+                    self.journal.record_admit,
+                    job.job_id, job.tenant, key, request,
+                    idempotency_key=idempotency_key,
+                ),
             )
         self.jobs.add(job)
         if idem_key is not None:
@@ -443,7 +484,9 @@ class SweepBroker:
                 job.attempts += 1
                 job.mark_running()
                 if self.journal is not None:
-                    self.journal.record_running(job.job_id)
+                    self._journal_soon(
+                        self.journal.record_running, job.job_id
+                    )
                 remaining = job.remaining_s(now)
                 if remaining is not None:
                     deadline_s = (
@@ -629,6 +672,20 @@ class SweepBroker:
 
     # -- completion -------------------------------------------------------
 
+    def _journal_soon(self, fn: Callable[..., Any], *args: Any) -> None:
+        """Queue one journal append on the journal thread, off the loop.
+
+        Fire-and-forget is sound for the non-admit records: the single
+        journal thread preserves append order behind the (awaited)
+        admit, and running/done/failed durability is a recovery
+        optimisation, not part of the ack contract — a record lost to a
+        crash re-runs the job, it never loses an acked admission.
+        """
+        future = asyncio.get_running_loop().run_in_executor(
+            self._journal_pool, functools.partial(fn, *args)
+        )
+        future.add_done_callback(_note_journal_error)
+
     def _fail_deadline(self, job: Job) -> None:
         """Fail one job whose end-to-end deadline passed (HTTP 504)."""
         job.deadline_hit = True
@@ -653,7 +710,7 @@ class SweepBroker:
         self.jobs.note_closed(job)
         self.quotas.release(job.tenant)
         if self.journal is not None:
-            self.journal.record_done(job.job_id, source)
+            self._journal_soon(self.journal.record_done, job.job_id, source)
         status = job.status()
         metrics().counter(
             "repro_service_jobs_total", "jobs reaching a terminal state"
@@ -675,7 +732,7 @@ class SweepBroker:
         self.jobs.note_closed(job)
         self.quotas.release(job.tenant)
         if self.journal is not None:
-            self.journal.record_failed(job.job_id, error)
+            self._journal_soon(self.journal.record_failed, job.job_id, error)
         metrics().counter(
             "repro_service_jobs_total", "jobs reaching a terminal state"
         ).inc(state="failed", source="error")

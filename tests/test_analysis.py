@@ -107,11 +107,13 @@ class TestRunnerMechanics:
     def test_json_output_schema(self, tmp_path):
         result = lint_source(tmp_path, "import random  # repro: noqa[RPR001]\n")
         doc = json.loads(render_json(result))
-        assert doc["version"] == 1
+        assert doc["version"] == 2
         assert doc["files_checked"] == 1
         assert doc["findings"] == []
         assert len(doc["suppressed"]) == 1
         assert doc["suppressed"][0]["rule"] == "RPR001"
+        assert set(doc["timings"]) == {"total_s", "file_pass_s", "project_pass_s"}
+        assert set(doc["cache"]) == {"hits", "misses"}
 
     def test_main_reports_errors_on_exit_two(self, tmp_path, capsys):
         assert lint_main(["/no/such/path-anywhere"]) == EXIT_ERROR
@@ -626,6 +628,12 @@ class TestSelfHost:
         result = lint_paths([REPO_ROOT / "src"])
         assert result.clean, render_human(result)
         assert len(result.rule_ids) >= 8
+
+    def test_project_pass_is_active_over_src(self):
+        # The cross-module rules must actually run on the self-host
+        # check, not just exist in the registry.
+        result = lint_paths([REPO_ROOT / "src"])
+        assert {"RPR009", "RPR010", "RPR011", "RPR012"} <= set(result.rule_ids)
 
     def test_suppressions_are_audited(self):
         # Every waiver in src/ is deliberate; this pins the count so a

@@ -22,6 +22,7 @@ import os
 import signal
 import subprocess
 import sys
+import threading
 import time
 from pathlib import Path
 
@@ -725,3 +726,110 @@ class TestShedRequeue:
                 time.sleep(0.1)
             assert status.state.value == "failed"
             assert "shed" in (status.error or "")
+
+
+# ---------------------------------------------------------------------------
+# journal appends run off the event loop (the lint RPR009 fix)
+# ---------------------------------------------------------------------------
+
+
+class _SpyJournal(JobJournal):
+    """A JobJournal that notes which thread each append lands on."""
+
+    def __init__(self, path):
+        super().__init__(path)
+        self.events = []  # (event, job_id, thread ident) in append order
+
+    def _note(self, event, job_id):
+        self.events.append((event, job_id, threading.get_ident()))
+
+    def record_admit(self, job_id, tenant, cell_key, request,
+                     idempotency_key=None):
+        self._note("admit", job_id)
+        super().record_admit(
+            job_id, tenant, cell_key, request, idempotency_key=idempotency_key
+        )
+
+    def record_running(self, job_id):
+        self._note("running", job_id)
+        super().record_running(job_id)
+
+    def record_done(self, job_id, source):
+        self._note("done", job_id)
+        super().record_done(job_id, source)
+
+    def record_failed(self, job_id, error):
+        self._note("failed", job_id)
+        super().record_failed(job_id, error)
+
+
+class TestJournalOffload:
+    """The journal's fsyncs must never run on the broker's event loop.
+
+    (The cross-module analyzer's RPR009 found exactly this; these pin
+    the fix: a single journal thread, an awaited admit, and a close()
+    that drains the queued terminal records.)
+    """
+
+    def test_appends_run_off_the_loop_on_one_thread(self, tmp_path):
+        journal = _SpyJournal(tmp_path / "j.jsonl")
+
+        async def drill():
+            broker = SweepBroker(
+                engine=ExperimentEngine(), journal=journal, batch_window_s=0.0
+            )
+            await broker.start()
+            try:
+                job = await broker.submit(tiny_request())
+                await asyncio.wait_for(job.done.wait(), 60.0)
+            finally:
+                await broker.close()
+
+        loop_ident = threading.get_ident()  # asyncio.run uses this thread
+        run_coro(drill())
+        assert journal.events
+        idents = {ident for _, _, ident in journal.events}
+        assert loop_ident not in idents  # fsyncs never block the loop
+        assert len(idents) == 1  # one writer thread keeps append order
+
+    def test_submit_acks_only_after_admit_is_on_disk(self, tmp_path):
+        journal_path = tmp_path / "j.jsonl"
+        journal = _SpyJournal(journal_path)
+
+        async def drill():
+            broker = SweepBroker(
+                engine=ExperimentEngine(),
+                journal=journal,
+                batch_window_s=30.0,  # stays queued: only the admit lands
+            )
+            await broker.start()
+            try:
+                job = await broker.submit(tiny_request())
+                # The durability point: by the time submit returns, a
+                # *fresh* reader sees the admit on disk.
+                replay = JobJournal(journal_path).replay()
+                assert [j.job_id for j in replay.incomplete] == [job.job_id]
+            finally:
+                await broker.close(drain_s=0.1)
+
+        run_coro(drill())
+
+    def test_lifecycle_order_survives_the_offload(self, tmp_path):
+        journal = _SpyJournal(tmp_path / "j.jsonl")
+
+        async def drill():
+            broker = SweepBroker(
+                engine=ExperimentEngine(), journal=journal, batch_window_s=0.0
+            )
+            await broker.start()
+            job = await broker.submit(tiny_request())
+            await asyncio.wait_for(job.done.wait(), 60.0)
+            # close() drains the journal thread, so the fire-and-forget
+            # running/done records are on disk when it returns.
+            await broker.close()
+            return job.job_id
+
+        job_id = run_coro(drill())
+        assert [(e, j) for e, j, _ in journal.events] == [
+            ("admit", job_id), ("running", job_id), ("done", job_id)
+        ]
